@@ -1,0 +1,65 @@
+"""Shared fixtures for the paper-figure benchmark harness.
+
+Each bench measures how long the *simulation* of one benchmark version
+takes (this repository's own performance), and attaches the reproduced
+paper metric (speedup / power / energy ratio vs Serial) as
+``extra_info`` so `pytest benchmarks/ --benchmark-only` doubles as the
+figure regenerator.
+
+Set ``REPRO_BENCH_SCALE`` (default 1.0) to shrink the problem sizes.
+"""
+
+import os
+
+import pytest
+
+from repro.benchmarks import Precision, Version, create, run_version
+
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+#: cache-capacity-sensitive shape assertions only hold near paper scale
+STRICT = SCALE >= 0.75
+
+
+class RunCache:
+    """Lazily computed, session-shared simulation results."""
+
+    def __init__(self):
+        self._results = {}
+        self._benches = {}
+
+    def bench(self, name: str, precision: Precision):
+        key = (name, precision)
+        if key not in self._benches:
+            self._benches[key] = create(name, precision=precision, scale=SCALE)
+        return self._benches[key]
+
+    def run(self, name: str, version: Version, precision: Precision):
+        key = (name, version, precision)
+        if key not in self._results:
+            self._results[key] = run_version(self.bench(name, precision), version)
+        return self._results[key]
+
+    def ratios(self, name: str, version: Version, precision: Precision):
+        run = self.run(name, version, precision)
+        base = self.run(name, Version.SERIAL, precision)
+        if not run.ok:
+            return None
+        return run.relative_to(base)
+
+
+@pytest.fixture(scope="session")
+def cache():
+    return RunCache()
+
+
+def attach_ratios(benchmark, ratios, paper=None):
+    """Record the reproduced metric next to the timing."""
+    if ratios is None:
+        benchmark.extra_info["status"] = "failed (as on the paper's platform)"
+        return
+    speedup, power, energy = ratios
+    benchmark.extra_info["speedup_vs_serial"] = round(speedup, 3)
+    benchmark.extra_info["power_vs_serial"] = round(power, 3)
+    benchmark.extra_info["energy_vs_serial"] = round(energy, 3)
+    if paper is not None:
+        benchmark.extra_info["paper"] = paper

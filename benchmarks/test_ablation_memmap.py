@@ -1,0 +1,98 @@
+"""Host-memory strategy ablation (§III-A 'Memory allocation and mapping').
+
+Three ways to get data to the Mali GPU, costed end to end for a vecop
+round trip (stage inputs, read result):
+
+1. plain device buffers + clEnqueueWrite/ReadBuffer copies;
+2. CL_MEM_USE_HOST_PTR + explicit enqueue copies ("it does not solve
+   the additional copy issue");
+3. CL_MEM_ALLOC_HOST_PTR + map/unmap (the paper's recommendation:
+   cache maintenance only, no copies).
+"""
+
+import numpy as np
+import pytest
+
+from repro.ocl import (
+    Buffer,
+    CommandQueue,
+    Context,
+    MapFlag,
+    MemFlag,
+    get_platforms,
+)
+
+N = 1 << 22
+
+
+@pytest.fixture()
+def setup():
+    ctx = Context(get_platforms()[0].get_devices()[0])
+    queue = CommandQueue(ctx)
+    data = np.random.default_rng(0).random(N).astype(np.float32)
+    return ctx, queue, data
+
+
+def _roundtrip_copy(ctx, queue, data):
+    buf = Buffer(ctx, MemFlag.READ_WRITE, shape=N, dtype=np.float32)
+    queue.enqueue_write_buffer(buf, data)
+    out = np.empty_like(data)
+    queue.enqueue_read_buffer(buf, out)
+    return queue.elapsed_s
+
+
+def _roundtrip_use_host_ptr(ctx, queue, data):
+    host = data.copy()
+    buf = Buffer(ctx, MemFlag.USE_HOST_PTR, hostbuf=host)
+    queue.enqueue_write_buffer(buf)   # driver still copies
+    queue.enqueue_read_buffer(buf)
+    return queue.elapsed_s
+
+
+def _roundtrip_mapped(ctx, queue, data):
+    buf = Buffer(ctx, MemFlag.ALLOC_HOST_PTR, shape=N, dtype=np.float32)
+    view, _ = queue.enqueue_map_buffer(buf, MapFlag.WRITE)
+    view[...] = data
+    queue.enqueue_unmap_mem_object(buf)
+    view, _ = queue.enqueue_map_buffer(buf, MapFlag.READ)
+    queue.enqueue_unmap_mem_object(buf)
+    return queue.elapsed_s
+
+
+def test_mapping_beats_copies(benchmark, setup):
+    ctx, queue, data = setup
+
+    def ablate():
+        times = {}
+        for label, fn in [
+            ("copy", _roundtrip_copy),
+            ("use_host_ptr", _roundtrip_use_host_ptr),
+            ("map", _roundtrip_mapped),
+        ]:
+            queue.reset_timeline()
+            times[label] = fn(ctx, queue, data)
+        return times
+
+    times = benchmark.pedantic(ablate, rounds=1, iterations=1)
+    benchmark.extra_info["roundtrip_ms"] = {k: round(v * 1e3, 3) for k, v in times.items()}
+    # the paper's ordering: mapping is far cheaper than either copy path
+    assert times["map"] < 0.5 * times["copy"]
+    assert times["map"] < 0.5 * times["use_host_ptr"]
+    # USE_HOST_PTR does not avoid the copies
+    assert times["use_host_ptr"] == pytest.approx(times["copy"], rel=0.2)
+
+
+def test_mapping_cost_is_cache_maintenance_only(benchmark, setup):
+    ctx, queue, data = setup
+    from repro.ocl.driver import CACHE_MAINTENANCE_BANDWIDTH, HOST_MEMCPY_BANDWIDTH
+
+    def ablate():
+        queue.reset_timeline()
+        return _roundtrip_mapped(ctx, queue, data)
+
+    elapsed = benchmark.pedantic(ablate, rounds=1, iterations=1)
+    nbytes = N * 4
+    floor = 4 * nbytes / CACHE_MAINTENANCE_BANDWIDTH        # 4 map/unmap ops
+    ceiling = 4 * nbytes / HOST_MEMCPY_BANDWIDTH
+    benchmark.extra_info["elapsed_ms"] = round(elapsed * 1e3, 3)
+    assert floor * 0.9 <= elapsed <= ceiling

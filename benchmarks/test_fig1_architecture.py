@@ -1,0 +1,49 @@
+"""Figure 1: the Mali-T604 architecture inventory.
+
+Figure 1 is a block diagram, not a measurement — this bench regenerates
+its component inventory from the calibrated configuration and verifies
+every block the paper draws is present, plus the derived peak numbers
+the rest of the reproduction hangs off.
+"""
+
+from repro.calibration import default_platform
+
+
+FIGURE1_COMPONENTS = (
+    "Job Manager",
+    "shader cores",
+    "arithmetic pipes",
+    "load/store pipe",
+    "texturing pipe",
+    "Snoop Control Unit",
+    "MMU",
+)
+
+
+def test_fig1_component_inventory(benchmark):
+    platform = default_platform()
+    text = benchmark.pedantic(platform.mali.describe, rounds=1, iterations=1)
+    benchmark.extra_info["peak_fp32_gflops"] = round(platform.mali.peak_fp32_flops / 1e9, 1)
+    benchmark.extra_info["peak_fp64_gflops"] = round(platform.mali.peak_fp64_flops / 1e9, 1)
+    for component in FIGURE1_COMPONENTS:
+        assert component in text, f"Figure 1 block missing: {component}"
+
+
+def test_fig1_derived_quantities(benchmark):
+    platform = default_platform()
+
+    def derive():
+        mali = platform.mali
+        return {
+            "cores": mali.shader_cores,
+            "pipes": mali.arith_pipes_per_core,
+            "lanes_fp32": mali.lane_bits // 32,
+            "peak_fp32": mali.peak_fp32_flops,
+            "peak_fp64": mali.peak_fp64_flops,
+        }
+
+    d = benchmark.pedantic(derive, rounds=1, iterations=1)
+    assert d["cores"] == 4 and d["pipes"] == 2 and d["lanes_fp32"] == 4
+    # 4 cores x 2 pipes x 4 lanes x 2 flops x 533 MHz
+    assert d["peak_fp32"] == 4 * 2 * 4 * 2 * 533e6
+    assert d["peak_fp64"] < d["peak_fp32"]

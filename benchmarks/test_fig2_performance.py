@@ -1,0 +1,83 @@
+"""Figure 2 regeneration: speedup over Serial, SP (a) and DP (b).
+
+Each bench simulates one benchmark's OpenCL Opt version (autotune +
+full measurement pipeline) and reports the reproduced speedup as
+``extra_info``; assertions pin the paper's qualitative shape.
+"""
+
+import pytest
+
+from repro.benchmarks import PAPER_ORDER, Precision, Version
+from repro.experiments.paper_data import FIG2A_SPEEDUP, FIG2B_SPEEDUP
+
+from conftest import STRICT, attach_ratios
+
+SP, DP = Precision.SINGLE, Precision.DOUBLE
+
+
+@pytest.mark.parametrize("name", PAPER_ORDER)
+def test_fig2a(benchmark, cache, name):
+    bench = cache.bench(name, SP)
+    result = benchmark.pedantic(
+        lambda: cache.run(name, Version.OPENCL_OPT, SP), rounds=1, iterations=1
+    )
+    ratios = cache.ratios(name, Version.OPENCL_OPT, SP)
+    attach_ratios(
+        benchmark, ratios, paper=FIG2A_SPEEDUP[name][Version.OPENCL_OPT].describe()
+    )
+    assert result.ok and result.verified
+    speedup = ratios[0]
+    paper = FIG2A_SPEEDUP[name][Version.OPENCL_OPT]
+    # shape check: within a factor ~2.5 of the paper's midpoint
+    assert speedup > 0.3 * paper.midpoint
+    assert speedup < 3.0 * max(paper.midpoint, 1.0) + 3.0
+
+
+@pytest.mark.parametrize("name", PAPER_ORDER)
+def test_fig2a_opencl(benchmark, cache, name):
+    """The naive-port bars of Figure 2(a)."""
+    result = benchmark.pedantic(
+        lambda: cache.run(name, Version.OPENCL, SP), rounds=1, iterations=1
+    )
+    ratios = cache.ratios(name, Version.OPENCL, SP)
+    attach_ratios(benchmark, ratios, paper=FIG2A_SPEEDUP[name][Version.OPENCL].describe())
+    assert result.ok and result.verified
+    # the paper's split: spmv/hist at or below Serial, the rest above.
+    # (only at paper-scale footprints: at reduced scale the gathers fit
+    # the GPU L2 and spmv artificially wins)
+    if STRICT and name in ("spmv", "hist"):
+        assert ratios[0] < 1.1
+    if name in ("nbody", "dmmm", "amcd"):
+        assert ratios[0] > 2.0
+
+
+@pytest.mark.parametrize("name", PAPER_ORDER)
+def test_fig2b(benchmark, cache, name):
+    bench = cache.bench(name, DP)
+    result = benchmark.pedantic(
+        lambda: cache.run(name, Version.OPENCL_OPT, DP), rounds=1, iterations=1
+    )
+    ratios = cache.ratios(name, Version.OPENCL_OPT, DP)
+    attach_ratios(
+        benchmark, ratios, paper=FIG2B_SPEEDUP[name][Version.OPENCL_OPT].describe()
+    )
+    if name == "amcd":
+        # the ARM compiler defect: no DP amcd bars in the paper either
+        assert not result.ok
+        return
+    assert result.ok and result.verified
+    sp_ratios = cache.ratios(name, Version.OPENCL_OPT, SP)
+    # double precision never beats single on this GPU
+    assert ratios[0] < sp_ratios[0] * 1.3
+
+
+@pytest.mark.parametrize("name", PAPER_ORDER)
+def test_fig2_openmp_bars(benchmark, cache, name):
+    """The OpenMP bars: 1.2x-1.9x on two A15 cores."""
+    result = benchmark.pedantic(
+        lambda: cache.run(name, Version.OPENMP, SP), rounds=1, iterations=1
+    )
+    ratios = cache.ratios(name, Version.OPENMP, SP)
+    attach_ratios(benchmark, ratios, paper=FIG2A_SPEEDUP[name][Version.OPENMP].describe())
+    assert result.ok and result.verified
+    assert 1.05 <= ratios[0] <= 2.05

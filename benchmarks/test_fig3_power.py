@@ -1,0 +1,64 @@
+"""Figure 3 regeneration: board power normalized to Serial."""
+
+import pytest
+
+from repro.benchmarks import PAPER_ORDER, Precision, Version
+from repro.experiments.paper_data import FIG3A_POWER
+
+from conftest import attach_ratios
+
+SP, DP = Precision.SINGLE, Precision.DOUBLE
+
+
+@pytest.mark.parametrize("name", PAPER_ORDER)
+def test_fig3a(benchmark, cache, name):
+    """Single-precision power bars for all three parallel versions."""
+
+    def simulate():
+        return {
+            v: cache.run(name, v, SP)
+            for v in (Version.OPENMP, Version.OPENCL, Version.OPENCL_OPT)
+        }
+
+    runs = benchmark.pedantic(simulate, rounds=1, iterations=1)
+    ratios = cache.ratios(name, Version.OPENCL, SP)
+    attach_ratios(benchmark, ratios, paper=FIG3A_POWER[name][Version.OPENCL].describe())
+
+    omp_power = cache.ratios(name, Version.OPENMP, SP)[1]
+    assert 1.1 <= omp_power <= 1.5, "OpenMP draws +23%..+45% (paper V-B)"
+    ocl_power = ratios[1]
+    assert 0.7 <= ocl_power <= 1.5, "OpenCL power varies little vs Serial"
+
+
+@pytest.mark.parametrize("name", PAPER_ORDER)
+def test_fig3b(benchmark, cache, name):
+    """Double precision 'follows similar trends' (paper §V-B)."""
+
+    def simulate():
+        return cache.run(name, Version.OPENCL, DP)
+
+    run = benchmark.pedantic(simulate, rounds=1, iterations=1)
+    ratios = cache.ratios(name, Version.OPENCL, DP)
+    attach_ratios(benchmark, ratios)
+    if name == "amcd":
+        assert ratios is None
+        return
+    assert 0.7 <= ratios[1] <= 1.5
+
+
+def test_fig3a_mean_power_premiums(benchmark, cache):
+    """Aggregate claims: OpenMP ~+31%, OpenCL ~+7% over Serial."""
+
+    def collect():
+        omp, ocl = [], []
+        for name in PAPER_ORDER:
+            omp.append(cache.ratios(name, Version.OPENMP, SP)[1])
+            ocl.append(cache.ratios(name, Version.OPENCL, SP)[1])
+        return sum(omp) / len(omp), sum(ocl) / len(ocl)
+
+    omp_mean, ocl_mean = benchmark.pedantic(collect, rounds=1, iterations=1)
+    benchmark.extra_info["openmp_mean_power"] = round(omp_mean, 3)
+    benchmark.extra_info["opencl_mean_power"] = round(ocl_mean, 3)
+    benchmark.extra_info["paper"] = "OpenMP 1.31, OpenCL 1.07"
+    assert 1.2 <= omp_mean <= 1.4
+    assert 0.95 <= ocl_mean <= 1.2

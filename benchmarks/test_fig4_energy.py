@@ -1,0 +1,80 @@
+"""Figure 4 regeneration: energy-to-solution normalized to Serial."""
+
+import pytest
+
+from repro.benchmarks import PAPER_ORDER, Precision, Version
+from repro.experiments.paper_data import FIG4A_ENERGY
+
+from conftest import attach_ratios
+
+SP, DP = Precision.SINGLE, Precision.DOUBLE
+
+
+@pytest.mark.parametrize("name", PAPER_ORDER)
+def test_fig4a(benchmark, cache, name):
+    def simulate():
+        return cache.run(name, Version.OPENCL_OPT, SP)
+
+    run = benchmark.pedantic(simulate, rounds=1, iterations=1)
+    ratios = cache.ratios(name, Version.OPENCL_OPT, SP)
+    attach_ratios(
+        benchmark, ratios, paper=FIG4A_ENERGY[name][Version.OPENCL_OPT].describe()
+    )
+    assert run.ok
+    energy = ratios[2]
+    assert energy < 1.2, "Opt energy never meaningfully above Serial"
+    if name in ("nbody", "2dcon", "dmmm"):
+        assert energy < 0.15, "the big-three reach order-of-magnitude savings"
+
+
+@pytest.mark.parametrize("name", PAPER_ORDER)
+def test_fig4b(benchmark, cache, name):
+    def simulate():
+        return cache.run(name, Version.OPENCL_OPT, DP)
+
+    run = benchmark.pedantic(simulate, rounds=1, iterations=1)
+    ratios = cache.ratios(name, Version.OPENCL_OPT, DP)
+    attach_ratios(benchmark, ratios)
+    if name == "amcd":
+        assert ratios is None
+        return
+    assert ratios[2] < 1.5
+
+
+def test_fig4_red_dp_regression(benchmark, cache):
+    """§V-C: red Opt energy rises in DP vs SP (the paper flags this)."""
+
+    def collect():
+        return (
+            cache.ratios("red", Version.OPENCL_OPT, SP)[2],
+            cache.ratios("red", Version.OPENCL_OPT, DP)[2],
+        )
+
+    sp, dp = benchmark.pedantic(collect, rounds=1, iterations=1)
+    benchmark.extra_info["red_opt_energy_sp"] = round(sp, 3)
+    benchmark.extra_info["red_opt_energy_dp"] = round(dp, 3)
+    assert dp > sp
+
+
+def test_fig4_mean_energies(benchmark, cache):
+    """Aggregates: Opt ~0.28 (SP) / ~0.36 (DP); OpenCL ~0.56."""
+
+    def collect():
+        out = {}
+        for precision in (SP, DP):
+            for version in (Version.OPENCL, Version.OPENCL_OPT):
+                vals = [
+                    r[2]
+                    for name in PAPER_ORDER
+                    if (r := cache.ratios(name, version, precision)) is not None
+                ]
+                out[(version, precision)] = sum(vals) / len(vals)
+        return out
+
+    means = benchmark.pedantic(collect, rounds=1, iterations=1)
+    benchmark.extra_info["opt_sp"] = round(means[(Version.OPENCL_OPT, SP)], 3)
+    benchmark.extra_info["opt_dp"] = round(means[(Version.OPENCL_OPT, DP)], 3)
+    benchmark.extra_info["paper"] = "Opt 0.28 SP / 0.36 DP; OpenCL 0.56"
+    assert 0.2 <= means[(Version.OPENCL_OPT, SP)] <= 0.45
+    assert means[(Version.OPENCL_OPT, DP)] >= means[(Version.OPENCL_OPT, SP)] * 0.9
+    assert means[(Version.OPENCL, SP)] > means[(Version.OPENCL_OPT, SP)]

@@ -1,0 +1,44 @@
+"""§V-D headline regeneration: mean Opt speedup and energy, both precisions."""
+
+from repro.benchmarks import PAPER_ORDER, Precision, Version
+
+SP, DP = Precision.SINGLE, Precision.DOUBLE
+
+
+def test_headline_summary(benchmark, cache):
+    """Abstract: '8.7x speedup ... consuming only 32% of the energy'."""
+
+    def collect():
+        speedups, energies = [], []
+        for precision in (SP, DP):
+            for name in PAPER_ORDER:
+                ratios = cache.ratios(name, Version.OPENCL_OPT, precision)
+                if ratios is None:
+                    continue  # DP amcd
+                speedups.append(ratios[0])
+                energies.append(ratios[2])
+        return sum(speedups) / len(speedups), sum(energies) / len(energies)
+
+    mean_speedup, mean_energy = benchmark.pedantic(collect, rounds=1, iterations=1)
+    benchmark.extra_info["mean_opt_speedup"] = round(mean_speedup, 2)
+    benchmark.extra_info["mean_opt_energy"] = round(mean_energy, 3)
+    benchmark.extra_info["paper"] = "8.7x speedup at 32% energy"
+    assert 5.0 <= mean_speedup <= 13.0
+    assert 0.22 <= mean_energy <= 0.45
+
+
+def test_dp_amcd_is_the_only_missing_column(benchmark, cache):
+    def collect():
+        failures = []
+        for precision in (SP, DP):
+            for name in PAPER_ORDER:
+                for version in (Version.OPENCL, Version.OPENCL_OPT):
+                    if cache.ratios(name, version, precision) is None:
+                        failures.append((name, version.value, precision.label))
+        return failures
+
+    failures = benchmark.pedantic(collect, rounds=1, iterations=1)
+    assert sorted(failures) == [
+        ("amcd", "OpenCL", "DP"),
+        ("amcd", "OpenCL Opt", "DP"),
+    ]

@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Cluster study: would you actually build an HPC machine from these?
+
+The paper's opening motivation is the Mont-Blanc programme — HPC
+machines built from embedded SoCs.  This study takes the simulated
+single-node measurements (sustained dmmm GFLOP/s and board watts) and
+does the system-level arithmetic: nodes, kilowatts and GF/W for a
+machine of a given sustained throughput, against a 2013 Xeon node —
+in single and double precision, and on the next-generation Malis.
+
+Run:  python examples/cluster_study.py
+"""
+
+from repro.benchmarks import Precision
+from repro.cluster import (
+    XEON_2013_NODE,
+    compare_at_target,
+    format_comparison,
+    measure_arndale_node,
+)
+from repro.whatif import mali_t760_platform
+
+TARGET_GFLOPS = 50e3  # a 50-TFLOP/s machine, mid-range for 2013
+
+
+def main() -> None:
+    print("single-node characterization (dmmm Opt, simulated meter):\n")
+    nodes = {}
+    for precision in (Precision.SINGLE, Precision.DOUBLE):
+        node = measure_arndale_node(precision=precision, scale=0.5)
+        nodes[precision] = node
+        print(f"  {node.name}")
+        print(f"    {node.gflops:6.2f} GFLOP/s sustained at {node.watts:.2f} W "
+              f"-> {node.gflops_per_watt:.2f} GF/W")
+    print(f"  {XEON_2013_NODE.name}")
+    print(f"    {XEON_2013_NODE.gflops:6.1f} GFLOP/s at {XEON_2013_NODE.watts:.0f} W "
+          f"-> {XEON_2013_NODE.gflops_per_watt:.2f} GF/W")
+
+    print("\n--- single precision ---")
+    print(format_comparison(
+        compare_at_target(nodes[Precision.SINGLE], XEON_2013_NODE, TARGET_GFLOPS)))
+
+    print("\n--- double precision (the HPC-relevant one) ---")
+    print(format_comparison(
+        compare_at_target(nodes[Precision.DOUBLE], XEON_2013_NODE, TARGET_GFLOPS)))
+
+    print("\n--- double precision on a Mali-T760-class successor ---")
+    t760_node = measure_arndale_node(
+        precision=Precision.DOUBLE, scale=0.5, platform=mali_t760_platform()
+    )
+    print(f"  node: {t760_node.gflops:.2f} GF at {t760_node.watts:.2f} W "
+          f"({t760_node.gflops_per_watt:.2f} GF/W)")
+    print(format_comparison(compare_at_target(t760_node, XEON_2013_NODE, TARGET_GFLOPS)))
+
+    print(
+        "\nreading: in 2013 the embedded node wins single-precision"
+        "\nefficiency but loses double precision to the half-rate FP64 —"
+        "\nthe exact gap the Mont-Blanc programme was chasing, and the"
+        "\nreason the paper frames Full-Profile FP64 support as the"
+        "\nenabling feature rather than the finished story."
+    )
+
+
+if __name__ == "__main__":
+    main()

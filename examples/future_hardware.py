@@ -1,0 +1,100 @@
+#!/usr/bin/env python
+"""Future-hardware study: the paper's conclusion, taken at its word.
+
+"Embedded GPUs ... are promising candidates for next generation HPC
+systems."  This study re-runs the Opt benchmarks on the Midgard parts
+that shipped after the paper (Mali-T628 MP6, Mali-T760 MP8) and on the
+T604 with the promised driver fix, and also renders the execution
+timeline/power trace of one run.
+
+Run:  python examples/future_hardware.py
+"""
+
+from repro import Precision, Version, create, run_version
+from repro.analysis import format_gantt, format_power_sparkline
+from repro.calibration import default_platform
+from repro.power.model import BoardPowerModel
+from repro.whatif import (
+    compare_platforms,
+    fixed_driver_platform,
+    mali_t628_platform,
+    mali_t760_platform,
+    run_fixed_driver_amcd,
+)
+
+SCALE = 0.5
+
+
+def next_gen_speedups() -> None:
+    platforms = {
+        "Mali-T604 (paper)": default_platform(),
+        "Mali-T628 MP6": mali_t628_platform(),
+        "Mali-T760 MP8": mali_t760_platform(),
+    }
+    print("OpenCL Opt speedup over one Cortex-A15 core:\n")
+    print(f"{'bench':7s} " + " ".join(f"{n:>18s}" for n in platforms))
+    for name in ("vecop", "red", "nbody", "dmmm"):
+        cmp = compare_platforms(name, platforms, scale=SCALE)
+        row = f"{name:7s} "
+        for platform_name in platforms:
+            speedup = cmp.speedup(platform_name)
+            row += f"{speedup:17.1f}x " if speedup else f"{'FAILED':>18s} "
+        print(row)
+
+
+def fixed_driver() -> None:
+    print("\nthe promised driver fix: double-precision amcd")
+    broken = run_version(
+        create("amcd", precision=Precision.DOUBLE, scale=SCALE), Version.OPENCL_OPT
+    )
+    print(f"  2013 driver : {broken.failure}")
+    fixed = run_fixed_driver_amcd(scale=SCALE)
+    bench = create("amcd", precision=Precision.DOUBLE, scale=SCALE,
+                   platform=fixed_driver_platform())
+    serial = run_version(bench, Version.SERIAL)
+    speedup, _, energy = fixed.relative_to(serial)
+    print(f"  fixed driver: compiles; {speedup:.2f}x speedup at "
+          f"{energy:.2f} energy ({fixed.options.describe()})")
+
+
+def timeline_of_a_run() -> None:
+    print("\nexecution timeline of one optimized histogram iteration:")
+    bench = create("hist", scale=SCALE)
+    from repro.benchmarks.base import run_gpu_version
+    from repro.optimizations.autotune import tune
+
+    options, local = tune(bench)
+    r = run_gpu_version(bench, options, local)
+    events = [e for e in r.diagnostics["events"]]
+    print(format_gantt(events))
+    trace = BoardPowerModel(bench.platform.rails).trace(
+        [e for e in _activities_of(r)]
+    )
+    print(format_power_sparkline(trace))
+
+
+def _activities_of(run):
+    # re-derive the activity list from the recorded events
+    from repro.power.rails import Activity, ActivityKind
+
+    for e in run.diagnostics["events"]:
+        timing = e.info.get("timing")
+        if timing is None:
+            continue
+        yield Activity(
+            kind=ActivityKind.GPU_KERNEL,
+            duration_s=timing.seconds,
+            gpu_alu_utilization=timing.alu_utilization,
+            gpu_ls_utilization=timing.ls_utilization,
+            dram_bandwidth=timing.dram_bandwidth,
+        )
+
+
+def main() -> None:
+    next_gen_speedups()
+    fixed_driver()
+    timeline_of_a_run()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Walk one kernel through every Section III optimization, step by step.
+
+Takes the 2D convolution benchmark (the paper's best showcase: "most of
+the optimizations can be successfully applied") and applies the
+techniques cumulatively, printing the timing/energy deltas and the
+compiler's view of the kernel at each step:
+
+  naive -> +qualifiers -> +vector loads -> +vectorization(4)
+        -> +width tuning (8/16) -> +unrolling -> +tuned local size
+
+Run:  python examples/optimization_walkthrough.py
+"""
+
+from repro import CompileOptions, Version, create
+from repro.benchmarks.base import run_cpu_version, run_gpu_version
+from repro.compiler import compile_kernel, format_report
+from repro.errors import CLError, CompilerError
+
+
+STEPS = [
+    ("naive port (driver local size)", CompileOptions(), None),
+    ("+ inline/const/restrict", CompileOptions(qualifiers=True), None),
+    ("+ vector loads (vload4)", CompileOptions(qualifiers=True, vector_loads=True), None),
+    ("+ vectorize float4", CompileOptions(qualifiers=True, vector_width=4), None),
+    ("+ try float8", CompileOptions(qualifiers=True, vector_width=8), None),
+    ("+ try float16", CompileOptions(qualifiers=True, vector_width=16), None),
+    ("+ unroll x2 (float4)", CompileOptions(qualifiers=True, vector_width=4, unroll=2), None),
+    ("+ tuned local size 64", CompileOptions(qualifiers=True, vector_width=4, unroll=2), 64),
+]
+
+
+def main() -> None:
+    bench = create("2dcon", scale=0.5)
+    serial = run_cpu_version(bench, Version.SERIAL)
+    print(f"2D convolution, {bench.dim}x{bench.dim} image, {bench.K}x{bench.K} filter")
+    print(f"Serial baseline: {serial.elapsed_s * 1e3:.1f} ms, "
+          f"{serial.energy_j * 1e3:.0f} mJ\n")
+
+    print(f"{'step':34s} {'time':>9s} {'speedup':>8s} {'energy':>7s}  notes")
+    best = None
+    for label, options, local in STEPS:
+        try:
+            run = run_gpu_version(bench, options, local)
+        except (CLError, CompilerError) as exc:  # pragma: no cover - defensive
+            print(f"{label:34s}  failed: {exc}")
+            continue
+        if not run.ok:
+            print(f"{label:34s}  {run.failure}")
+            continue
+        speedup, _, energy = run.relative_to(serial)
+        compiled = compile_kernel(bench.kernel_ir(options), options)
+        note = (
+            f"{compiled.registers.registers_128} regs, "
+            f"{compiled.registers.threads_per_core} thr/core"
+        )
+        if compiled.registers.spills:
+            note += " (spills!)"
+        print(
+            f"{label:34s} {run.elapsed_s * 1e3:7.2f}ms {speedup:7.2f}x {energy:6.2f}  {note}"
+        )
+        if best is None or run.elapsed_s < best[1].elapsed_s:
+            best = (label, run)
+
+    print(f"\nbest step: {best[0]}")
+    print("\ncompiler view of the winning kernel:")
+    _, run = best
+    print(format_report(compile_kernel(bench.kernel_ir(run.options), run.options)))
+
+
+if __name__ == "__main__":
+    main()

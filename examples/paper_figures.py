@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Regenerate every figure of the paper's evaluation (Figures 2-4).
+
+Runs the full benchmark × version × precision grid on the simulated
+Exynos 5250 and renders ASCII versions of Figures 2(a/b), 3(a/b) and
+4(a/b) with the paper's published values alongside, plus the §V-D
+summary.
+
+Run:  python examples/paper_figures.py [--scale 1.0] [--sp-only]
+          [--write-experiments [PATH]]
+
+``--write-experiments`` also (re)generates EXPERIMENTS.md.
+"""
+
+import argparse
+import pathlib
+import sys
+import time
+
+from repro import Precision, run_grid, summarize
+from repro.experiments import all_figures, format_experiments_markdown, format_figure, format_summary
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="problem-size multiplier (default: paper scale)")
+    parser.add_argument("--sp-only", action="store_true",
+                        help="single precision only (faster)")
+    parser.add_argument("--write-experiments", nargs="?", const="EXPERIMENTS.md",
+                        default=None, metavar="PATH",
+                        help="write the paper-vs-measured tables to PATH")
+    args = parser.parse_args(argv)
+
+    precisions = (Precision.SINGLE,) if args.sp_only else (Precision.SINGLE, Precision.DOUBLE)
+
+    t0 = time.time()
+    results = run_grid(
+        scale=args.scale,
+        precisions=precisions,
+        progress=lambda msg: print(f"  running {msg} ...", file=sys.stderr),
+    )
+    print(f"\ngrid complete in {time.time() - t0:.1f}s wall "
+          f"({len(results.results)} simulated runs)\n", file=sys.stderr)
+
+    figures = all_figures(results, precisions)
+    for series in figures:
+        print(format_figure(series))
+        print()
+
+    summary = summarize(results)
+    print(format_summary(summary))
+
+    if args.write_experiments:
+        path = pathlib.Path(args.write_experiments)
+        path.write_text(format_experiments_markdown(figures, summary))
+        print(f"\nwrote {path}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Single vs double precision: the HPC angle of the paper.
+
+The Mali-T604 matters to the paper because it is the *first* embedded
+GPU with OpenCL Full Profile — IEEE-754 double precision included,
+which scientific computing requires.  This study compares SP and DP
+across the suite and showcases the three DP-specific behaviours the
+paper reports:
+
+* fp64 runs at half the lane rate (and doubles every buffer);
+* the ARM compiler defect kills double-precision amcd outright;
+* register pressure doubles, so the aggressive Opt configurations of
+  nbody/2dcon stop compiling and their Opt bars collapse.
+
+Run:  python examples/precision_study.py
+"""
+
+from repro import PAPER_ORDER, Precision, Version, create, run_version
+from repro.benchmarks.base import run_cpu_version
+
+
+def main() -> None:
+    print(f"{'bench':7s} | {'SP opt speedup':>14s} {'DP opt speedup':>14s} | "
+          f"{'SP energy':>9s} {'DP energy':>9s} | note")
+    print("-" * 78)
+    for name in PAPER_ORDER:
+        cells = {}
+        note = ""
+        for precision in (Precision.SINGLE, Precision.DOUBLE):
+            bench = create(name, precision=precision, scale=0.5)
+            serial = run_cpu_version(bench, Version.SERIAL)
+            opt = run_version(bench, Version.OPENCL_OPT)
+            if not opt.ok:
+                cells[precision] = None
+                note = "DP fails: ARM compiler defect (fp64 + RNG helper)"
+                continue
+            speedup, _, energy = opt.relative_to(serial)
+            cells[precision] = (speedup, energy, opt.options.describe())
+        sp, dp = cells[Precision.SINGLE], cells[Precision.DOUBLE]
+        if dp is not None and sp is not None:
+            if dp[2] != sp[2]:
+                note = f"tuner fell back: SP={sp[2]}, DP={dp[2]}"
+        row = f"{name:7s} | "
+        row += f"{sp[0]:13.2f}x " if sp else f"{'—':>14s} "
+        row += f"{dp[0]:13.2f}x " if dp else f"{'—':>14s} "
+        row += "| "
+        row += f"{sp[1]:9.2f} " if sp else f"{'—':>9s} "
+        row += f"{dp[1]:9.2f} " if dp else f"{'—':>9s} "
+        row += f"| {note}"
+        print(row)
+
+    print(
+        "\nDP speedups trail SP wherever the GPU is compute-bound (half the"
+        "\nfp64 lanes) and collapse toward the naive port where the wide"
+        "\nvector+unroll configurations exhaust the register file."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Roofline study: why Figure 2 looks the way it does.
+
+Places all nine kernels on the Mali-T604 and Cortex-A15 rooflines (raw
+arithmetic intensity and cache-filtered DRAM intensity), derives the
+roofline-implied GPU-over-CPU speedup ceilings, and compares them with
+the measured Opt speedups — the §V-A discussion, quantified.
+
+Run:  python examples/roofline_study.py
+"""
+
+from repro import PAPER_ORDER, Version, create, run_version
+from repro.analysis import (
+    cpu_roofline,
+    dram_intensity,
+    format_roofline_chart,
+    gpu_roofline,
+    operational_intensity,
+    place,
+    speedup_ceiling,
+)
+from repro.benchmarks.base import run_cpu_version
+from repro.compiler.options import NAIVE
+from repro.ir import analyze
+
+SCALE = 0.5
+
+
+def main() -> None:
+    gpu = gpu_roofline()
+    cpu = cpu_roofline()
+
+    placements = []
+    rows = []
+    for name in PAPER_ORDER:
+        bench = create(name, scale=SCALE)
+        ir = bench.kernel_ir(NAIVE)
+        raw = operational_intensity(analyze(ir))
+        cached = dram_intensity(
+            ir, bench.gpu_traits(NAIVE), bench.platform.gpu_caches(), bench.gpu_work_items()
+        )
+        placements.append(
+            place(ir, gpu, traits=bench.gpu_traits(NAIVE),
+                  caches=bench.platform.gpu_caches(), n_items=bench.gpu_work_items())
+        )
+        ceiling = speedup_ceiling(ir, gpu, cpu)
+        serial = run_cpu_version(bench, Version.SERIAL)
+        opt = run_version(bench, Version.OPENCL_OPT)
+        measured = serial.elapsed_s / opt.elapsed_s if opt.ok else float("nan")
+        rows.append((name, raw, cached, ceiling, measured))
+
+    print(format_roofline_chart(placements))
+    print(f"\nCortex-A15 roofline: peak {cpu.peak_flops / 1e9:.1f} GF, "
+          f"ridge {cpu.ridge_intensity:.2f} flop/byte")
+
+    print("\nintensity (raw -> cache-filtered) and speedups:")
+    print(f"  {'bench':7s} {'raw':>7s} {'cached':>9s} {'roofline ceiling':>17s} "
+          f"{'measured Opt':>13s}")
+    for name, raw, cached, ceiling, measured in rows:
+        raw_s = "inf" if raw > 1e8 else f"{raw:.2f}"
+        cached_s = "inf" if cached > 1e8 else f"{cached:.1f}"
+        print(f"  {name:7s} {raw_s:>7s} {cached_s:>9s} {ceiling:16.1f}x "
+              f"{measured:12.1f}x")
+
+    print(
+        "\nreading: kernels left of the GPU ridge (5-6 flop/byte) are"
+        "\nbandwidth-bound — their ceiling is the bandwidth ratio (~2x),"
+        "\nwhich is why spmv/vecop/hist cluster near the bottom of Figure 2"
+        "\nwhile the compute-bound kernels ride the full ALU advantage."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,99 @@
+"""repro — reproduction of "Energy Efficient HPC on Embedded SoCs:
+Optimization Techniques for Mali GPU" (Grasso et al., IPDPS 2014).
+
+The paper's evaluation ran on real hardware (a Samsung Exynos 5250
+Arndale board with a Mali-T604 GPU, measured by a bench power meter);
+this library rebuilds the entire measurement stack as an analytical
+architecture simulation:
+
+* :mod:`repro.ir` / :mod:`repro.compiler` — an OpenCL kernel IR and the
+  Mali compiler model that applies the paper's Section III optimizations
+  (vectorization, vector-size tuning, loop unrolling, AOS→SOA,
+  qualifiers) with register allocation and the driver's failure modes;
+* :mod:`repro.mali` / :mod:`repro.cpu` / :mod:`repro.memory` — timing
+  models for the Mali-T604, the Cortex-A15 (serial and OpenMP) and the
+  shared DDR3L memory system;
+* :mod:`repro.power` — board power rails and the simulated Yokogawa
+  WT230 power meter;
+* :mod:`repro.ocl` — a mini-OpenCL host API (buffers, map/unmap,
+  NDRange launches, events) backed by the simulated device;
+* :mod:`repro.benchmarks` — the nine HPC benchmarks in all four
+  versions (Serial / OpenMP / OpenCL / OpenCL Opt), with real NumPy
+  numerics validated against references;
+* :mod:`repro.experiments` — the harness regenerating every figure of
+  the paper's evaluation (Figures 2, 3 and 4, single and double
+  precision) plus the §V-D summary.
+
+Quick start::
+
+    from repro import run_grid, figure2, format_figure
+    results = run_grid(scale=0.25)          # small instance of the grid
+    print(format_figure(figure2(results)))  # Figure 2(a)
+"""
+
+from .benchmarks import (
+    BENCHMARKS,
+    Benchmark,
+    PAPER_ORDER,
+    Precision,
+    RunResult,
+    Version,
+    all_benchmarks,
+    create,
+    run_version,
+)
+from .calibration import ExynosPlatform, default_platform, validate_platform
+from .compiler import CompileOptions, CompiledKernel, compile_kernel
+from .experiments import (
+    ResultSet,
+    figure2,
+    figure3,
+    figure4,
+    format_experiments_markdown,
+    format_figure,
+    format_summary,
+    run_grid,
+    summarize,
+)
+from .errors import (
+    CLBuildProgramFailure,
+    CLError,
+    CLOutOfResources,
+    CompilerError,
+    ReproError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BENCHMARKS",
+    "Benchmark",
+    "CLBuildProgramFailure",
+    "CLError",
+    "CLOutOfResources",
+    "CompileOptions",
+    "CompiledKernel",
+    "CompilerError",
+    "ExynosPlatform",
+    "PAPER_ORDER",
+    "Precision",
+    "ReproError",
+    "ResultSet",
+    "RunResult",
+    "Version",
+    "all_benchmarks",
+    "compile_kernel",
+    "create",
+    "default_platform",
+    "figure2",
+    "figure3",
+    "figure4",
+    "format_experiments_markdown",
+    "format_figure",
+    "format_summary",
+    "run_grid",
+    "run_version",
+    "summarize",
+    "validate_platform",
+    "__version__",
+]

@@ -1,0 +1,207 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``figures``   — run the grid and print Figures 2/3/4 + the summary
+* ``run``       — run one benchmark's four versions
+* ``tune``      — show the autotuner sweep for one benchmark
+* ``sweep``     — problem-size sweep (Serial vs Opt crossover)
+* ``roofline``  — place every benchmark on the device rooflines
+* ``describe``  — print the simulated platform inventory
+* ``whatif``    — next-generation-hardware and fixed-driver studies
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .benchmarks import PAPER_ORDER, Precision, Version, create, run_version
+from .calibration import default_platform
+
+
+def _precision(args) -> Precision:
+    return Precision.DOUBLE if args.double else Precision.SINGLE
+
+
+def cmd_figures(args) -> int:
+    from .experiments import all_figures, format_figure, format_summary, run_grid, summarize
+
+    precisions = (
+        (Precision.SINGLE,) if args.sp_only else (Precision.SINGLE, Precision.DOUBLE)
+    )
+    results = run_grid(scale=args.scale, precisions=precisions)
+    for series in all_figures(results, precisions):
+        print(format_figure(series))
+        print()
+    print(format_summary(summarize(results)))
+    return 0
+
+
+def cmd_run(args) -> int:
+    bench = create(args.benchmark, precision=_precision(args), scale=args.scale)
+    print(f"{args.benchmark}: {bench.description}")
+    baseline = None
+    for version in Version:
+        r = run_version(bench, version)
+        if not r.ok:
+            print(f"  {version.value:11s}  FAILED: {r.failure}")
+            continue
+        if baseline is None:
+            baseline = r
+        speedup, power, energy = r.relative_to(baseline)
+        tag = r.options.describe() if r.options else ""
+        print(
+            f"  {version.value:11s} {r.elapsed_s * 1e3:9.3f} ms  "
+            f"{r.mean_power_w:5.2f} W  speedup {speedup:6.2f}  energy {energy:5.2f}  {tag}"
+        )
+    return 0
+
+
+def cmd_tune(args) -> int:
+    from .optimizations.autotune import sweep
+
+    bench = create(args.benchmark, precision=_precision(args), scale=args.scale)
+    result = sweep(bench)
+    print(f"{args.benchmark} [{_precision(args).label}]: "
+          f"{len(result.trials)} candidates, {result.n_infeasible} infeasible")
+    feasible = sorted((t for t in result.trials if t.feasible), key=lambda t: t.seconds)
+    for trial in feasible[: args.top]:
+        local = "driver" if trial.local_size is None else f"L={trial.local_size}"
+        print(f"  {trial.seconds * 1e3:9.3f} ms  {trial.options.describe():24s} {local}")
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    from .experiments.sweep import format_sweep, run_size_sweep
+
+    sweep_result = run_size_sweep(
+        args.benchmark,
+        scales=tuple(args.scales),
+        precision=_precision(args),
+    )
+    print(format_sweep(sweep_result))
+    return 0
+
+
+def cmd_roofline(args) -> int:
+    from .analysis import cpu_roofline, format_roofline_chart, gpu_roofline, place
+    from .compiler.options import NAIVE
+
+    dp = args.double
+    gpu = gpu_roofline(double_precision=dp)
+    cpu = cpu_roofline(double_precision=dp)
+    placements = []
+    for name in PAPER_ORDER:
+        bench = create(name, precision=_precision(args), scale=args.scale)
+        ir = bench.kernel_ir(NAIVE)
+        placements.append(
+            place(
+                ir,
+                gpu,
+                traits=bench.gpu_traits(NAIVE),
+                caches=bench.platform.gpu_caches(),
+                n_items=bench.gpu_work_items(),
+            )
+        )
+    print(format_roofline_chart(placements))
+    print(f"\nCPU ridge for comparison: {cpu.ridge_intensity:.2f} flop/byte "
+          f"({cpu.peak_flops / 1e9:.1f} GF)")
+    return 0
+
+
+def cmd_describe(args) -> int:
+    platform = default_platform()
+    print(platform.mali.describe())
+    print()
+    print(f"CPU: {platform.cpu.cores}x Cortex-A15 @ {platform.cpu.clock_hz / 1e9:.1f} GHz")
+    print(f"DRAM: {platform.dram.peak_bandwidth / 1e9:.1f} GB/s peak "
+          f"(GPU cap {platform.dram.gpu_cap / 1e9:.1f} GB/s)")
+    print(f"Meter: Yokogawa WT230 @ {platform.meter_sample_hz:.0f} Hz, "
+          f"{platform.meter_accuracy:.1%} accuracy")
+    return 0
+
+
+def cmd_whatif(args) -> int:
+    from .whatif import (
+        compare_platforms,
+        fixed_driver_platform,
+        mali_t628_platform,
+        mali_t760_platform,
+        run_fixed_driver_amcd,
+    )
+
+    platforms = {
+        "Mali-T604 (paper)": default_platform(),
+        "Mali-T628 MP6": mali_t628_platform(),
+        "Mali-T760 MP8": mali_t760_platform(),
+    }
+    print(f"next-generation hardware: {args.benchmark} Opt speedup over Serial")
+    cmp = compare_platforms(args.benchmark, platforms, scale=args.scale)
+    for name in platforms:
+        speedup = cmp.speedup(name)
+        print(f"  {name:20s} {'FAILED' if speedup is None else f'{speedup:6.2f}x'}")
+
+    print("\nfixed-driver counterfactual: double-precision amcd")
+    r = run_fixed_driver_amcd(scale=args.scale)
+    if r.ok:
+        bench = create("amcd", precision=Precision.DOUBLE, scale=args.scale,
+                       platform=fixed_driver_platform())
+        serial = run_version(bench, Version.SERIAL)
+        speedup, _, energy = r.relative_to(serial)
+        print(f"  compiles and runs: speedup {speedup:.2f}x, energy {energy:.2f} "
+              f"({r.options.describe()})")
+    else:  # pragma: no cover - defensive
+        print(f"  still failing: {r.failure}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p, benchmark=False):
+        p.add_argument("--scale", type=float, default=0.5)
+        p.add_argument("--double", action="store_true", help="double precision")
+        if benchmark:
+            p.add_argument("benchmark", choices=PAPER_ORDER)
+
+    p = sub.add_parser("figures", help="regenerate Figures 2/3/4")
+    p.add_argument("--scale", type=float, default=1.0)
+    p.add_argument("--sp-only", action="store_true")
+    p.set_defaults(func=cmd_figures)
+
+    p = sub.add_parser("run", help="run one benchmark's four versions")
+    common(p, benchmark=True)
+    p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser("tune", help="autotuner sweep for one benchmark")
+    common(p, benchmark=True)
+    p.add_argument("--top", type=int, default=8)
+    p.set_defaults(func=cmd_tune)
+
+    p = sub.add_parser("sweep", help="problem-size sweep")
+    common(p, benchmark=True)
+    p.add_argument("--scales", type=float, nargs="+", default=[0.01, 0.05, 0.25, 1.0])
+    p.set_defaults(func=cmd_sweep)
+
+    p = sub.add_parser("roofline", help="roofline placement of all kernels")
+    common(p)
+    p.set_defaults(func=cmd_roofline)
+
+    p = sub.add_parser("describe", help="print the simulated platform")
+    p.set_defaults(func=cmd_describe)
+
+    p = sub.add_parser("whatif", help="future hardware / fixed driver studies")
+    common(p, benchmark=True)
+    p.set_defaults(func=cmd_whatif)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,39 @@
+"""Analysis utilities: rooflines, timelines, power-trace rendering."""
+
+from .roofline import (
+    Bound,
+    DeviceRoofline,
+    KernelRoofline,
+    cpu_roofline,
+    dram_intensity,
+    format_roofline_chart,
+    gpu_roofline,
+    operational_intensity,
+    place,
+    speedup_ceiling,
+)
+from .timeline import (
+    TimelineRow,
+    format_gantt,
+    format_power_sparkline,
+    rows_from_events,
+    utilization_by_lane,
+)
+
+__all__ = [
+    "Bound",
+    "DeviceRoofline",
+    "KernelRoofline",
+    "TimelineRow",
+    "cpu_roofline",
+    "dram_intensity",
+    "format_gantt",
+    "format_power_sparkline",
+    "format_roofline_chart",
+    "gpu_roofline",
+    "operational_intensity",
+    "place",
+    "rows_from_events",
+    "speedup_ceiling",
+    "utilization_by_lane",
+]

@@ -1,0 +1,111 @@
+"""Timeline and power-trace rendering for queue executions.
+
+Turns a command queue's event list into an ASCII Gantt chart and the
+corresponding board-power trace into a sparkline — the picture a
+developer tuning for the Arndale board would sketch from the meter and
+``clGetEventProfilingInfo``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..ocl.enums import CommandType
+from ..ocl.event import Event
+from ..power.model import PowerTrace
+
+_LANE_OF = {
+    CommandType.NDRANGE_KERNEL: "gpu",
+    CommandType.FILL_BUFFER: "gpu",
+    CommandType.COPY_BUFFER: "gpu",
+    CommandType.WRITE_BUFFER: "host",
+    CommandType.READ_BUFFER: "host",
+    CommandType.MAP_BUFFER: "host",
+    CommandType.UNMAP_MEM_OBJECT: "host",
+}
+
+_SPARK_LEVELS = " .:-=+*#%@"
+
+
+@dataclass(frozen=True)
+class TimelineRow:
+    label: str
+    lane: str
+    start_s: float
+    end_s: float
+
+
+def rows_from_events(events: list[Event]) -> list[TimelineRow]:
+    """Convert profiling events into labelled Gantt rows."""
+    rows = []
+    for e in events:
+        if e.command_type == CommandType.NDRANGE_KERNEL:
+            label = e.info.get("kernel", "kernel")
+        else:
+            nbytes = e.info.get("bytes", 0)
+            label = f"{e.command_type.value} ({nbytes >> 10} KiB)"
+        rows.append(
+            TimelineRow(
+                label=label,
+                lane=_LANE_OF[e.command_type],
+                start_s=e.start_s,
+                end_s=e.end_s,
+            )
+        )
+    return rows
+
+
+def format_gantt(events: list[Event], width: int = 64) -> str:
+    """Render events as an ASCII Gantt chart (one row per command)."""
+    rows = rows_from_events(events)
+    if not rows:
+        return "(empty timeline)"
+    total = max(r.end_s for r in rows)
+    if total <= 0:
+        return "(zero-length timeline)"
+    lines = [f"timeline: {total * 1e3:.3f} ms total"]
+    for r in rows:
+        start = int(round(r.start_s / total * width))
+        end = max(int(round(r.end_s / total * width)), start + 1)
+        bar = " " * start + "█" * (end - start)
+        share = (r.end_s - r.start_s) / total
+        lines.append(
+            f"  [{r.lane:4s}] {bar:<{width + 1}s} "
+            f"{(r.end_s - r.start_s) * 1e3:8.3f} ms ({share:4.0%})  {r.label}"
+        )
+    return "\n".join(lines)
+
+
+def format_power_sparkline(trace: PowerTrace, width: int = 64) -> str:
+    """Render a power trace as a sparkline with min/max annotations."""
+    if not trace.segments:
+        return "(empty trace)"
+    total = trace.duration_s
+    watts_min = min(s.watts for s in trace.segments)
+    watts_max = max(s.watts for s in trace.segments)
+    span = watts_max - watts_min
+    chars = []
+    for i in range(width):
+        t = (i + 0.5) / width * total
+        w = trace.power_at(t)
+        level = 0 if span <= 0 else int((w - watts_min) / span * (len(_SPARK_LEVELS) - 1))
+        chars.append(_SPARK_LEVELS[level])
+    return (
+        f"power: {watts_min:.2f}W..{watts_max:.2f}W "
+        f"(mean {trace.mean_power_w:.2f}W, {trace.energy_j * 1e3:.1f} mJ)\n"
+        f"  |{''.join(chars)}|"
+    )
+
+
+def utilization_by_lane(events: list[Event]) -> dict[str, float]:
+    """Fraction of the timeline each lane (gpu/host) is busy."""
+    rows = rows_from_events(events)
+    if not rows:
+        return {}
+    total = max(r.end_s for r in rows)
+    if total <= 0:
+        return {}
+    out: dict[str, float] = {}
+    for r in rows:
+        out[r.lane] = out.get(r.lane, 0.0) + (r.end_s - r.start_s)
+    return {lane: busy / total for lane, busy in out.items()}

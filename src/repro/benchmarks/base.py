@@ -1,0 +1,435 @@
+"""Benchmark framework: the four versions, runners and measurement.
+
+Every benchmark provides (mirroring §IV-B of the paper):
+
+* **Serial** — one Cortex-A15 core, scalar code;
+* **OpenMP** — both A15 cores;
+* **OpenCL** — the naive GPU port (scalar kernel, driver-chosen local
+  size, no qualifiers);
+* **OpenCL Opt** — the Section III optimizations (the autotuner in
+  :mod:`repro.optimizations.autotune` picks the best feasible
+  configuration, exactly like the paper's "experiment with different
+  vector sizes" guidance).
+
+A benchmark owns: real NumPy *functional* implementations (all versions
+compute the same numbers, verified against a reference), honest kernel
+IR describing per-work-item operation mixes, per-version workload
+traits (footprints/reuse/imbalance measured from the actual data), and
+the GPU host-code orchestration through the mini-OpenCL API.
+
+Measurement follows §IV-D: the timed region excludes initialization and
+finalization; the region is repeated until the run covers enough
+Yokogawa samples; energy = mean measured power × time.
+"""
+
+from __future__ import annotations
+
+import abc
+import enum
+import math
+from dataclasses import dataclass, field
+from typing import Any, ClassVar, Iterable
+
+import numpy as np
+
+from ..calibration.exynos5250 import ExynosPlatform, default_platform
+from ..compiler.options import NAIVE, CompileOptions
+from ..cpu.openmp import time_openmp
+from ..cpu.serial import time_serial
+from ..errors import CLBuildProgramFailure, CLError, CLOutOfResources, ReproError
+from ..ir.analysis import analyze
+from ..ir.dtypes import DType, F32, F64
+from ..ir.nodes import Kernel as IrKernel
+from ..ir.validate import validate
+from ..ocl.context import Context
+from ..ocl.device import mali_t604
+from ..ocl.queue import CommandQueue
+from ..power.energy import EnergyReport
+from ..power.model import PowerTrace
+from ..power.rails import Activity, ActivityKind
+from ..workload import WorkloadTraits
+
+
+class Precision(enum.Enum):
+    """Arithmetic precision of a benchmark instance (§V runs both)."""
+
+    SINGLE = "single"
+    DOUBLE = "double"
+
+    @property
+    def np_float(self) -> type:
+        return np.float32 if self is Precision.SINGLE else np.float64
+
+    @property
+    def ir_float(self) -> DType:
+        return F32 if self is Precision.SINGLE else F64
+
+    @property
+    def label(self) -> str:
+        return "SP" if self is Precision.SINGLE else "DP"
+
+
+class Version(enum.Enum):
+    """The four benchmark implementations of §IV-B."""
+
+    SERIAL = "Serial"
+    OPENMP = "OpenMP"
+    OPENCL = "OpenCL"
+    OPENCL_OPT = "OpenCL Opt"
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Outcome of one benchmark version run (one timed region)."""
+
+    benchmark: str
+    version: Version
+    precision: Precision
+    elapsed_s: float
+    mean_power_w: float
+    energy_j: float
+    verified: bool
+    options: CompileOptions | None = None
+    local_size: int | None = None
+    failure: str | None = None
+    diagnostics: dict = field(default_factory=dict, compare=False, repr=False)
+
+    @property
+    def ok(self) -> bool:
+        return self.failure is None
+
+    def relative_to(self, baseline: "RunResult") -> tuple[float, float, float]:
+        """(speedup, power ratio, energy ratio) against a baseline run."""
+        if not (self.ok and baseline.ok):
+            raise ReproError("cannot normalize a failed run")
+        return (
+            baseline.elapsed_s / self.elapsed_s,
+            self.mean_power_w / baseline.mean_power_w,
+            self.energy_j / baseline.energy_j,
+        )
+
+    @classmethod
+    def failed(
+        cls, benchmark: str, version: Version, precision: Precision, reason: str
+    ) -> "RunResult":
+        return cls(
+            benchmark=benchmark,
+            version=version,
+            precision=precision,
+            elapsed_s=float("nan"),
+            mean_power_w=float("nan"),
+            energy_j=float("nan"),
+            verified=False,
+            failure=reason,
+        )
+
+
+class Benchmark(abc.ABC):
+    """Base class for the nine HPC benchmarks."""
+
+    #: short paper name ("spmv", "vecop", ...)
+    name: ClassVar[str]
+    #: one-line description from §IV-A
+    description: ClassVar[str] = ""
+
+    def __init__(
+        self,
+        precision: Precision = Precision.SINGLE,
+        scale: float = 1.0,
+        seed: int = 1234,
+        platform: ExynosPlatform | None = None,
+    ):
+        if scale <= 0:
+            raise ValueError("scale must be positive")
+        self.precision = precision
+        self.scale = scale
+        self.seed = seed
+        self.platform = platform or default_platform()
+        self.rng = np.random.default_rng(seed)
+        self.setup()
+
+    # ------------------------------------------------------------------
+    # convenience
+    # ------------------------------------------------------------------
+    @property
+    def ftype(self) -> type:
+        """NumPy float dtype of this instance."""
+        return self.precision.np_float
+
+    @property
+    def fdt(self) -> DType:
+        """IR float dtype of this instance."""
+        return self.precision.ir_float
+
+    # ------------------------------------------------------------------
+    # problem definition (abstract)
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def setup(self) -> None:
+        """Allocate and initialize the problem instance (untimed)."""
+
+    @abc.abstractmethod
+    def elements(self) -> int:
+        """Logical problem elements of one timed iteration."""
+
+    @abc.abstractmethod
+    def reference_result(self) -> np.ndarray:
+        """Straightforward NumPy reference output for verification."""
+
+    @abc.abstractmethod
+    def run_numpy(self) -> np.ndarray:
+        """Functional CPU execution (used by Serial/OpenMP versions)."""
+
+    def verify(self, result: np.ndarray) -> bool:
+        """Compare a result against the reference with fp tolerance."""
+        rtol = 1e-4 if self.precision is Precision.SINGLE else 1e-9
+        return bool(np.allclose(result, self.reference_result(), rtol=rtol, atol=rtol))
+
+    # ------------------------------------------------------------------
+    # models (abstract)
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def kernel_ir(self, options: CompileOptions) -> IrKernel:
+        """The (main) kernel's IR as *written in source* for ``options``.
+
+        The naive port and the hand-optimized source can differ
+        structurally (the paper rewrote kernels by hand); compiler-level
+        transforms are applied by the pass pipeline afterwards.
+        """
+
+    def serial_ir(self) -> IrKernel:
+        """Per-element IR of the Serial implementation.
+
+        Defaults to the naive kernel body: the paper kept "a similar
+        code base for all CPU and GPU implementations".
+        """
+        return self.kernel_ir(NAIVE)
+
+    @abc.abstractmethod
+    def cpu_traits(self) -> WorkloadTraits:
+        """Workload traits of the CPU implementations."""
+
+    def gpu_traits(self, options: CompileOptions) -> WorkloadTraits:
+        """Workload traits of the GPU implementation (default: CPU's)."""
+        return self.cpu_traits()
+
+    def gpu_work_items(self) -> int:
+        """Work-items of the main kernel's launch before vectorization
+        (equals ``elements()`` except for fixed-grid kernels like red)."""
+        return self.elements()
+
+    # ------------------------------------------------------------------
+    # GPU orchestration (abstract)
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def gpu_setup(self, ctx: Context, queue: CommandQueue, options: CompileOptions) -> dict:
+        """Create buffers, program and kernels; stage inputs (untimed)."""
+
+    @abc.abstractmethod
+    def gpu_iteration(
+        self, queue: CommandQueue, state: dict, local_size: int | None
+    ) -> None:
+        """Enqueue one timed iteration (kernel launches only, §IV-D)."""
+
+    @abc.abstractmethod
+    def gpu_result(self, queue: CommandQueue, state: dict) -> np.ndarray:
+        """Map/read the output buffer after the timed region (untimed)."""
+
+    # ------------------------------------------------------------------
+    # tuning space for OpenCL Opt
+    # ------------------------------------------------------------------
+    def tuning_space(self) -> Iterable[tuple[CompileOptions, int | None]]:
+        """Candidate (options, local size) points for the autotuner.
+
+        Default space: vector widths {1, 4, 8, 16} × unroll {1, 2, 4} ×
+        qualifiers on × SOA where applicable × local sizes
+        {32, 64, 128, 256} — "we suggest, whenever the code allows it,
+        to experiment with different vector sizes".  Benchmarks narrow
+        this when the paper says an optimization does not apply.
+        """
+        for width in (1, 4, 8, 16):
+            for unroll in (1, 2, 4):
+                options = CompileOptions(
+                    vector_width=width,
+                    unroll=unroll,
+                    qualifiers=True,
+                    soa=True,
+                    vector_loads=(width == 1),
+                )
+                for local in (32, 64, 128, 256):
+                    yield options, local
+
+    def estimate_iteration_seconds(self, options: CompileOptions, local_size: int | None) -> float:
+        """Model-predicted time of one timed iteration (autotuner probe).
+
+        Compiles and prices the kernel without executing any functional
+        NumPy code, so the tuner can sweep dozens of candidates cheaply.
+        Raises the same compiler/CL errors as a real build+launch, which
+        is how infeasible candidates (e.g. register-file exhaustion) are
+        discarded — the mechanism behind the paper's double-precision
+        Opt results.  Multi-kernel benchmarks override this to sum their
+        stages.
+        """
+        from ..compiler.pipeline import compile_kernel
+        from ..mali.timing import time_launch
+        from ..ocl.driver import default_quirks, driver_local_size
+
+        quirks = (
+            self.platform.driver_quirks
+            if self.platform.driver_quirks is not None
+            else default_quirks()
+        )
+        compiled = compile_kernel(self.kernel_ir(options), options, quirks=quirks)
+        n_items = max(1, -(-self.elements() // compiled.elems_per_item))
+        local = local_size or driver_local_size(
+            n_items, self.platform.mali.max_work_group_size
+        )
+        n_items = -(-n_items // local) * local
+        traits = self.gpu_traits(options)
+        timing = time_launch(
+            compiled,
+            n_items,
+            local,
+            traits,
+            self.platform.mali,
+            self.platform.dram_model(),
+            self.platform.gpu_caches(),
+        )
+        return timing.seconds * traits.launches
+
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(precision={self.precision.value}, scale={self.scale})"
+
+
+# ---------------------------------------------------------------------------
+# measurement helpers
+# ---------------------------------------------------------------------------
+
+#: minimum Yokogawa samples per measurement (paper: runs long enough for
+#: an accurate figure; 20 repetitions with negligible deviation)
+MIN_METER_SAMPLES = 30
+
+
+def measure_trace(
+    trace: PowerTrace, platform: ExynosPlatform, seed: int = 0
+) -> EnergyReport:
+    """Repeat a one-iteration trace to meter length and measure it."""
+    meter = platform.meter(seed=seed)
+    min_duration = meter.min_duration_s(MIN_METER_SAMPLES)
+    reps = max(1, math.ceil(min_duration / trace.duration_s))
+    measurement = meter.measure(trace.repeated(reps))
+    return EnergyReport(
+        elapsed_s=trace.duration_s,
+        mean_power_w=measurement.mean_power_w,
+        energy_j=measurement.mean_power_w * trace.duration_s,
+        meter=measurement,
+    )
+
+
+# ---------------------------------------------------------------------------
+# version runners
+# ---------------------------------------------------------------------------
+
+
+def run_cpu_version(bench: Benchmark, version: Version) -> RunResult:
+    """Run the Serial or OpenMP version: model timing, execute NumPy."""
+    if version not in (Version.SERIAL, Version.OPENMP):
+        raise ValueError(f"run_cpu_version cannot run {version}")
+    platform = bench.platform
+    ir = bench.serial_ir()
+    validate(ir)
+    mix = analyze(ir)
+    traits = bench.cpu_traits()
+    n = bench.elements()
+    dram = platform.dram_model()
+    caches = platform.cpu_caches()
+
+    if version is Version.SERIAL:
+        timing = time_serial(mix, n, traits, platform.cpu, dram, caches)
+    else:
+        timing = time_openmp(mix, n, traits, platform.cpu, dram, caches)
+
+    activity = Activity(
+        kind=ActivityKind.CPU,
+        duration_s=timing.seconds,
+        active_cpu_cores=timing.active_cores,
+        cpu_ipc=timing.ipc,
+        dram_bandwidth=timing.dram_bandwidth,
+    )
+    trace = platform.power_model().trace([activity])
+    report = measure_trace(trace, platform, seed=bench.seed)
+
+    result = bench.run_numpy()
+    return RunResult(
+        benchmark=bench.name,
+        version=version,
+        precision=bench.precision,
+        elapsed_s=report.elapsed_s,
+        mean_power_w=report.mean_power_w,
+        energy_j=report.energy_j,
+        verified=bench.verify(result),
+        diagnostics={"timing": timing},
+    )
+
+
+def run_gpu_version(
+    bench: Benchmark,
+    options: CompileOptions,
+    local_size: int | None,
+    version: Version = Version.OPENCL,
+) -> RunResult:
+    """Run a GPU version under given compile options and local size.
+
+    Build failures and launch failures (`CL_OUT_OF_RESOURCES`) return a
+    failed :class:`RunResult` rather than raising — the experiment
+    harness reports them the way Figure 2(b) does (missing bars).
+    """
+    platform = bench.platform
+    device = mali_t604(platform)
+    ctx = Context(device)
+    queue = CommandQueue(ctx, device)
+    try:
+        state = bench.gpu_setup(ctx, queue, options)
+        queue.reset_timeline()
+        bench.gpu_iteration(queue, state, local_size)
+    except (CLBuildProgramFailure, CLOutOfResources) as exc:
+        return RunResult.failed(bench.name, version, bench.precision, str(exc))
+
+    trace = platform.power_model().trace(queue.timeline)
+    report = measure_trace(trace, platform, seed=bench.seed)
+    result = bench.gpu_result(queue, state)
+    return RunResult(
+        benchmark=bench.name,
+        version=version,
+        precision=bench.precision,
+        elapsed_s=report.elapsed_s,
+        mean_power_w=report.mean_power_w,
+        energy_j=report.energy_j,
+        verified=bench.verify(result),
+        options=options,
+        local_size=local_size,
+        diagnostics={"events": queue.events},
+    )
+
+
+def run_version(bench: Benchmark, version: Version) -> RunResult:
+    """Run any of the four versions with its canonical configuration."""
+    if version in (Version.SERIAL, Version.OPENMP):
+        return run_cpu_version(bench, version)
+    if version is Version.OPENCL:
+        # the naive port: scalar kernel, driver-chosen local size
+        return run_gpu_version(bench, NAIVE, None, version)
+    from ..optimizations.autotune import tune  # deferred: avoid cycle
+
+    best = tune(bench)
+    if best is None:
+        return RunResult.failed(
+            bench.name,
+            Version.OPENCL_OPT,
+            bench.precision,
+            "no feasible optimized configuration (all candidates failed to "
+            "build or launch)",
+        )
+    options, local_size = best
+    return run_gpu_version(bench, options, local_size, Version.OPENCL_OPT)

@@ -1,0 +1,246 @@
+"""Reduction (red): sum of a vector.
+
+Paper §IV-A: "applies the addition operator to produce a single
+(scalar) output value from an input vector ... allows to measure the
+capability of the compute accelerator to adapt from massively parallel
+computation stages to almost sequential execution."
+
+§V-A: "red makes use of a two-stage reduction, that performs a constant
+number of parallel reductions based on the number of used work-groups.
+The main difference in performance between OpenCL and OpenCL Opt for
+this benchmark is due to the vectorization and the use of a tuned
+work-group size."
+
+Stage 1: a fixed grid of work-items each accumulates a contiguous chunk,
+then a work-group tree folds partials (barriers).  Stage 2: one group
+reduces the per-group partials.  Vectorization strip-mines the chunk
+loop — the loop-mode path of the vectorizer.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..compiler.options import CompileOptions
+from ..ir.builder import KernelBuilder
+from ..ir.nodes import Kernel as IrKernel, MemSpace, OpKind, Scaling
+from ..memory.cache import StreamSpec
+from ..ocl.program import KernelSpec, Program
+from ..workload import WorkloadTraits
+from .base import Benchmark
+from .common import alloc_mapped, launch, read_mapped
+
+
+class Reduction(Benchmark):
+    """Two-stage parallel sum of ``n`` values."""
+
+    name = "red"
+    description = "vector sum; parallel-to-sequential adaptation"
+
+    DEFAULT_N = 1 << 23
+    #: stage-1 work-items (fixed grid, chunked accumulation)
+    STAGE1_ITEMS = 4096
+
+    def setup(self) -> None:
+        self.n = max(self.STAGE1_ITEMS * 4, int(self.DEFAULT_N * self.scale))
+        self.data = self.rng.standard_normal(self.n).astype(self.ftype)
+
+    def elements(self) -> int:
+        return self.n
+
+    @property
+    def chunk(self) -> float:
+        return self.n / self.STAGE1_ITEMS
+
+    def reference_result(self) -> np.ndarray:
+        # sum in float64 then cast: the GPU tree sum is far more accurate
+        # than a naive serial left-fold, so compare against the well-
+        # conditioned value
+        return np.asarray([self.data.astype(np.float64).sum()], dtype=self.ftype)
+
+    def verify(self, result: np.ndarray) -> bool:
+        ref = float(self.reference_result()[0])
+        scale = float(np.abs(self.data).sum()) or 1.0
+        tol = (1e-5 if self.ftype == np.float32 else 1e-12) * scale
+        return bool(abs(float(np.ravel(result)[0]) - ref) <= tol)
+
+    def run_numpy(self) -> np.ndarray:
+        return np.asarray([self.data.sum(dtype=np.float64)], dtype=self.ftype)
+
+    # ------------------------------------------------------------------
+    def serial_ir(self) -> IrKernel:
+        """Serial sum: one load + one add per element."""
+        f = self.fdt
+        b = KernelBuilder("red_serial")
+        b.buffer("data", f, const=True)
+        b.load(f, param="data", sequential=True)
+        b.arith(OpKind.ADD, f, accumulates=True)
+        return b.build(base_live_values=3.0)
+
+    def kernel_ir(self, options: CompileOptions) -> IrKernel:
+        """Stage 1: chunk accumulation + work-group tree fold.
+
+        The naive port interleaves its accumulation (work-item ``i``
+        reads ``data[i]``, ``data[i+G]``, ... - the pattern GPU tutorials
+        teach for NVIDIA coalescing), so each Mali thread touches a new
+        cache line per step and the scalar-access bandwidth penalty
+        applies.  The optimized source gives each item a *contiguous*
+        chunk walked with vector loads.
+        """
+        f = self.fdt
+        sequential_chunks = options.any_enabled
+        b = KernelBuilder("red_stage1")
+        b.buffer("data", f, const=True)
+        b.buffer("partials", f)
+        b.int_ops(4)
+        with b.loop(trip=self.chunk, vectorizable=True, scaling=Scaling.PER_ITEM):
+            b.load(f, param="data", sequential=sequential_chunks)
+            b.arith(OpKind.ADD, f, accumulates=True)
+        # work-group tree: log2(local) rounds of (barrier, local ld/st, add)
+        tree_rounds = 7.0  # log2(128); the exact local size varies by run
+        b.barrier(count=tree_rounds)
+        b.load(f, space=MemSpace.LOCAL, count=tree_rounds, scaling=Scaling.PER_ITEM, vectorizable=False)
+        b.arith(OpKind.ADD, f, count=tree_rounds, scaling=Scaling.PER_ITEM, vectorizable=False)
+        b.store(f, space=MemSpace.LOCAL, count=tree_rounds, scaling=Scaling.PER_ITEM, vectorizable=False)
+        b.store(f, param="partials", scaling=Scaling.PER_ITEM)
+        return b.build(base_live_values=5.0)
+
+    #: work-group size of the final fold
+    STAGE2_LOCAL = 128
+
+    def _stage2_ir(self, n_partials: int) -> IrKernel:
+        """One work-group cooperatively folds the partials: each item
+        accumulates a chunk, then a barrier tree combines them."""
+        f = self.fdt
+        b = KernelBuilder("red_stage2")
+        b.buffer("partials", f, const=True)
+        b.buffer("result", f)
+        b.int_ops(3)
+        chunk = max(n_partials / self.STAGE2_LOCAL, 1.0)
+        with b.loop(trip=chunk, vectorizable=True, scaling=Scaling.PER_ITEM):
+            b.load(f, param="partials", sequential=True)
+            b.arith(OpKind.ADD, f, accumulates=True)
+        tree_rounds = 7.0  # log2(STAGE2_LOCAL)
+        b.barrier(count=tree_rounds)
+        b.load(f, space=MemSpace.LOCAL, count=tree_rounds, scaling=Scaling.PER_ITEM, vectorizable=False)
+        b.arith(OpKind.ADD, f, count=tree_rounds, scaling=Scaling.PER_ITEM, vectorizable=False)
+        b.store(f, space=MemSpace.LOCAL, count=tree_rounds, scaling=Scaling.PER_ITEM, vectorizable=False)
+        b.store(f, param="result", scaling=Scaling.PER_ITEM)
+        return b.build(base_live_values=4.0)
+
+    # ------------------------------------------------------------------
+    def _streams(self) -> tuple[StreamSpec, ...]:
+        fsize = np.dtype(self.ftype).itemsize
+        return (
+            StreamSpec("data", float(self.n * fsize)),
+            StreamSpec("partials", float(self.STAGE1_ITEMS * fsize)),
+        )
+
+    def cpu_traits(self) -> WorkloadTraits:
+        # OpenMP: per-thread partial sums; the final fold is serial
+        return WorkloadTraits(
+            streams=self._streams(),
+            serial_fraction=0.01,
+            elements=self.n,
+        )
+
+    def gpu_traits(self, options: CompileOptions) -> WorkloadTraits:
+        return WorkloadTraits(streams=self._streams(), elements=self.n, launches=2)
+
+    def gpu_work_items(self) -> int:
+        return self.STAGE1_ITEMS
+
+    # ------------------------------------------------------------------
+    def gpu_setup(self, ctx, queue, options: CompileOptions) -> dict:
+        n_groups = max(self.STAGE1_ITEMS // 128, 1)
+        stage1 = self.kernel_ir(options)
+        stage2 = self._stage2_ir(self.STAGE1_ITEMS)
+        specs = [
+            KernelSpec(ir=stage1, func=self._stage1_func(), traits=self.gpu_traits(options)),
+            KernelSpec(ir=stage2, func=self._stage2_func(), traits=self._stage2_traits()),
+        ]
+        program = Program(ctx, specs).build(options)
+        buffers = {
+            "data": alloc_mapped(ctx, queue, data=self.data),
+            "partials": alloc_mapped(ctx, queue, shape=self.STAGE1_ITEMS, dtype=self.ftype),
+            "result": alloc_mapped(ctx, queue, shape=1, dtype=self.ftype),
+        }
+        k1 = program.create_kernel("red_stage1")
+        k1.set_args(buffers["data"], buffers["partials"])
+        k2 = program.create_kernel("red_stage2")
+        k2.set_args(buffers["partials"], buffers["result"])
+        return {"stage1": k1, "stage2": k2, "buffers": buffers, "options": options}
+
+    def gpu_iteration(self, queue, state, local_size: int | None) -> None:
+        # stage 1 runs a fixed grid: global size == STAGE1_ITEMS
+        queue.enqueue_nd_range_kernel(
+            state["stage1"], self.STAGE1_ITEMS, local_size, traits=self.gpu_traits(state["options"])
+        )
+        # stage 2: one work-group folds the partials
+        queue.enqueue_nd_range_kernel(
+            state["stage2"],
+            min(self.STAGE2_LOCAL, self.STAGE1_ITEMS),
+            min(self.STAGE2_LOCAL, self.STAGE1_ITEMS),
+            traits=self._stage2_traits(),
+        )
+
+    def gpu_result(self, queue, state) -> np.ndarray:
+        return read_mapped(queue, state["buffers"]["result"])
+
+    def _stage1_func(self):
+        items = self.STAGE1_ITEMS
+
+        def red_stage1(data, partials):
+            chunks = np.array_split(data.astype(np.float64), items)
+            partials[...] = np.array([c.sum() for c in chunks], dtype=partials.dtype)
+
+        return red_stage1
+
+    def _stage2_func(self):
+        def red_stage2(partials, result):
+            result[...] = partials.astype(np.float64).sum()
+
+        return red_stage2
+
+    def _stage2_traits(self) -> WorkloadTraits:
+        fsize = np.dtype(self.ftype).itemsize
+        return WorkloadTraits(
+            streams=(StreamSpec("partials", float(self.STAGE1_ITEMS * fsize)),),
+            elements=self.STAGE1_ITEMS,
+        )
+
+    def estimate_iteration_seconds(self, options: CompileOptions, local_size: int | None) -> float:
+        from ..compiler.pipeline import compile_kernel
+        from ..mali.timing import time_launch
+        from ..ocl.driver import default_quirks, driver_local_size
+
+        mali = self.platform.mali
+        dram = self.platform.dram_model()
+        caches = self.platform.gpu_caches()
+
+        quirks = (
+            self.platform.driver_quirks
+            if self.platform.driver_quirks is not None
+            else default_quirks()
+        )
+        c1 = compile_kernel(self.kernel_ir(options), options, quirks=quirks)
+        local = local_size or driver_local_size(self.STAGE1_ITEMS, mali.max_work_group_size)
+        t1 = time_launch(c1, self.STAGE1_ITEMS, local, self.gpu_traits(options), mali, dram, caches)
+
+        c2 = compile_kernel(self._stage2_ir(self.STAGE1_ITEMS), options, quirks=quirks)
+        t2 = time_launch(
+            c2, self.STAGE2_LOCAL, self.STAGE2_LOCAL, self._stage2_traits(), mali, dram, caches
+        )
+        return t1.seconds + t2.seconds
+
+    def tuning_space(self):
+        for width in (1, 2, 4, 8, 16):
+            for unroll in (1, 2):
+                options = CompileOptions(
+                    vector_width=width, unroll=unroll, qualifiers=True,
+                    vector_loads=(width == 1),
+                )
+                for local in (32, 64, 128, 256):
+                    yield options, local

@@ -1,0 +1,12 @@
+"""Calibrated hardware constants for the simulated Exynos 5250 platform.
+
+The sensitivity-analysis tooling lives in
+:mod:`repro.calibration.sensitivity`; it is not re-exported here because
+it depends on the benchmark suite (importing it eagerly would create a
+package cycle).
+"""
+
+from .exynos5250 import ExynosPlatform, default_platform
+from .validation import validate_platform
+
+__all__ = ["ExynosPlatform", "default_platform", "validate_platform"]

@@ -1,0 +1,81 @@
+"""Physical sanity checks on a calibrated platform.
+
+These invariants catch calibration mistakes that would silently corrupt
+every experiment: an agent bandwidth above the DRAM peak, a GPU slower
+than a single CPU core at peak, rail powers that invert the paper's
+qualitative power ordering, and so on.
+"""
+
+from __future__ import annotations
+
+from ..errors import CalibrationError
+from ..power.rails import Activity, ActivityKind
+from .exynos5250 import ExynosPlatform
+
+
+def validate_platform(platform: ExynosPlatform) -> None:
+    """Raise :class:`CalibrationError` on physically implausible configs."""
+    _check_bandwidths(platform)
+    _check_compute(platform)
+    _check_power_ordering(platform)
+    _check_caches(platform)
+
+
+def _check_bandwidths(p: ExynosPlatform) -> None:
+    d = p.dram
+    if not (d.cpu_single_core_cap <= d.cpu_dual_core_cap <= d.peak_bandwidth):
+        raise CalibrationError("CPU DRAM caps must be ordered: single <= dual <= peak")
+    if d.gpu_cap > d.peak_bandwidth:
+        raise CalibrationError("GPU DRAM cap exceeds peak bandwidth")
+    if d.gpu_cap < d.cpu_single_core_cap:
+        raise CalibrationError(
+            "GPU should sustain at least a single core's bandwidth "
+            "(it has far more outstanding requests)"
+        )
+
+
+def _check_compute(p: ExynosPlatform) -> None:
+    cpu_fp32 = p.cpu.clock_hz * p.cpu.fp_ops_per_cycle * 2  # FMA = 2 flops
+    if p.mali.peak_fp32_flops <= cpu_fp32:
+        raise CalibrationError(
+            f"Mali peak fp32 ({p.mali.peak_fp32_flops/1e9:.1f} GF) must exceed one "
+            f"A15 core ({cpu_fp32/1e9:.1f} GF) — otherwise no speedup is possible"
+        )
+    if p.mali.peak_fp64_flops >= p.mali.peak_fp32_flops:
+        raise CalibrationError("fp64 peak must be below fp32 peak")
+
+
+def _check_power_ordering(p: ExynosPlatform) -> None:
+    rails = p.rails
+    idle = rails.power(Activity(ActivityKind.IDLE, 1.0))
+    serial = rails.power(Activity(ActivityKind.CPU, 1.0, active_cpu_cores=1, cpu_ipc=1.2))
+    omp = rails.power(Activity(ActivityKind.CPU, 1.0, active_cpu_cores=2, cpu_ipc=1.2))
+    gpu_mem = rails.power(
+        Activity(ActivityKind.GPU_KERNEL, 1.0, gpu_alu_utilization=0.1, gpu_ls_utilization=0.5)
+    )
+    gpu_cmp = rails.power(
+        Activity(ActivityKind.GPU_KERNEL, 1.0, gpu_alu_utilization=0.95, gpu_ls_utilization=0.6)
+    )
+    if not idle < serial < omp:
+        raise CalibrationError("power ordering violated: idle < serial < OpenMP expected")
+    if not gpu_mem < serial:
+        raise CalibrationError(
+            "a memory-bound GPU run should draw less board power than Serial "
+            "(paper Fig. 3: spmv/vecop/hist below 1.0)"
+        )
+    if not gpu_cmp > serial:
+        raise CalibrationError(
+            "a compute-bound GPU run should draw more board power than Serial "
+            "(paper Fig. 3: amcd/dmmm up to +22 %)"
+        )
+    if gpu_cmp > omp * 1.3:
+        raise CalibrationError("GPU power implausibly above the dual-core CPU envelope")
+
+
+def _check_caches(p: ExynosPlatform) -> None:
+    if p.cpu_l1.size_bytes >= p.cpu_l2.size_bytes:
+        raise CalibrationError("CPU L1 must be smaller than L2")
+    if p.gpu_l1.size_bytes >= p.gpu_l2.size_bytes:
+        raise CalibrationError("GPU L1 must be smaller than L2")
+    if p.gpu_l2.size_bytes > p.cpu_l2.size_bytes:
+        raise CalibrationError("Mali-T604 L2 (256 KB) should not exceed the CPU L2 (1 MB)")

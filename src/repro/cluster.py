@@ -1,0 +1,139 @@
+"""Cluster extrapolation: from one Arndale node to an HPC machine.
+
+The paper's motivation (§I) is the Mont-Blanc line of work — building
+"large-scale HPC systems from SoCs based on embedded processors" — and
+its conclusion claims embedded GPUs make such systems "promising
+candidates for next generation HPC systems".  This module does the
+arithmetic behind that claim: it turns measured single-node results
+(sustained GFLOP/s from the dmmm runs, board watts from the meter) into
+node and cluster projections, and compares the energy efficiency
+against a contemporary (2013) Xeon node.
+
+The projection is deliberately first-order — perfect scaling, no
+interconnect — i.e. an *upper bound* for the embedded side, which is
+the honest way to frame a feasibility argument.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .benchmarks.base import Precision, Version, run_version
+from .benchmarks.registry import create
+from .calibration.exynos5250 import ExynosPlatform
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """One compute node's sustained characteristics."""
+
+    name: str
+    gflops: float
+    watts: float
+    memory_gb: float
+
+    def __post_init__(self) -> None:
+        if self.gflops <= 0 or self.watts <= 0 or self.memory_gb <= 0:
+            raise ValueError("node characteristics must be positive")
+
+    @property
+    def gflops_per_watt(self) -> float:
+        return self.gflops / self.watts
+
+
+#: a typical 2013 dual-socket Xeon E5-2670 node: ~280 GFLOP/s sustained
+#: DGEMM across 16 cores, ~350 W at the wall, 64 GB
+XEON_2013_NODE = NodeSpec("Xeon E5-2670 node (2013)", gflops=280.0, watts=350.0, memory_gb=64.0)
+
+
+def measure_arndale_node(
+    precision: Precision = Precision.SINGLE,
+    scale: float = 0.5,
+    seed: int = 1234,
+    platform: ExynosPlatform | None = None,
+) -> NodeSpec:
+    """Characterize one Arndale node from its best dmmm Opt run.
+
+    Sustained GFLOP/s = 2·n³ / elapsed of the optimized matrix multiply
+    (the conventional LINPACK-style probe); watts = the meter's mean
+    board power during that run; memory = the board's 2 GB.
+    """
+    bench = create("dmmm", precision=precision, scale=scale, seed=seed, platform=platform)
+    result = run_version(bench, Version.OPENCL_OPT)
+    if not result.ok:
+        raise RuntimeError(f"dmmm Opt failed: {result.failure}")
+    flops = 2.0 * bench.n**3
+    return NodeSpec(
+        name=f"Arndale / Exynos 5250 node ({precision.label} GPU Opt)",
+        gflops=flops / result.elapsed_s / 1e9,
+        watts=result.mean_power_w,
+        memory_gb=2.0,
+    )
+
+
+@dataclass(frozen=True)
+class ClusterProjection:
+    """A machine built from ``n_nodes`` identical nodes (perfect scaling)."""
+
+    node: NodeSpec
+    n_nodes: int
+
+    def __post_init__(self) -> None:
+        if self.n_nodes < 1:
+            raise ValueError("n_nodes must be >= 1")
+
+    @property
+    def total_gflops(self) -> float:
+        return self.node.gflops * self.n_nodes
+
+    @property
+    def total_kw(self) -> float:
+        return self.node.watts * self.n_nodes / 1e3
+
+    @property
+    def total_memory_tb(self) -> float:
+        return self.node.memory_gb * self.n_nodes / 1024.0
+
+    @property
+    def gflops_per_watt(self) -> float:
+        return self.node.gflops_per_watt
+
+
+def nodes_for_target(node: NodeSpec, target_gflops: float) -> ClusterProjection:
+    """Smallest cluster of ``node`` reaching ``target_gflops``."""
+    if target_gflops <= 0:
+        raise ValueError("target must be positive")
+    import math
+
+    return ClusterProjection(node=node, n_nodes=math.ceil(target_gflops / node.gflops))
+
+
+def compare_at_target(
+    embedded: NodeSpec, conventional: NodeSpec, target_gflops: float
+) -> dict:
+    """Both machines sized to the same sustained throughput."""
+    a = nodes_for_target(embedded, target_gflops)
+    b = nodes_for_target(conventional, target_gflops)
+    return {
+        "target_gflops": target_gflops,
+        "embedded": a,
+        "conventional": b,
+        "power_ratio": a.total_kw / b.total_kw,
+        "node_ratio": a.n_nodes / b.n_nodes,
+    }
+
+
+def format_comparison(result: dict) -> str:
+    a: ClusterProjection = result["embedded"]
+    b: ClusterProjection = result["conventional"]
+    lines = [
+        f"machines sized for {result['target_gflops'] / 1e3:.1f} sustained TFLOP/s:",
+        f"  {a.node.name}",
+        f"    {a.n_nodes:7,d} nodes  {a.total_kw:8.1f} kW  "
+        f"{a.total_memory_tb:6.1f} TB  {a.gflops_per_watt:5.2f} GF/W",
+        f"  {b.node.name}",
+        f"    {b.n_nodes:7,d} nodes  {b.total_kw:8.1f} kW  "
+        f"{b.total_memory_tb:6.1f} TB  {b.gflops_per_watt:5.2f} GF/W",
+        f"  power ratio (embedded/conventional): {result['power_ratio']:.2f}",
+    ]
+    return "\n".join(lines)

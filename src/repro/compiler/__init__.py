@@ -1,0 +1,49 @@
+"""The Mali OpenCL kernel-compiler model.
+
+Transforms kernel IR under :class:`CompileOptions` (the Section III
+optimization switches), estimates register pressure and occupancy, and
+reproduces the driver-stack failure modes the paper reports.
+"""
+
+from .layout import SoaLayoutPass
+from .options import NAIVE, CompileOptions
+from .passes import KernelPass, PassContext, run_pipeline
+from .pipeline import CompiledKernel, DriverQuirk, compile_kernel, default_passes
+from .qualifiers import QualifiersPass, REDUNDANT_LOAD_ELIMINATION
+from .regalloc import (
+    FULL_OCCUPANCY_REGISTERS,
+    HARD_REGISTER_LIMIT,
+    MAX_THREADS_PER_CORE,
+    SPILL_THRESHOLD,
+    RegisterReport,
+    allocate,
+    estimate_registers,
+)
+from .report import format_report
+from .unroll import UnrollPass
+from .vectorize import VectorizePass
+
+__all__ = [
+    "CompileOptions",
+    "CompiledKernel",
+    "DriverQuirk",
+    "FULL_OCCUPANCY_REGISTERS",
+    "HARD_REGISTER_LIMIT",
+    "KernelPass",
+    "MAX_THREADS_PER_CORE",
+    "NAIVE",
+    "PassContext",
+    "QualifiersPass",
+    "REDUNDANT_LOAD_ELIMINATION",
+    "RegisterReport",
+    "SPILL_THRESHOLD",
+    "SoaLayoutPass",
+    "UnrollPass",
+    "VectorizePass",
+    "allocate",
+    "compile_kernel",
+    "default_passes",
+    "estimate_registers",
+    "format_report",
+    "run_pipeline",
+]

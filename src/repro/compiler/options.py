@@ -1,0 +1,85 @@
+"""Compilation options: which of the paper's optimizations to apply.
+
+One :class:`CompileOptions` value describes a point in the optimization
+space of Section III.  The paper's two kernel configurations map to:
+
+* **OpenCL** (naive port): ``CompileOptions()`` — everything off.
+* **OpenCL Opt**: the per-benchmark best configuration found by the
+  autotuner (:mod:`repro.optimizations.autotune`), i.e. vectorization at
+  a tuned width, unrolling, SOA layout where the kernel has records, and
+  the ``inline``/``const``/``restrict`` qualifiers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..ir.dtypes import normalize_width
+
+
+@dataclass(frozen=True)
+class CompileOptions:
+    """Kernel-level optimization switches (Section III-B of the paper).
+
+    Attributes:
+        vector_width: OpenCL vector width to compile to (1 = scalar code;
+            4/8/16 are the widths the paper suggests experimenting with).
+        unroll: loop unroll factor (1 = no unrolling).
+        soa: apply the AOS→SOA data-layout transformation.
+        qualifiers: add ``inline`` / ``const`` / ``restrict``.
+        vector_loads: use ``vloadN``/``vstoreN`` even where compute stays
+            scalar (the paper's "Vector Sizes" note: vector memory ops pay
+            off on their own).  Implied by ``vector_width > 1``.
+        native_math: use the OpenCL ``native_*`` builtins (native_exp,
+            native_rsqrt, ...) — fast reduced-precision hardware paths.
+            **Extension beyond the paper's catalogue**: the Mali
+            Developer Guide recommends it, but the paper's Full-Profile
+            HPC framing keeps IEEE math, so the reproduction's Opt
+            versions never enable it; it exists for the ablation study.
+    """
+
+    vector_width: int = 1
+    unroll: int = 1
+    soa: bool = False
+    qualifiers: bool = False
+    vector_loads: bool = False
+    native_math: bool = False
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "vector_width", normalize_width(self.vector_width))
+        if self.unroll < 1:
+            raise ValueError(f"unroll must be >= 1, got {self.unroll}")
+
+    @property
+    def any_enabled(self) -> bool:
+        return (
+            self.vector_width > 1
+            or self.unroll > 1
+            or self.soa
+            or self.qualifiers
+            or self.vector_loads
+            or self.native_math
+        )
+
+    def with_(self, **kwargs) -> "CompileOptions":
+        return replace(self, **kwargs)
+
+    def describe(self) -> str:
+        parts = []
+        if self.vector_width > 1:
+            parts.append(f"vec{self.vector_width}")
+        if self.unroll > 1:
+            parts.append(f"unroll{self.unroll}")
+        if self.soa:
+            parts.append("soa")
+        if self.qualifiers:
+            parts.append("qual")
+        if self.vector_loads and self.vector_width == 1:
+            parts.append("vload")
+        if self.native_math:
+            parts.append("native")
+        return "+".join(parts) if parts else "naive"
+
+
+#: the naive-port configuration (paper's "OpenCL" bars)
+NAIVE = CompileOptions()

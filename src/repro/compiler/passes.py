@@ -1,0 +1,62 @@
+"""Compiler pass infrastructure.
+
+Passes are pure functions ``Kernel -> Kernel`` that record what they did
+in a shared :class:`PassContext`.  The pipeline (see
+:mod:`repro.compiler.pipeline`) fixes the pass order to match how ARM's
+OpenCL compiler would see the source-level optimizations the paper
+applies: data-layout and qualifier changes are source rewrites, so they
+run before vectorization and unrolling.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+from ..ir.nodes import Kernel
+from .options import CompileOptions
+
+
+@dataclass
+class PassContext:
+    """Mutable log shared by the passes of one compilation."""
+
+    log: list[str] = field(default_factory=list)
+    warnings: list[str] = field(default_factory=list)
+
+    def info(self, message: str) -> None:
+        self.log.append(message)
+
+    def warn(self, message: str) -> None:
+        self.warnings.append(message)
+
+
+class KernelPass(abc.ABC):
+    """A single IR-to-IR transformation."""
+
+    #: short identifier used in compilation reports
+    name: str = "pass"
+
+    @abc.abstractmethod
+    def applies(self, options: CompileOptions) -> bool:
+        """Whether the options request this pass at all."""
+
+    @abc.abstractmethod
+    def run(self, kernel: Kernel, options: CompileOptions, ctx: PassContext) -> Kernel:
+        """Transform the kernel; must not mutate the input tree."""
+
+
+def run_pipeline(
+    kernel: Kernel,
+    options: CompileOptions,
+    passes: list[KernelPass],
+    ctx: PassContext,
+) -> Kernel:
+    """Run the requested passes in order."""
+    for p in passes:
+        if p.applies(options):
+            before = kernel
+            kernel = p.run(kernel, options, ctx)
+            if kernel is not before:
+                ctx.info(f"{p.name}: applied")
+    return kernel

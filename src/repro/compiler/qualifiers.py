@@ -1,0 +1,100 @@
+"""Directives and type qualifiers (``inline``, ``const``, ``restrict``).
+
+The paper's "Directives and Type Qualifiers" optimization acts through
+three compiler mechanisms, each modelled explicitly:
+
+* **inline** — helper calls stop paying call overhead and enlarge basic
+  blocks: every :class:`~repro.ir.nodes.Call` becomes ``inlined``.
+* **const / restrict** — with alias information the compiler may keep
+  loop-invariant loads in registers instead of re-loading them after
+  every potentially-aliasing store.  We model this as eliminating a
+  calibrated fraction of ``BROADCAST``-pattern and ``__constant`` loads
+  (those are the loop-invariant streams in all nine benchmarks).
+* A small reduction in address-recomputation integer ops, since
+  ``restrict`` lets the compiler CSE pointer arithmetic.
+
+Without the qualifiers none of this is legal, which is why the naive
+OpenCL ports leave the performance on the table.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..ir.nodes import (
+    AccessPattern,
+    Arith,
+    Block,
+    Branch,
+    BufferParam,
+    Call,
+    Kernel,
+    Loop,
+    MemAccess,
+    MemKind,
+    MemSpace,
+    Stmt,
+)
+from .options import CompileOptions
+from .passes import KernelPass, PassContext
+
+#: fraction of loop-invariant loads the compiler can register-promote
+#: once aliasing is ruled out (the rest still re-load across barriers,
+#: calls and register-pressure boundaries)
+REDUNDANT_LOAD_ELIMINATION = 0.70
+
+#: fraction of index-arithmetic integer ops removed by pointer CSE
+INDEX_CSE_FRACTION = 0.15
+
+
+def _rewrite(block: Block) -> Block:
+    out: list[Stmt] = []
+    for stmt in block:
+        if isinstance(stmt, MemAccess):
+            invariant = stmt.kind == MemKind.LOAD and (
+                stmt.pattern == AccessPattern.BROADCAST or stmt.space == MemSpace.CONSTANT
+            )
+            if invariant:
+                out.append(
+                    dataclasses.replace(stmt, count=stmt.count * (1.0 - REDUNDANT_LOAD_ELIMINATION))
+                )
+            else:
+                out.append(stmt)
+        elif isinstance(stmt, Arith):
+            if not stmt.vectorizable and stmt.dtype.is_integer:
+                out.append(dataclasses.replace(stmt, count=stmt.count * (1.0 - INDEX_CSE_FRACTION)))
+            else:
+                out.append(stmt)
+        elif isinstance(stmt, Call):
+            out.append(dataclasses.replace(stmt, body=_rewrite(stmt.body), inlined=True))
+        elif isinstance(stmt, Branch):
+            new_orelse = _rewrite(stmt.orelse) if stmt.orelse is not None else None
+            out.append(dataclasses.replace(stmt, body=_rewrite(stmt.body), orelse=new_orelse))
+        elif isinstance(stmt, Loop):
+            out.append(dataclasses.replace(stmt, body=_rewrite(stmt.body)))
+        else:
+            out.append(stmt)
+    return Block(tuple(out))
+
+
+class QualifiersPass(KernelPass):
+    """Apply ``inline``/``const``/``restrict`` and their compiler effects."""
+
+    name = "qualifiers"
+
+    def applies(self, options: CompileOptions) -> bool:
+        return options.qualifiers
+
+    def run(self, kernel: Kernel, options: CompileOptions, ctx: PassContext) -> Kernel:
+        new_params = tuple(
+            dataclasses.replace(p, is_const=True, is_restrict=True)
+            if isinstance(p, BufferParam)
+            else p
+            for p in kernel.params
+        )
+        body = _rewrite(kernel.body)
+        ctx.info(
+            "qualifiers: inline all calls; const/restrict enables "
+            f"{REDUNDANT_LOAD_ELIMINATION:.0%} loop-invariant load elimination"
+        )
+        return dataclasses.replace(kernel, params=new_params, body=body)

@@ -1,0 +1,175 @@
+"""Register allocation model for the Midgard shader core.
+
+Midgard register facts (ARM Mali-T600 OpenCL Developer Guide / public
+driver sources): each shader core has a unified file of 128-bit general
+purpose registers.  A thread using at most 4 of them runs at the
+maximum thread count (256 in flight per core); each doubling of the
+per-thread register footprint halves the resident thread count, and
+beyond a hard limit the compiler cannot allocate the kernel at all —
+the runtime then reports ``CL_OUT_OF_RESOURCES``.  This is the
+mechanism behind two of the paper's Figure 2(b) observations:
+
+* the optimized double-precision ``nbody`` and ``2dcon`` kernels fail
+  with ``CL_OUT_OF_RESOURCES`` (a ``double8`` value alone is two
+  registers; vectorized + unrolled bodies overflow the file), and
+* "using types wider than the underlying hardware can improve the
+  instruction-level scheduling, but also increase register pressure".
+
+The model: a kernel's live-value estimate (``Kernel.base_live_values``,
+an honest count of simultaneously-live scalars in the source) is scaled
+by the register *footprint per value* (vector width × element size,
+minimum one 128-bit register) and by unrolling (unrolled iterations
+overlap about 60 % of their live ranges).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+from ..errors import RegisterAllocationError
+from ..ir.analysis import analyze, max_unroll
+from ..ir.dtypes import NATIVE_REGISTER_BITS
+from ..ir.nodes import (
+    AccessPattern,
+    Block,
+    Kernel,
+    MemAccess,
+    MemKind,
+    MemSpace,
+    Scaling,
+)
+from .options import CompileOptions
+from .passes import PassContext
+
+#: registers at or below which the maximum thread count is available
+FULL_OCCUPANCY_REGISTERS = 4
+#: maximum threads resident per shader core at full occupancy
+MAX_THREADS_PER_CORE = 256
+#: registers above which values spill to (unified) memory
+SPILL_THRESHOLD = 16
+#: registers beyond which allocation fails -> CL_OUT_OF_RESOURCES
+HARD_REGISTER_LIMIT = 32
+#: fraction of an unrolled iteration's live range overlapping the next
+UNROLL_LIVE_OVERLAP = 0.6
+
+
+@dataclasses.dataclass(frozen=True)
+class RegisterReport:
+    """Outcome of register allocation for one compiled kernel."""
+
+    live_values: float
+    registers_128: int
+    threads_per_core: int
+    occupancy: float
+    spilled_registers: int
+    spill_accesses_per_item: float
+
+    @property
+    def spills(self) -> bool:
+        return self.spilled_registers > 0
+
+
+def _dominant_scalar_bits(kernel: Kernel) -> int:
+    """Bit width of the widest-used float base (f64 dominates if present)."""
+    mix = analyze(kernel)
+    bits = 32
+    for (_, base, _w, _acc) in mix.arith:
+        if base == "f64":
+            return 64
+        if base in ("i64", "u64"):
+            bits = max(bits, 64)
+    return bits
+
+
+def estimate_registers(kernel: Kernel) -> tuple[float, int]:
+    """Estimated (live_values, 128-bit registers) for the kernel."""
+    mix = analyze(kernel)
+    width = mix.max_vector_width()
+    scalar_bits = _dominant_scalar_bits(kernel)
+    unroll = max_unroll(kernel.body)
+
+    live = kernel.base_live_values * (1.0 + UNROLL_LIVE_OVERLAP * (unroll - 1))
+    # scalar values pack several to a 128-bit register; vector values of
+    # width w need ceil(w * bits / 128) registers each
+    bits_per_value = scalar_bits * width
+    registers = live * bits_per_value / NATIVE_REGISTER_BITS
+    return live, max(1, math.ceil(registers))
+
+
+def allocate(kernel: Kernel, options: CompileOptions, ctx: PassContext) -> tuple[Kernel, RegisterReport]:
+    """Run register allocation; may insert spill code or fail.
+
+    Returns the (possibly spill-augmented) kernel and a report.  Raises
+    :class:`RegisterAllocationError` when the kernel cannot be allocated
+    at all, which the OpenCL runtime surfaces as ``CL_OUT_OF_RESOURCES``.
+    """
+    live, registers = estimate_registers(kernel)
+
+    if registers > HARD_REGISTER_LIMIT:
+        raise RegisterAllocationError(
+            f"kernel {kernel.name!r} needs {registers} 128-bit registers "
+            f"(live={live:.1f}), exceeding the hard limit of {HARD_REGISTER_LIMIT}",
+            registers_required=registers,
+            register_limit=HARD_REGISTER_LIMIT,
+        )
+
+    spilled = max(0, registers - SPILL_THRESHOLD)
+    spill_accesses = 0.0
+    if spilled:
+        # Each spilled register costs one store + one reload per loop
+        # iteration it lives across; on Mali the spill slots are in the
+        # unified (global) memory.  Without loops, once per work-item.
+        mix = analyze(kernel)
+        per_item_iterations = max(mix.loop_headers, 1.0)
+        spill_accesses = 2.0 * spilled * per_item_iterations
+        spill_stmt_store = MemAccess(
+            kind=MemKind.STORE,
+            space=MemSpace.GLOBAL,
+            dtype=_spill_dtype(),
+            pattern=AccessPattern.UNIT,
+            count=spill_accesses / 2.0,
+            scaling=Scaling.PER_ITEM,
+            vectorizable=False,
+            param=None,
+        )
+        spill_stmt_load = dataclasses.replace(spill_stmt_store, kind=MemKind.LOAD)
+        kernel = kernel.with_body(
+            Block(kernel.body.stmts + (spill_stmt_store, spill_stmt_load))
+        )
+        ctx.warn(
+            f"regalloc: spilled {spilled} registers "
+            f"({spill_accesses:.0f} extra memory accesses per work-item)"
+        )
+        registers_effective = SPILL_THRESHOLD
+    else:
+        registers_effective = registers
+
+    threads = _threads_for_registers(registers_effective)
+    report = RegisterReport(
+        live_values=live,
+        registers_128=registers,
+        threads_per_core=threads,
+        occupancy=threads / MAX_THREADS_PER_CORE,
+        spilled_registers=spilled,
+        spill_accesses_per_item=spill_accesses,
+    )
+    ctx.info(
+        f"regalloc: {registers} regs, {threads} threads/core "
+        f"(occupancy {report.occupancy:.2f})"
+    )
+    return kernel, report
+
+
+def _threads_for_registers(registers: int) -> int:
+    """Resident threads per core: halves with each register doubling."""
+    if registers <= FULL_OCCUPANCY_REGISTERS:
+        return MAX_THREADS_PER_CORE
+    doublings = math.ceil(math.log2(registers / FULL_OCCUPANCY_REGISTERS))
+    return max(MAX_THREADS_PER_CORE >> doublings, 8)
+
+
+def _spill_dtype():
+    from ..ir.dtypes import DType
+
+    return DType("f32", 4)  # one 128-bit register per spill slot

@@ -1,0 +1,35 @@
+"""Human-readable compilation reports (``-cl-verbose`` analogue)."""
+
+from __future__ import annotations
+
+from ..ir.analysis import analyze
+from ..ir.nodes import MemKind, MemSpace
+from .pipeline import CompiledKernel
+
+
+def format_report(compiled: CompiledKernel) -> str:
+    """Render a compilation summary like a verbose compiler dump."""
+    mix = compiled.mix or analyze(compiled.kernel)
+    lines = [
+        f"kernel {compiled.name!r}  [{compiled.options.describe()}]",
+        f"  elements/work-item : {compiled.elems_per_item}",
+        f"  registers (128-bit): {compiled.registers.registers_128}"
+        + (f"  (spilled {compiled.registers.spilled_registers})" if compiled.registers.spills else ""),
+        f"  threads/core       : {compiled.registers.threads_per_core}"
+        f"  (occupancy {compiled.registers.occupancy:.2f})",
+        f"  arith issues/item  : {mix.arith_issues():.2f}",
+        f"  mem issues/item    : {mix.mem_issues():.2f}",
+        f"  flops/item         : {mix.flops():.2f}",
+        f"  global bytes/item  : {mix.bytes_moved(space=MemSpace.GLOBAL):.1f}"
+        f"  (ld {mix.bytes_moved(space=MemSpace.GLOBAL, kind=MemKind.LOAD):.1f}"
+        f" / st {mix.bytes_moved(space=MemSpace.GLOBAL, kind=MemKind.STORE):.1f})",
+    ]
+    if mix.atomic_ops() > 0:
+        lines.append(f"  atomics/item       : {mix.atomic_ops():.2f}")
+    if mix.loop_headers > 0:
+        lines.append(f"  loop headers/item  : {mix.loop_headers:.2f}")
+    for entry in compiled.log:
+        lines.append(f"  note: {entry}")
+    for entry in compiled.warnings:
+        lines.append(f"  WARN: {entry}")
+    return "\n".join(lines)

@@ -1,0 +1,69 @@
+"""Loop-unrolling pass.
+
+Unrolling by ``u`` executes the loop header (increment, compare, branch)
+once per ``u`` bodies instead of once per body.  When the trip count is
+not a multiple of ``u`` the compiler must emit a remainder epilogue —
+the cost the paper flags: "in case the number of iterations is not a
+perfect multiple of the vector size, the overhead due to the correct
+handling of the last iterations of the loop has to be considered".
+
+The register-pressure side effect (unrolled bodies keep more values
+live) is priced by :mod:`repro.compiler.regalloc`, which reads the
+largest unroll factor in the tree.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+from ..ir.nodes import Block, Branch, Call, Kernel, Loop, Stmt
+from .options import CompileOptions
+from .passes import KernelPass, PassContext
+
+
+def _unroll_block(block: Block, u: int, ctx: PassContext) -> Block:
+    out: list[Stmt] = []
+    for stmt in block:
+        if isinstance(stmt, Loop):
+            body = _unroll_block(stmt.body, u, ctx)
+            if stmt.static_trip and stmt.unroll == 1 and stmt.trip >= u:
+                main_trip = math.floor(stmt.trip / u) * u
+                remainder = stmt.trip - main_trip
+                out.append(
+                    dataclasses.replace(stmt, trip=float(main_trip), body=body, unroll=u)
+                )
+                if remainder > 1e-12:
+                    ctx.info(f"unroll: remainder epilogue of {remainder:g} iterations")
+                    out.append(
+                        dataclasses.replace(
+                            stmt, trip=float(remainder), body=body, unroll=1, vectorizable=False
+                        )
+                    )
+            else:
+                out.append(dataclasses.replace(stmt, body=body))
+        elif isinstance(stmt, Branch):
+            new_orelse = _unroll_block(stmt.orelse, u, ctx) if stmt.orelse is not None else None
+            out.append(
+                dataclasses.replace(
+                    stmt, body=_unroll_block(stmt.body, u, ctx), orelse=new_orelse
+                )
+            )
+        elif isinstance(stmt, Call):
+            out.append(dataclasses.replace(stmt, body=_unroll_block(stmt.body, u, ctx)))
+        else:
+            out.append(stmt)
+    return Block(tuple(out))
+
+
+class UnrollPass(KernelPass):
+    """Unroll vectorizable loops by ``options.unroll``."""
+
+    name = "unroll"
+
+    def applies(self, options: CompileOptions) -> bool:
+        return options.unroll > 1
+
+    def run(self, kernel: Kernel, options: CompileOptions, ctx: PassContext) -> Kernel:
+        body = _unroll_block(kernel.body, options.unroll, ctx)
+        return kernel.with_body(body)

@@ -1,0 +1,184 @@
+"""Vectorization pass.
+
+Implements the paper's "Vectorization", "Vector Sizes" and the
+vector-load-only variant of Section III-B:
+
+* **Streaming kernels** (no per-item loop over elements, e.g. ``vecop``):
+  each work-item is widened to process ``w`` elements — vectorizable
+  unit-stride operations become width-``w`` vector ops, everything that
+  cannot vectorize executes ``w`` times, and ``elems_per_item`` is
+  multiplied so the launcher shrinks the NDRange (this is the paper's
+  "reducing the global work size ... reduction of the run-time
+  scheduling overheads").
+* **Loop kernels** (per-item element loop, e.g. ``dmmm``'s dot-product
+  loop): the innermost vectorizable loop is strip-mined by ``w`` with a
+  scalar remainder epilogue when the trip count does not divide evenly —
+  the overhead the paper warns about under "Loop Unrolling".
+
+Only ``UNIT`` and ``BROADCAST`` access patterns may be widened into
+vector loads/stores: strided and gathered elements are not contiguous,
+which is exactly why the AOS→SOA transformation
+(:mod:`repro.compiler.layout`) is a prerequisite for vectorizing
+record-structured kernels.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+from ..ir.nodes import (
+    AccessPattern,
+    Arith,
+    Atomic,
+    Barrier,
+    Block,
+    Branch,
+    Call,
+    Kernel,
+    Loop,
+    MemAccess,
+    Scaling,
+    Stmt,
+)
+from .options import CompileOptions
+from .passes import KernelPass, PassContext
+
+_WIDENABLE_PATTERNS = (AccessPattern.UNIT, AccessPattern.BROADCAST)
+
+
+def _has_vectorizable_loop(block: Block) -> bool:
+    for stmt in block:
+        if isinstance(stmt, Loop):
+            if stmt.vectorizable or _has_vectorizable_loop(stmt.body):
+                return True
+        elif isinstance(stmt, Branch):
+            if _has_vectorizable_loop(stmt.body):
+                return True
+            if stmt.orelse is not None and _has_vectorizable_loop(stmt.orelse):
+                return True
+        elif isinstance(stmt, Call):
+            if _has_vectorizable_loop(stmt.body):
+                return True
+    return False
+
+
+def _widen_stmt(stmt: Stmt, w: int, scalar_arith: bool) -> Stmt:
+    """Widen one statement by ``w`` element coverage.
+
+    Vectorizable unit-stride work becomes a vector op; anything else
+    simply executes ``w`` times per (now wider) iteration.
+    """
+    if isinstance(stmt, Arith):
+        if stmt.vectorizable and not scalar_arith and stmt.dtype.width == 1:
+            return stmt.widened(w)
+        if stmt.scaling == Scaling.PER_ELEMENT:
+            return dataclasses.replace(stmt, count=stmt.count * w)
+        return stmt
+    if isinstance(stmt, MemAccess):
+        if stmt.vectorizable and stmt.dtype.width == 1 and stmt.pattern in _WIDENABLE_PATTERNS:
+            return stmt.widened(w)
+        if stmt.scaling == Scaling.PER_ELEMENT:
+            return dataclasses.replace(stmt, count=stmt.count * w)
+        return stmt
+    if isinstance(stmt, Atomic):
+        if stmt.scaling == Scaling.PER_ELEMENT:
+            return dataclasses.replace(stmt, count=stmt.count * w)
+        return stmt
+    if isinstance(stmt, Barrier):
+        return stmt
+    if isinstance(stmt, Branch):
+        # A data-dependent branch cannot be folded into a lane mask in
+        # this model: it executes per element, body untouched.
+        if stmt.scaling == Scaling.PER_ELEMENT:
+            return dataclasses.replace(stmt, count=stmt.count * w)
+        return stmt
+    if isinstance(stmt, Loop):
+        # A loop that is not itself vectorizable (e.g. a filter-tap or
+        # k-dimension loop) still runs once per *vector* of elements:
+        # its body is widened across the covered elements.
+        return dataclasses.replace(stmt, body=_widen_block(stmt.body, w, scalar_arith))
+    if isinstance(stmt, Call):
+        return dataclasses.replace(stmt, body=_widen_block(stmt.body, w, scalar_arith))
+    raise TypeError(f"unknown statement {stmt!r}")  # pragma: no cover
+
+
+def _widen_block(block: Block, w: int, scalar_arith: bool) -> Block:
+    return Block(tuple(_widen_stmt(s, w, scalar_arith) for s in block))
+
+
+def _rewrite_innermost_loops(block: Block, w: int, scalar_arith: bool, ctx: PassContext) -> Block:
+    """Strip-mine innermost vectorizable loops by ``w``."""
+    out: list[Stmt] = []
+    for stmt in block:
+        if isinstance(stmt, Loop) and stmt.vectorizable and not _has_vectorizable_loop(stmt.body):
+            main_trip = math.floor(stmt.trip / w)
+            remainder = stmt.trip - main_trip * w
+            if main_trip > 0:
+                out.append(
+                    dataclasses.replace(
+                        stmt,
+                        trip=float(main_trip),
+                        body=_widen_block(stmt.body, w, scalar_arith),
+                        vectorizable=False,
+                    )
+                )
+            if remainder > 1e-12:
+                if stmt.static_trip and abs(stmt.trip - round(stmt.trip)) < 1e-9:
+                    ctx.info(
+                        f"vectorize: scalar epilogue of {remainder:g} iterations "
+                        f"(trip {stmt.trip:g} % width {w})"
+                    )
+                out.append(
+                    dataclasses.replace(stmt, trip=float(remainder), vectorizable=False)
+                )
+        elif isinstance(stmt, Loop):
+            out.append(
+                dataclasses.replace(
+                    stmt, body=_rewrite_innermost_loops(stmt.body, w, scalar_arith, ctx)
+                )
+            )
+        elif isinstance(stmt, Branch):
+            new_body = _rewrite_innermost_loops(stmt.body, w, scalar_arith, ctx)
+            new_orelse = (
+                _rewrite_innermost_loops(stmt.orelse, w, scalar_arith, ctx)
+                if stmt.orelse is not None
+                else None
+            )
+            out.append(dataclasses.replace(stmt, body=new_body, orelse=new_orelse))
+        elif isinstance(stmt, Call):
+            out.append(
+                dataclasses.replace(
+                    stmt, body=_rewrite_innermost_loops(stmt.body, w, scalar_arith, ctx)
+                )
+            )
+        else:
+            out.append(stmt)
+    return Block(tuple(out))
+
+
+class VectorizePass(KernelPass):
+    """Widen the kernel to the requested OpenCL vector width."""
+
+    name = "vectorize"
+
+    def applies(self, options: CompileOptions) -> bool:
+        return options.vector_width > 1 or options.vector_loads
+
+    def run(self, kernel: Kernel, options: CompileOptions, ctx: PassContext) -> Kernel:
+        # vector_loads-only mode: use the native 128-bit width for memory
+        # ops but keep compute scalar (paper: "such operations should be
+        # also used in kernels that do not take advantage of vector
+        # registers").
+        scalar_arith = options.vector_width == 1
+        w = options.vector_width if options.vector_width > 1 else 4
+        if _has_vectorizable_loop(kernel.body):
+            body = _rewrite_innermost_loops(kernel.body, w, scalar_arith, ctx)
+            ctx.info(f"vectorize: strip-mined innermost loops to width {w}")
+            return kernel.with_body(body)
+        body = _widen_block(kernel.body, w, scalar_arith)
+        ctx.info(
+            f"vectorize: streaming kernel widened to {w} elements/work-item "
+            f"(global size shrinks by {w}x)"
+        )
+        return kernel.with_body(body).with_elems_per_item(kernel.elems_per_item * w)

@@ -1,0 +1,114 @@
+"""Cortex-A15 core parameters (Exynos 5250: dual core @ 1.7 GHz).
+
+The paper's Serial and OpenMP baselines run scalar code: "the ARM
+Cortex-A15 CPU does not incorporate a double-precision SIMD unit and
+full IEEE-754-2008 floating-point vector support", and GCC's
+auto-vectorizer was not allowed to emit NEON FP anyway.  The model
+therefore prices one VFP operation per FP instruction — the key reason
+a well-vectorized Mali kernel can beat the core by > 20×.
+
+Cost tables follow the A15's published pipeline characteristics: a
+3-wide out-of-order core sustaining ~2 simple integer ops/cycle, one
+VFP FMA/cycle (fp32 and fp64 — the VFP is 64-bit), long-latency
+iterative divide/sqrt, and libm-call costs for transcendentals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import CalibrationError
+from ..ir.nodes import OpKind
+
+#: cycles per *scalar* op on the A15, by op kind and float/int class
+DEFAULT_CPU_OP_CYCLES: dict[OpKind, float] = {
+    OpKind.ADD: 1.0,
+    OpKind.MUL: 1.0,
+    OpKind.FMA: 1.0,
+    OpKind.MOV: 0.5,
+    OpKind.CMP: 0.5,
+    OpKind.BITOP: 0.5,
+    OpKind.CVT: 1.0,
+    # the VFP divide/sqrt units are iterative and non-pipelined; a
+    # scalar 1/sqrt is a VSQRT followed by a VDIV; transcendentals go
+    # through scalar libm
+    OpKind.DIV: 18.0,
+    OpKind.SQRT: 60.0,
+    OpKind.RSQRT: 100.0,
+    OpKind.EXP: 90.0,
+    OpKind.LOG: 90.0,
+    OpKind.SIN: 100.0,
+}
+
+
+@dataclass(frozen=True)
+class A15Config:
+    """Calibrated Cortex-A15 description."""
+
+    clock_hz: float = 1.7e9
+    cores: int = 2
+    #: sustained scalar integer ops per cycle (dual-issue ALU)
+    int_ops_per_cycle: float = 2.0
+    #: sustained scalar FP ops per cycle through the VFP
+    fp_ops_per_cycle: float = 1.0
+    #: fp64 throughput penalty (VFP is 64-bit: only slightly slower)
+    fp64_cost_factor: float = 1.25
+    #: L1-hit loads/stores retired per cycle
+    ls_ops_per_cycle: float = 1.0
+    #: extra cycles per access that hits L2 rather than L1
+    l2_hit_penalty_cycles: float = 6.0
+    #: exposed stall cycles per irregular access that misses all the way
+    #: to DRAM (dependent-address chains defeat the OoO window)
+    dram_miss_penalty_cycles: float = 25.0
+    #: branch misprediction penalty (cycles) and base mispredict rate
+    mispredict_penalty: float = 15.0
+    mispredict_rate: float = 0.03
+    #: mispredict rate for data-dependent ("divergent") branches
+    divergent_mispredict_rate: float = 0.20
+    #: fraction of DRAM stall time hidden by out-of-order execution
+    mlp_overlap: float = 0.35
+    #: result latency of a chained FP add (VADD) in cycles; exposed
+    #: when the compiler may not reassociate FP reductions
+    fp_add_latency: float = 4.0
+    #: result latency of a chained multiply-accumulate (VMLA): the A15
+    #: VFP has no fast accumulator forwarding path
+    fp_mac_latency: float = 8.0
+    #: loop header cost per iteration (inc+cmp+predicted branch)
+    loop_header_cycles: float = 1.0
+    #: function-call overhead when not inlined
+    call_cycles: float = 8.0
+    #: atomic RMW cost (ldrex/strex round trip through L1/L2)
+    atomic_cycles: float = 25.0
+    op_cycles: dict[OpKind, float] = field(default_factory=lambda: dict(DEFAULT_CPU_OP_CYCLES))
+
+    # OpenMP runtime ----------------------------------------------------
+    #: fork+join cost of one parallel region, seconds
+    omp_region_overhead_s: float = 9e-6
+    #: per-thread scheduling overhead inside a region, seconds
+    omp_chunk_overhead_s: float = 1.5e-6
+
+    def __post_init__(self) -> None:
+        if self.clock_hz <= 0 or self.cores < 1:
+            raise CalibrationError("A15 clock/cores invalid")
+        missing = [op for op in OpKind if op not in self.op_cycles]
+        if missing:
+            raise CalibrationError(f"op_cycles missing entries for {missing}")
+
+    def accum_latency(self, op: OpKind) -> float:
+        """Chain latency for an accumulating op of this kind."""
+        return self.fp_mac_latency if op is OpKind.FMA else self.fp_add_latency
+
+    def arith_cycles(self, op: OpKind, base: str, width: int) -> float:
+        """Cycles for one IR op executed as ``width`` scalar instructions.
+
+        The serial/OpenMP code is scalar, so a vector-typed IR op (which
+        never occurs in the naive kernels anyway) costs width × scalar.
+        """
+        per_lane = self.op_cycles[op]
+        if base == "f64":
+            per_lane *= self.fp64_cost_factor
+        if base.startswith("f"):
+            per_lane /= self.fp_ops_per_cycle
+        else:
+            per_lane /= self.int_ops_per_cycle
+        return per_lane * width

@@ -1,0 +1,44 @@
+"""Experiment harness: grid runner, figure builders, reports."""
+
+from .figures import (
+    BAR_VERSIONS,
+    FigureSeries,
+    Metric,
+    all_figures,
+    figure2,
+    figure3,
+    figure4,
+)
+from .regression import CellDelta, RegressionReport, compare, format_regressions
+from .report import format_experiments_markdown, format_figure, format_summary
+from .runner import ResultSet, run_grid
+from .sweep import SizeSweep, SweepPoint, format_sweep, run_size_sweep
+from .statistics import RepeatedStatistics, run_repeated
+from .summary import Summary, summarize
+
+__all__ = [
+    "BAR_VERSIONS",
+    "CellDelta",
+    "RegressionReport",
+    "FigureSeries",
+    "Metric",
+    "ResultSet",
+    "SizeSweep",
+    "SweepPoint",
+    "RepeatedStatistics",
+    "Summary",
+    "all_figures",
+    "figure2",
+    "figure3",
+    "figure4",
+    "compare",
+    "format_experiments_markdown",
+    "format_regressions",
+    "format_figure",
+    "format_summary",
+    "format_sweep",
+    "run_grid",
+    "run_repeated",
+    "run_size_sweep",
+    "summarize",
+]

@@ -1,0 +1,131 @@
+"""Builders for the paper's figures (2, 3 and 4, parts a and b).
+
+Each builder reduces a :class:`~repro.experiments.runner.ResultSet` to
+the figure's series: per benchmark, per version, the ratio to Serial
+that the paper's Y axis shows.  A ``None`` entry is a missing bar — the
+double-precision ``amcd`` columns of every (b) figure.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..benchmarks.base import Precision, Version
+from ..benchmarks.registry import PAPER_ORDER
+from . import paper_data
+from .paper_data import PaperValue
+from .runner import ResultSet
+
+#: versions shown as bars (Serial is the implicit 1.0 baseline)
+BAR_VERSIONS: tuple[Version, ...] = (Version.OPENMP, Version.OPENCL, Version.OPENCL_OPT)
+
+
+class Metric(enum.Enum):
+    """Which ratio-to-Serial a figure plots."""
+
+    SPEEDUP = "speedup"
+    POWER = "power"
+    ENERGY = "energy"
+
+    def pick(self, ratios: tuple[float, float, float]) -> float:
+        return ratios[{"speedup": 0, "power": 1, "energy": 2}[self.value]]
+
+
+@dataclass(frozen=True)
+class FigureSeries:
+    """One reproduced figure: values[benchmark][version] -> ratio."""
+
+    figure_id: str
+    title: str
+    metric: Metric
+    precision: Precision
+    values: dict[str, dict[Version, float | None]]
+    paper: dict[str, dict[Version, PaperValue]]
+
+    def value(self, benchmark: str, version: Version) -> float | None:
+        return self.values[benchmark][version]
+
+    def benchmarks(self) -> list[str]:
+        return [b for b in PAPER_ORDER if b in self.values]
+
+    def mean(self, version: Version) -> float:
+        vals = [v[version] for v in self.values.values() if v[version] is not None]
+        return sum(vals) / len(vals) if vals else float("nan")
+
+
+def _build(
+    results: ResultSet,
+    figure_id: str,
+    title: str,
+    metric: Metric,
+    precision: Precision,
+    paper: dict[str, dict[Version, PaperValue]],
+) -> FigureSeries:
+    values: dict[str, dict[Version, float | None]] = {}
+    for bench in results.benchmarks():
+        row: dict[Version, float | None] = {}
+        for version in BAR_VERSIONS:
+            ratios = results.ratios(bench, version, precision)
+            row[version] = None if ratios is None else metric.pick(ratios)
+        values[bench] = row
+    return FigureSeries(
+        figure_id=figure_id,
+        title=title,
+        metric=metric,
+        precision=precision,
+        values=values,
+        paper=paper,
+    )
+
+
+def figure2(results: ResultSet, precision: Precision = Precision.SINGLE) -> FigureSeries:
+    """Figure 2: speedup over the Serial version."""
+    part = "a" if precision is Precision.SINGLE else "b"
+    paper = paper_data.FIG2A_SPEEDUP if precision is Precision.SINGLE else paper_data.FIG2B_SPEEDUP
+    return _build(
+        results,
+        f"fig2{part}",
+        f"Performance ({precision.value}-precision): speedup over Serial",
+        Metric.SPEEDUP,
+        precision,
+        paper,
+    )
+
+
+def figure3(results: ResultSet, precision: Precision = Precision.SINGLE) -> FigureSeries:
+    """Figure 3: power consumption normalized to the Serial version."""
+    part = "a" if precision is Precision.SINGLE else "b"
+    paper = paper_data.FIG3A_POWER if precision is Precision.SINGLE else {}
+    return _build(
+        results,
+        f"fig3{part}",
+        f"Power ({precision.value}-precision): normalized to Serial",
+        Metric.POWER,
+        precision,
+        paper,
+    )
+
+
+def figure4(results: ResultSet, precision: Precision = Precision.SINGLE) -> FigureSeries:
+    """Figure 4: energy-to-solution normalized to the Serial version."""
+    part = "a" if precision is Precision.SINGLE else "b"
+    paper = paper_data.FIG4A_ENERGY if precision is Precision.SINGLE else {}
+    return _build(
+        results,
+        f"fig4{part}",
+        f"Energy-to-solution ({precision.value}-precision): normalized to Serial",
+        Metric.ENERGY,
+        precision,
+        paper,
+    )
+
+
+def all_figures(results: ResultSet, precisions: tuple[Precision, ...]) -> list[FigureSeries]:
+    """Build Figures 2, 3 and 4 for every requested precision."""
+    out = []
+    for precision in precisions:
+        out.append(figure2(results, precision))
+        out.append(figure3(results, precision))
+        out.append(figure4(results, precision))
+    return out

@@ -1,0 +1,172 @@
+"""The paper's reported numbers, transcribed from §V and Figures 2-4.
+
+Used to generate EXPERIMENTS.md (paper vs measured) and by the shape
+tests, which assert orderings and rough magnitudes rather than exact
+values — our substrate is an analytical simulator, not the authors'
+Arndale board.
+
+Values come in three kinds:
+
+* ``exact`` — a number printed in the text or readable off the figure's
+  overflow label;
+* ``range`` — the text gives a bracket ("between 2x and 4x");
+* ``below``/``above`` — the text only bounds the value ("performance
+  degradation with respect to the Serial code").
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+
+from ..benchmarks.base import Precision, Version
+
+
+class Kind(enum.Enum):
+    EXACT = "exact"
+    RANGE = "range"
+    BELOW = "below"
+    ABOVE = "above"
+    MISSING = "missing"  # the run failed on the paper's platform too
+
+
+@dataclass(frozen=True)
+class PaperValue:
+    """One reported data point with its uncertainty semantics."""
+
+    kind: Kind
+    lo: float = math.nan
+    hi: float = math.nan
+
+    @classmethod
+    def exact(cls, v: float) -> "PaperValue":
+        return cls(Kind.EXACT, v, v)
+
+    @classmethod
+    def range(cls, lo: float, hi: float) -> "PaperValue":
+        return cls(Kind.RANGE, lo, hi)
+
+    @classmethod
+    def below(cls, v: float) -> "PaperValue":
+        return cls(Kind.BELOW, math.nan, v)
+
+    @classmethod
+    def above(cls, v: float) -> "PaperValue":
+        return cls(Kind.ABOVE, v, math.nan)
+
+    @classmethod
+    def missing(cls) -> "PaperValue":
+        return cls(Kind.MISSING)
+
+    @property
+    def midpoint(self) -> float:
+        if self.kind is Kind.EXACT:
+            return self.lo
+        if self.kind is Kind.RANGE:
+            return 0.5 * (self.lo + self.hi)
+        if self.kind is Kind.BELOW:
+            return self.hi
+        if self.kind is Kind.ABOVE:
+            return self.lo
+        return math.nan
+
+    def describe(self) -> str:
+        if self.kind is Kind.EXACT:
+            return f"{self.lo:g}"
+        if self.kind is Kind.RANGE:
+            return f"{self.lo:g}-{self.hi:g}"
+        if self.kind is Kind.BELOW:
+            return f"<{self.hi:g}"
+        if self.kind is Kind.ABOVE:
+            return f">{self.lo:g}"
+        return "failed"
+
+
+E = PaperValue.exact
+R = PaperValue.range
+B = PaperValue.below
+A = PaperValue.above
+MISSING = PaperValue.missing()
+
+# ---------------------------------------------------------------------------
+# Figure 2: speedup over Serial
+# ---------------------------------------------------------------------------
+
+#: Figure 2(a), single precision
+FIG2A_SPEEDUP: dict[str, dict[Version, PaperValue]] = {
+    "spmv": {Version.OPENMP: R(1.2, 1.9), Version.OPENCL: B(1.0), Version.OPENCL_OPT: E(1.25)},
+    "vecop": {Version.OPENMP: R(1.2, 1.9), Version.OPENCL: B(1.0), Version.OPENCL_OPT: R(2.0, 4.0)},
+    "hist": {Version.OPENMP: R(1.2, 1.9), Version.OPENCL: B(1.0), Version.OPENCL_OPT: R(2.0, 4.0)},
+    "3dstc": {Version.OPENMP: R(1.4, 1.9), Version.OPENCL: E(1.4), Version.OPENCL_OPT: R(2.0, 4.0)},
+    "red": {Version.OPENMP: R(1.2, 1.9), Version.OPENCL: E(2.1), Version.OPENCL_OPT: R(2.0, 4.0)},
+    "amcd": {Version.OPENMP: R(1.2, 1.9), Version.OPENCL: E(4.1), Version.OPENCL_OPT: E(4.7)},
+    "nbody": {Version.OPENMP: R(1.2, 1.9), Version.OPENCL: E(17.2), Version.OPENCL_OPT: E(20.0)},
+    "2dcon": {Version.OPENMP: R(1.2, 1.9), Version.OPENCL: E(3.6), Version.OPENCL_OPT: E(24.0)},
+    "dmmm": {Version.OPENMP: R(1.2, 1.9), Version.OPENCL: E(6.2), Version.OPENCL_OPT: E(25.5)},
+}
+
+#: Figure 2(b), double precision (amcd missing: driver compiler defect)
+FIG2B_SPEEDUP: dict[str, dict[Version, PaperValue]] = {
+    "spmv": {Version.OPENMP: R(1.2, 1.9), Version.OPENCL: B(1.0), Version.OPENCL_OPT: B(2.0)},
+    "vecop": {Version.OPENMP: R(1.2, 1.9), Version.OPENCL: E(1.5), Version.OPENCL_OPT: B(2.0)},
+    "hist": {Version.OPENMP: R(1.2, 1.9), Version.OPENCL: B(1.0), Version.OPENCL_OPT: E(3.0)},
+    "3dstc": {Version.OPENMP: R(1.4, 1.9), Version.OPENCL: E(1.6), Version.OPENCL_OPT: E(3.4)},
+    "red": {Version.OPENMP: R(1.2, 1.9), Version.OPENCL: E(1.7), Version.OPENCL_OPT: B(2.0)},
+    "amcd": {Version.OPENMP: R(1.2, 1.9), Version.OPENCL: MISSING, Version.OPENCL_OPT: MISSING},
+    "nbody": {Version.OPENMP: R(1.2, 1.9), Version.OPENCL: E(9.3), Version.OPENCL_OPT: E(10.0)},
+    "2dcon": {Version.OPENMP: R(1.2, 1.9), Version.OPENCL: E(3.5), Version.OPENCL_OPT: E(9.6)},
+    "dmmm": {Version.OPENMP: R(1.2, 1.9), Version.OPENCL: E(8.9), Version.OPENCL_OPT: E(30.0)},
+}
+
+# ---------------------------------------------------------------------------
+# Figure 3: power normalized to Serial
+# ---------------------------------------------------------------------------
+
+#: Figure 3(a): the text pins a handful of points; the rest are ranges
+FIG3A_POWER: dict[str, dict[Version, PaperValue]] = {
+    "spmv": {Version.OPENMP: R(1.23, 1.45), Version.OPENCL: E(0.87), Version.OPENCL_OPT: R(0.8, 1.0)},
+    "vecop": {Version.OPENMP: E(1.23), Version.OPENCL: E(0.93), Version.OPENCL_OPT: R(0.85, 1.1)},
+    "hist": {Version.OPENMP: R(1.23, 1.45), Version.OPENCL: E(0.81), Version.OPENCL_OPT: A(0.95)},
+    "3dstc": {Version.OPENMP: R(1.23, 1.45), Version.OPENCL: R(0.9, 1.22), Version.OPENCL_OPT: R(0.85, 1.25)},
+    "red": {Version.OPENMP: R(1.23, 1.45), Version.OPENCL: R(0.9, 1.22), Version.OPENCL_OPT: R(0.85, 1.25)},
+    "amcd": {Version.OPENMP: R(1.23, 1.45), Version.OPENCL: E(1.22), Version.OPENCL_OPT: R(1.0, 1.3)},
+    "nbody": {Version.OPENMP: E(1.45), Version.OPENCL: R(1.0, 1.22), Version.OPENCL_OPT: R(1.0, 1.3)},
+    "2dcon": {Version.OPENMP: R(1.23, 1.45), Version.OPENCL: R(0.9, 1.22), Version.OPENCL_OPT: R(0.85, 1.25)},
+    "dmmm": {Version.OPENMP: R(1.23, 1.45), Version.OPENCL: E(1.22), Version.OPENCL_OPT: B(1.22)},
+}
+
+#: §V-B aggregate statements
+POWER_SUMMARY = {
+    (Version.OPENMP, Precision.SINGLE): E(1.31),
+    (Version.OPENCL, Precision.SINGLE): E(1.07),
+}
+
+# ---------------------------------------------------------------------------
+# Figure 4: energy-to-solution normalized to Serial
+# ---------------------------------------------------------------------------
+
+FIG4A_ENERGY: dict[str, dict[Version, PaperValue]] = {
+    "spmv": {Version.OPENMP: R(0.7, 0.9), Version.OPENCL: A(0.8), Version.OPENCL_OPT: E(0.66)},
+    "vecop": {Version.OPENMP: R(0.7, 0.9), Version.OPENCL: A(0.8), Version.OPENCL_OPT: R(0.25, 0.6)},
+    "hist": {Version.OPENMP: R(0.7, 0.9), Version.OPENCL: A(0.8), Version.OPENCL_OPT: R(0.25, 0.6)},
+    "3dstc": {Version.OPENMP: R(0.7, 0.9), Version.OPENCL: A(0.8), Version.OPENCL_OPT: R(0.25, 0.6)},
+    "red": {Version.OPENMP: R(0.7, 0.9), Version.OPENCL: E(0.49), Version.OPENCL_OPT: R(0.2, 0.5)},
+    "amcd": {Version.OPENMP: R(0.7, 0.9), Version.OPENCL: R(0.2, 0.4), Version.OPENCL_OPT: R(0.2, 0.35)},
+    "nbody": {Version.OPENMP: R(0.7, 0.9), Version.OPENCL: E(0.07), Version.OPENCL_OPT: R(0.04, 0.08)},
+    "2dcon": {Version.OPENMP: R(0.7, 0.9), Version.OPENCL: R(0.25, 0.45), Version.OPENCL_OPT: R(0.04, 0.08)},
+    "dmmm": {Version.OPENMP: R(0.7, 0.9), Version.OPENCL: R(0.15, 0.35), Version.OPENCL_OPT: E(0.04)},
+}
+
+#: §V-C / §V-D aggregate statements
+ENERGY_SUMMARY = {
+    (Version.OPENMP, Precision.SINGLE): E(0.80),
+    (Version.OPENCL, Precision.SINGLE): E(0.56),
+    (Version.OPENCL_OPT, Precision.SINGLE): E(0.28),
+    (Version.OPENCL, Precision.DOUBLE): E(0.56),
+    (Version.OPENCL_OPT, Precision.DOUBLE): E(0.36),
+}
+
+#: headline numbers (§V-D / abstract): Opt over Serial, both precisions
+HEADLINE_SPEEDUP = E(8.7)
+HEADLINE_ENERGY = E(0.32)

@@ -1,0 +1,118 @@
+"""Campaign regression comparison: did a change move the results?
+
+A maintained reproduction needs to notice when a model change shifts
+the reproduced figures.  :func:`compare` diffs two
+:class:`~repro.experiments.runner.ResultSet` campaigns (e.g. a stored
+baseline JSON vs a fresh run) and reports per-cell relative deltas plus
+any change in the failure set; :func:`format_regressions` renders the
+report; the test suite uses it to assert self-consistency.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..benchmarks.base import Precision, Version
+from .runner import Key, ResultSet
+
+
+@dataclass(frozen=True)
+class CellDelta:
+    """Relative change of one (benchmark, version, precision) cell."""
+
+    key: Key
+    elapsed_rel: float
+    power_rel: float
+    energy_rel: float
+
+    def exceeds(self, tolerance: float) -> bool:
+        return any(
+            abs(x) > tolerance for x in (self.elapsed_rel, self.power_rel, self.energy_rel)
+        )
+
+
+@dataclass(frozen=True)
+class RegressionReport:
+    """Outcome of comparing two campaigns."""
+
+    deltas: tuple[CellDelta, ...]
+    missing_in_new: tuple[Key, ...]
+    missing_in_old: tuple[Key, ...]
+    failure_changes: tuple[Key, ...]
+
+    def worst(self) -> CellDelta | None:
+        if not self.deltas:
+            return None
+        return max(
+            self.deltas,
+            key=lambda d: max(abs(d.elapsed_rel), abs(d.power_rel), abs(d.energy_rel)),
+        )
+
+    def regressions(self, tolerance: float = 0.05) -> tuple[CellDelta, ...]:
+        return tuple(d for d in self.deltas if d.exceeds(tolerance))
+
+    @property
+    def clean(self) -> bool:
+        return not (self.missing_in_new or self.missing_in_old or self.failure_changes)
+
+
+def _rel(new: float, old: float) -> float:
+    if math.isnan(new) or math.isnan(old):
+        return 0.0
+    if old == 0.0:
+        return 0.0 if new == 0.0 else math.inf
+    return new / old - 1.0
+
+
+def compare(old: ResultSet, new: ResultSet) -> RegressionReport:
+    """Diff two campaigns cell by cell."""
+    deltas = []
+    failure_changes = []
+    for key in sorted(set(old.results) & set(new.results), key=str):
+        a, b = old.results[key], new.results[key]
+        if a.ok != b.ok:
+            failure_changes.append(key)
+            continue
+        if not a.ok:
+            continue
+        deltas.append(
+            CellDelta(
+                key=key,
+                elapsed_rel=_rel(b.elapsed_s, a.elapsed_s),
+                power_rel=_rel(b.mean_power_w, a.mean_power_w),
+                energy_rel=_rel(b.energy_j, a.energy_j),
+            )
+        )
+    return RegressionReport(
+        deltas=tuple(deltas),
+        missing_in_new=tuple(sorted(set(old.results) - set(new.results), key=str)),
+        missing_in_old=tuple(sorted(set(new.results) - set(old.results), key=str)),
+        failure_changes=tuple(failure_changes),
+    )
+
+
+def format_regressions(report: RegressionReport, tolerance: float = 0.05) -> str:
+    """Render a regression report, listing cells beyond ``tolerance``."""
+    lines = [f"campaign comparison (tolerance {tolerance:.0%}):"]
+    if not report.clean:
+        for key in report.missing_in_new:
+            lines.append(f"  MISSING in new: {_key_str(key)}")
+        for key in report.missing_in_old:
+            lines.append(f"  NEW cell: {_key_str(key)}")
+        for key in report.failure_changes:
+            lines.append(f"  FAILURE status changed: {_key_str(key)}")
+    offenders = report.regressions(tolerance)
+    if not offenders:
+        lines.append(f"  all {len(report.deltas)} comparable cells within tolerance")
+    for d in offenders:
+        lines.append(
+            f"  {_key_str(d.key):30s} time {d.elapsed_rel:+7.2%}  "
+            f"power {d.power_rel:+7.2%}  energy {d.energy_rel:+7.2%}"
+        )
+    return "\n".join(lines)
+
+
+def _key_str(key: Key) -> str:
+    bench, version, precision = key
+    return f"{bench}/{version.value}/{precision.label}"

@@ -1,0 +1,139 @@
+"""Grid runner: benchmark × version × precision → ResultSet.
+
+This is the reproduction's "run all the experiments" entry point; the
+figure builders and the pytest-benchmark harness all consume the
+:class:`ResultSet` it produces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+from ..benchmarks.base import Benchmark, Precision, RunResult, Version, run_version
+from ..benchmarks.registry import PAPER_ORDER, create
+from ..calibration.exynos5250 import ExynosPlatform
+
+Key = tuple[str, Version, Precision]
+
+
+@dataclass
+class ResultSet:
+    """All runs of one experimental campaign."""
+
+    results: dict[Key, RunResult] = field(default_factory=dict)
+
+    def add(self, result: RunResult) -> None:
+        self.results[(result.benchmark, result.version, result.precision)] = result
+
+    def get(self, benchmark: str, version: Version, precision: Precision) -> RunResult:
+        return self.results[(benchmark, version, precision)]
+
+    def has(self, benchmark: str, version: Version, precision: Precision) -> bool:
+        return (benchmark, version, precision) in self.results
+
+    def benchmarks(self) -> list[str]:
+        seen: list[str] = []
+        for name in PAPER_ORDER:
+            if any(k[0] == name for k in self.results):
+                seen.append(name)
+        return seen
+
+    # ------------------------------------------------------------------
+    def ratios(
+        self, benchmark: str, version: Version, precision: Precision
+    ) -> tuple[float, float, float] | None:
+        """(speedup, power ratio, energy ratio) vs Serial, or None if the
+        run failed (e.g. the DP amcd compile failure)."""
+        run = self.get(benchmark, version, precision)
+        base = self.get(benchmark, Version.SERIAL, precision)
+        if not run.ok:
+            return None
+        return run.relative_to(base)
+
+    def all_verified(self) -> bool:
+        return all(r.verified for r in self.results.values() if r.ok)
+
+    # ------------------------------------------------------------------
+    # serialization (campaign archiving / cross-run comparison)
+    # ------------------------------------------------------------------
+    def to_json(self) -> str:
+        """Serialize the campaign to JSON (options as describe() strings)."""
+        import json
+
+        payload = []
+        for (bench, version, precision), run in sorted(
+            self.results.items(), key=lambda kv: (kv[0][0], kv[0][1].value, kv[0][2].value)
+        ):
+            payload.append(
+                {
+                    "benchmark": bench,
+                    "version": version.value,
+                    "precision": precision.value,
+                    "elapsed_s": run.elapsed_s,
+                    "mean_power_w": run.mean_power_w,
+                    "energy_j": run.energy_j,
+                    "verified": run.verified,
+                    "options": run.options.describe() if run.options else None,
+                    "local_size": run.local_size,
+                    "failure": run.failure,
+                }
+            )
+        return json.dumps({"schema": 1, "runs": payload}, indent=2)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ResultSet":
+        """Load a campaign saved by :meth:`to_json`.
+
+        Options are not reconstructed (only their labels were stored);
+        ratio computations and figure building work as usual.
+        """
+        import json
+        import math
+
+        data = json.loads(text)
+        if data.get("schema") != 1:
+            raise ValueError(f"unknown ResultSet schema {data.get('schema')!r}")
+        out = cls()
+        for row in data["runs"]:
+            run = RunResult(
+                benchmark=row["benchmark"],
+                version=Version(row["version"]),
+                precision=Precision(row["precision"]),
+                elapsed_s=row["elapsed_s"] if row["elapsed_s"] is not None else math.nan,
+                mean_power_w=row["mean_power_w"] if row["mean_power_w"] is not None else math.nan,
+                energy_j=row["energy_j"] if row["energy_j"] is not None else math.nan,
+                verified=row["verified"],
+                options=None,
+                local_size=row["local_size"],
+                failure=row["failure"],
+                diagnostics={"options_label": row["options"]},
+            )
+            out.add(run)
+        return out
+
+
+def run_grid(
+    benchmarks: Iterable[str] = PAPER_ORDER,
+    versions: Iterable[Version] = tuple(Version),
+    precisions: Iterable[Precision] = (Precision.SINGLE,),
+    scale: float = 1.0,
+    seed: int = 1234,
+    platform: ExynosPlatform | None = None,
+    progress: Callable[[str], None] | None = None,
+) -> ResultSet:
+    """Run the full campaign and collect results.
+
+    ``scale`` shrinks every problem size proportionally (the shape of
+    the results is scale-robust above the overhead floor; the default
+    tests run at reduced scale for speed).
+    """
+    out = ResultSet()
+    for name in benchmarks:
+        for precision in precisions:
+            bench = create(name, precision=precision, scale=scale, seed=seed, platform=platform)
+            for version in versions:
+                if progress is not None:
+                    progress(f"{name} [{precision.label}] {version.value}")
+                out.add(run_version(bench, version))
+    return out

@@ -1,0 +1,63 @@
+"""Section V-D aggregate statistics.
+
+The paper's headline: "On average, single-precision and double-precision
+OpenCL Opt benchmarks achieve a speedup of 8.7× over the corresponding
+Serial benchmarks running on the Cortex-A15 core, while consuming only
+32 % of the energy."  Plus the per-section means: OpenMP power +31 %,
+OpenCL power +7 %, OpenCL energy 56 %, Opt energy 28 % (SP) / 36 % (DP).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..benchmarks.base import Precision, Version
+from .runner import ResultSet
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Aggregates over a full campaign (both precisions)."""
+
+    #: mean Opt speedup over Serial across every benchmark that ran
+    opt_speedup_mean: float
+    #: mean Opt energy ratio over Serial
+    opt_energy_mean: float
+    #: per (version, precision) means of (speedup, power, energy)
+    version_means: dict[tuple[Version, Precision], tuple[float, float, float]]
+    #: runs missing because the platform failed them (DP amcd)
+    failed_runs: tuple[tuple[str, Version, Precision], ...]
+
+
+def summarize(results: ResultSet) -> Summary:
+    """Compute the §V-D aggregates from a result set."""
+    opt_speedups: list[float] = []
+    opt_energies: list[float] = []
+    by_version: dict[tuple[Version, Precision], list[tuple[float, float, float]]] = {}
+    failed: list[tuple[str, Version, Precision]] = []
+
+    precisions = sorted({k[2] for k in results.results}, key=lambda p: p.value)
+    for (bench, version, precision), run in sorted(
+        results.results.items(), key=lambda kv: (kv[0][2].value, kv[0][0], kv[0][1].value)
+    ):
+        if version is Version.SERIAL:
+            continue
+        ratios = results.ratios(bench, version, precision)
+        if ratios is None:
+            failed.append((bench, version, precision))
+            continue
+        by_version.setdefault((version, precision), []).append(ratios)
+        if version is Version.OPENCL_OPT:
+            opt_speedups.append(ratios[0])
+            opt_energies.append(ratios[2])
+
+    version_means = {
+        key: tuple(sum(col) / len(col) for col in zip(*vals))  # type: ignore[misc]
+        for key, vals in by_version.items()
+    }
+    return Summary(
+        opt_speedup_mean=sum(opt_speedups) / len(opt_speedups) if opt_speedups else float("nan"),
+        opt_energy_mean=sum(opt_energies) / len(opt_energies) if opt_energies else float("nan"),
+        version_means=version_means,  # type: ignore[arg-type]
+        failed_runs=tuple(failed),
+    )

@@ -1,0 +1,240 @@
+"""Fluent builder for kernel IR.
+
+Benchmark modules construct their kernels through this builder so the
+operation mix stays an honest, readable derivation of the algorithm:
+
+>>> from repro.ir import builder, dtypes, nodes
+>>> b = builder.KernelBuilder("saxpy")
+>>> _ = b.buffer("x", dtypes.F32, const=True, restrict=True)
+>>> _ = b.buffer("y", dtypes.F32, restrict=True)
+>>> b.load(dtypes.F32, param="x")
+>>> b.load(dtypes.F32, param="y")
+>>> b.arith(nodes.OpKind.FMA, dtypes.F32)
+>>> b.store(dtypes.F32, param="y")
+>>> k = b.build(base_live_values=4)
+>>> k.name
+'saxpy'
+"""
+
+from __future__ import annotations
+
+import contextlib
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from .dtypes import DType
+from .nodes import (
+    AccessPattern,
+    Arith,
+    Atomic,
+    Barrier,
+    Block,
+    Branch,
+    BufferParam,
+    Call,
+    Kernel,
+    Layout,
+    Loop,
+    MemAccess,
+    MemKind,
+    MemSpace,
+    OpKind,
+    Param,
+    ScalarParam,
+    Scaling,
+    Stmt,
+)
+
+
+@dataclass
+class _Frame:
+    stmts: list[Stmt] = field(default_factory=list)
+
+
+class KernelBuilder:
+    """Imperative construction of an immutable :class:`Kernel` tree."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self._params: list[Param] = []
+        self._stack: list[_Frame] = [_Frame()]
+        self._notes: list[str] = []
+
+    # ------------------------------------------------------------------
+    # parameters
+    # ------------------------------------------------------------------
+    def buffer(
+        self,
+        name: str,
+        dtype: DType,
+        space: MemSpace = MemSpace.GLOBAL,
+        const: bool = False,
+        restrict: bool = False,
+        layout: Layout = Layout.FLAT,
+        record_fields: int = 1,
+    ) -> BufferParam:
+        param = BufferParam(
+            name=name,
+            dtype=dtype,
+            space=space,
+            is_const=const,
+            is_restrict=restrict,
+            layout=layout,
+            record_fields=record_fields,
+        )
+        self._params.append(param)
+        return param
+
+    def scalar(self, name: str, dtype: DType) -> ScalarParam:
+        param = ScalarParam(name, dtype)
+        self._params.append(param)
+        return param
+
+    # ------------------------------------------------------------------
+    # statements
+    # ------------------------------------------------------------------
+    def _emit(self, stmt: Stmt) -> None:
+        self._stack[-1].stmts.append(stmt)
+
+    def load(
+        self,
+        dtype: DType,
+        pattern: AccessPattern = AccessPattern.UNIT,
+        space: MemSpace = MemSpace.GLOBAL,
+        count: float = 1.0,
+        scaling: Scaling = Scaling.PER_ELEMENT,
+        vectorizable: bool = True,
+        param: str | None = None,
+        sequential: bool = False,
+        aligned: bool = True,
+    ) -> None:
+        self._emit(
+            MemAccess(
+                MemKind.LOAD, space, dtype, pattern, count, scaling, vectorizable, param,
+                sequential, aligned,
+            )
+        )
+
+    def store(
+        self,
+        dtype: DType,
+        pattern: AccessPattern = AccessPattern.UNIT,
+        space: MemSpace = MemSpace.GLOBAL,
+        count: float = 1.0,
+        scaling: Scaling = Scaling.PER_ELEMENT,
+        vectorizable: bool = True,
+        param: str | None = None,
+        sequential: bool = False,
+        aligned: bool = True,
+    ) -> None:
+        self._emit(
+            MemAccess(
+                MemKind.STORE, space, dtype, pattern, count, scaling, vectorizable, param,
+                sequential, aligned,
+            )
+        )
+
+    def arith(
+        self,
+        op: OpKind,
+        dtype: DType,
+        count: float = 1.0,
+        scaling: Scaling = Scaling.PER_ELEMENT,
+        vectorizable: bool = True,
+        accumulates: bool = False,
+    ) -> None:
+        self._emit(Arith(op, dtype, count, scaling, vectorizable, accumulates))
+
+    def int_ops(self, count: float, dtype: DType | None = None, scaling: Scaling = Scaling.PER_ITEM) -> None:
+        """Address/index arithmetic (not vectorizable, integer)."""
+        self._emit(Arith(OpKind.ADD, dtype or DType("i32"), count, scaling, vectorizable=False))
+
+    def atomic(
+        self,
+        op: OpKind,
+        dtype: DType,
+        count: float = 1.0,
+        contention: float = 0.01,
+        scaling: Scaling = Scaling.PER_ELEMENT,
+        space: MemSpace = MemSpace.GLOBAL,
+    ) -> None:
+        self._emit(Atomic(op, dtype, count, scaling, contention, space))
+
+    def barrier(self, count: float = 1.0) -> None:
+        self._emit(Barrier(count=count))
+
+    # ------------------------------------------------------------------
+    # structured statements (context managers)
+    # ------------------------------------------------------------------
+    @contextlib.contextmanager
+    def loop(
+        self,
+        trip: float,
+        count: float = 1.0,
+        scaling: Scaling = Scaling.PER_ELEMENT,
+        vectorizable: bool = True,
+        static_trip: bool = True,
+    ) -> Iterator[None]:
+        self._stack.append(_Frame())
+        try:
+            yield
+        finally:
+            frame = self._stack.pop()
+            self._emit(
+                Loop(
+                    trip=trip,
+                    body=Block(tuple(frame.stmts)),
+                    count=count,
+                    scaling=scaling,
+                    vectorizable=vectorizable,
+                    static_trip=static_trip,
+                )
+            )
+
+    @contextlib.contextmanager
+    def branch(
+        self,
+        taken_prob: float,
+        count: float = 1.0,
+        divergent: bool = False,
+        scaling: Scaling = Scaling.PER_ELEMENT,
+    ) -> Iterator[None]:
+        self._stack.append(_Frame())
+        try:
+            yield
+        finally:
+            frame = self._stack.pop()
+            self._emit(
+                Branch(
+                    taken_prob=taken_prob,
+                    body=Block(tuple(frame.stmts)),
+                    count=count,
+                    scaling=scaling,
+                    divergent=divergent,
+                )
+            )
+
+    @contextlib.contextmanager
+    def call(self, name: str, count: float = 1.0, inlined: bool = False) -> Iterator[None]:
+        self._stack.append(_Frame())
+        try:
+            yield
+        finally:
+            frame = self._stack.pop()
+            self._emit(Call(name=name, body=Block(tuple(frame.stmts)), inlined=inlined, count=count))
+
+    # ------------------------------------------------------------------
+    def note(self, text: str) -> None:
+        self._notes.append(text)
+
+    def build(self, elems_per_item: int = 1, base_live_values: float = 8.0) -> Kernel:
+        if len(self._stack) != 1:
+            raise RuntimeError("unclosed loop/branch/call context in KernelBuilder")
+        return Kernel(
+            name=self.name,
+            params=tuple(self._params),
+            body=Block(tuple(self._stack[0].stmts)),
+            elems_per_item=elems_per_item,
+            base_live_values=base_live_values,
+            notes=tuple(self._notes),
+        )

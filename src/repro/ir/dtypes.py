@@ -1,0 +1,180 @@
+"""Scalar and vector data types for the kernel IR.
+
+OpenCL C exposes scalar types (``float``, ``double``, ``int`` ...) and
+vector types of width 2, 3, 4, 8 and 16 (``float4``, ``double8`` ...).
+The Mali-T604's arithmetic pipes operate on 128-bit registers, so the
+relationship between a value's *bit width* and the native 128-bit lane
+is what the timing model prices.  We model widths {1, 2, 4, 8, 16};
+width-3 vectors are padded to 4 by the real compiler and are treated as
+width 4 by :func:`normalize_width`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+#: Vector widths accepted by the IR (width 3 normalizes to 4).
+VECTOR_WIDTHS: tuple[int, ...] = (1, 2, 4, 8, 16)
+
+#: Native register width of the Mali-T604 arithmetic pipes, in bits.
+NATIVE_REGISTER_BITS: int = 128
+
+_SCALAR_BITS: dict[str, int] = {
+    "f16": 16,
+    "f32": 32,
+    "f64": 64,
+    "i8": 8,
+    "i16": 16,
+    "i32": 32,
+    "i64": 64,
+    "u8": 8,
+    "u16": 16,
+    "u32": 32,
+    "u64": 64,
+    "bool": 8,
+}
+
+_FLOAT_BASES = frozenset({"f16", "f32", "f64"})
+
+
+def scalar_bits(base: str) -> int:
+    """Bit width of a scalar base type name (``"f32"`` → 32)."""
+    try:
+        return _SCALAR_BITS[base]
+    except KeyError:
+        raise ValueError(f"unknown base type {base!r}") from None
+
+
+def normalize_width(width: int) -> int:
+    """Round an OpenCL vector width to a modelled width.
+
+    Width 3 is stored as 4 by every OpenCL implementation (including
+    Mali's); any other unsupported width is an error.
+    """
+    if width == 3:
+        return 4
+    if width not in VECTOR_WIDTHS:
+        raise ValueError(f"unsupported vector width {width!r}; expected one of {VECTOR_WIDTHS} (or 3)")
+    return width
+
+
+@dataclass(frozen=True, slots=True)
+class DType:
+    """A scalar or vector data type, e.g. ``f32x4`` for ``float4``.
+
+    Attributes:
+        base: scalar base type name (``"f32"``, ``"f64"``, ``"i32"`` ...).
+        width: vector width; 1 means scalar.
+    """
+
+    base: str
+    width: int = 1
+
+    def __post_init__(self) -> None:
+        if self.base not in _SCALAR_BITS:
+            raise ValueError(f"unknown base type {self.base!r}")
+        object.__setattr__(self, "width", normalize_width(self.width))
+
+    # ------------------------------------------------------------------
+    # basic metrics
+    # ------------------------------------------------------------------
+    @property
+    def scalar_bits(self) -> int:
+        """Bits of one element."""
+        return _SCALAR_BITS[self.base]
+
+    @property
+    def bits(self) -> int:
+        """Total bits of the (possibly vector) value."""
+        return self.scalar_bits * self.width
+
+    @property
+    def bytes(self) -> int:
+        """Total bytes of the value."""
+        return self.bits // 8
+
+    @property
+    def scalar_bytes(self) -> int:
+        """Bytes of one element."""
+        return self.scalar_bits // 8
+
+    @property
+    def is_float(self) -> bool:
+        return self.base in _FLOAT_BASES
+
+    @property
+    def is_integer(self) -> bool:
+        return not self.is_float and self.base != "bool"
+
+    @property
+    def is_vector(self) -> bool:
+        return self.width > 1
+
+    @property
+    def registers_128(self) -> float:
+        """Number of 128-bit registers this value occupies (>= 0.25)."""
+        return max(self.bits / NATIVE_REGISTER_BITS, 0.25)
+
+    # ------------------------------------------------------------------
+    # derivation helpers (used heavily by compiler passes)
+    # ------------------------------------------------------------------
+    def with_width(self, width: int) -> "DType":
+        """Return the same base type at a different vector width."""
+        return DType(self.base, normalize_width(width))
+
+    @property
+    def scalar(self) -> "DType":
+        """The width-1 version of this type."""
+        return self if self.width == 1 else DType(self.base, 1)
+
+    def lanes_per_register(self) -> int:
+        """How many elements of this base type fit one 128-bit register."""
+        return max(NATIVE_REGISTER_BITS // self.scalar_bits, 1)
+
+    # ------------------------------------------------------------------
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.base if self.width == 1 else f"{self.base}x{self.width}"
+
+
+@lru_cache(maxsize=None)
+def dtype(spec: str) -> DType:
+    """Parse ``"f32"``, ``"f32x4"``, or OpenCL-style ``"float4"`` specs."""
+    ocl_names = {
+        "float": "f32",
+        "double": "f64",
+        "half": "f16",
+        "int": "i32",
+        "uint": "u32",
+        "long": "i64",
+        "ulong": "u64",
+        "char": "i8",
+        "uchar": "u8",
+        "short": "i16",
+        "ushort": "u16",
+    }
+    for name, base in ocl_names.items():
+        if spec == name:
+            return DType(base, 1)
+        if spec.startswith(name) and spec[len(name):].isdigit():
+            return DType(base, int(spec[len(name):]))
+    if "x" in spec:
+        base, _, w = spec.partition("x")
+        return DType(base, int(w))
+    return DType(spec, 1)
+
+
+# Convenient singletons -------------------------------------------------
+F16 = DType("f16")
+F32 = DType("f32")
+F64 = DType("f64")
+I32 = DType("i32")
+I64 = DType("i64")
+U32 = DType("u32")
+U64 = DType("u64")
+BOOL = DType("bool")
+
+
+def float_type(double_precision: bool) -> DType:
+    """The working floating-point scalar type for a precision setting."""
+    return F64 if double_precision else F32

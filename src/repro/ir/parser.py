@@ -1,0 +1,361 @@
+"""A compact textual kernel language that parses to :class:`Kernel` IR.
+
+The builder API is what the benchmark suite uses; this parser offers the
+same expressiveness as readable text, for quick experiments, docs and
+tests.  Example::
+
+    kernel saxpy(global const restrict float* x,
+                 global restrict float* y) {
+        live 4;
+        int_ops 2;
+        load f32 unit from x;
+        load f32 unit from y;
+        fma f32;
+        store f32 unit to y;
+    }
+
+    kernel dot(global const float* a, global const float* b,
+               global float* out) {
+        loop 1024 per_item {
+            load f32 unit from a sequential;
+            load f32 unit from b sequential;
+            fma f32 accum;
+        }
+        store f32 unit to out per_item;
+    }
+
+Statement forms (one per line, ``;``-terminated; ``#`` comments)::
+
+    live N;                         # base live-value estimate
+    int_ops N [per_element];        # index arithmetic
+    load  TYPE [PATTERN] [from P] [xN] [per_item] [sequential]
+          [unaligned] [novec] [SPACE];
+    store TYPE [PATTERN] [to P]   [...same flags...];
+    OP TYPE [xN] [per_item] [novec] [accum];     # add mul fma div sqrt
+                                                 # rsqrt exp log sin cmp
+                                                 # mov cvt bitop
+    atomic OP TYPE [xN] [contention F] [local];
+    barrier [xN];
+    loop TRIP [dynamic] [novec] [per_item] { ... }
+    branch P [divergent] [xN] { ... }
+    call NAME [inlined] [xN] { ... }
+
+``TYPE`` accepts IR (``f32``, ``f64x4``) and OpenCL (``float``,
+``double4``) spellings; ``PATTERN`` is one of ``unit``, ``strided``,
+``gather``, ``broadcast`` (default ``unit``).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from ..errors import IRError
+from .builder import KernelBuilder
+from .dtypes import dtype as parse_dtype
+from .nodes import AccessPattern, Kernel, Layout, MemSpace, OpKind, Scaling
+
+_OP_NAMES = {op.value: op for op in OpKind}
+_PATTERNS = {
+    "unit": AccessPattern.UNIT,
+    "strided": AccessPattern.STRIDED,
+    "gather": AccessPattern.GATHER,
+    "broadcast": AccessPattern.BROADCAST,
+}
+_SPACES = {
+    "global_mem": MemSpace.GLOBAL,
+    "constant_mem": MemSpace.CONSTANT,
+    "local_mem": MemSpace.LOCAL,
+}
+
+_TOKEN_RE = re.compile(r"[{}();,*]|[^\s{}();,*]+")
+
+
+@dataclass
+class _Token:
+    text: str
+    line: int
+
+
+class _Stream:
+    def __init__(self, tokens: list[_Token]):
+        self.tokens = tokens
+        self.pos = 0
+
+    def peek(self) -> _Token | None:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def next(self) -> _Token:
+        tok = self.peek()
+        if tok is None:
+            raise IRError("unexpected end of kernel source")
+        self.pos += 1
+        return tok
+
+    def expect(self, text: str) -> _Token:
+        tok = self.next()
+        if tok.text != text:
+            raise IRError(f"line {tok.line}: expected {text!r}, got {tok.text!r}")
+        return tok
+
+    def accept(self, text: str) -> bool:
+        tok = self.peek()
+        if tok is not None and tok.text == text:
+            self.pos += 1
+            return True
+        return False
+
+
+def _tokenize(source: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        line = line.split("#", 1)[0]
+        for match in _TOKEN_RE.finditer(line):
+            tokens.append(_Token(match.group(), lineno))
+    return tokens
+
+
+def parse_kernel(source: str) -> Kernel:
+    """Parse one kernel definition; raises :class:`IRError` on problems."""
+    kernels = parse_kernels(source)
+    if len(kernels) != 1:
+        raise IRError(f"expected exactly one kernel, found {len(kernels)}")
+    return kernels[0]
+
+
+def parse_kernels(source: str) -> list[Kernel]:
+    """Parse every kernel definition in the source."""
+    stream = _Stream(_tokenize(source))
+    kernels = []
+    while stream.peek() is not None:
+        kernels.append(_parse_one(stream))
+    return kernels
+
+
+# ---------------------------------------------------------------------------
+
+
+def _parse_one(stream: _Stream) -> Kernel:
+    stream.expect("kernel")
+    name_tok = stream.next()
+    builder = KernelBuilder(name_tok.text)
+    state = {"live": 8.0}
+
+    stream.expect("(")
+    _parse_params(stream, builder)
+    stream.expect("{")
+    _parse_block(stream, builder, state)
+    return builder.build(base_live_values=state["live"])
+
+
+def _parse_params(stream: _Stream, builder: KernelBuilder) -> None:
+    if stream.accept(")"):
+        return
+    while True:
+        _parse_one_param(stream, builder)
+        tok = stream.next()
+        if tok.text == ")":
+            return
+        if tok.text != ",":
+            raise IRError(f"line {tok.line}: expected ',' or ')' in parameter list")
+
+
+def _parse_one_param(stream: _Stream, builder: KernelBuilder) -> None:
+    space = MemSpace.GLOBAL
+    const = restrict = False
+    words: list[_Token] = []
+    is_pointer = False
+    record_fields = 1
+    layout = Layout.FLAT
+    while True:
+        tok = stream.peek()
+        if tok is None:
+            raise IRError("unterminated parameter list")
+        if tok.text in (",", ")"):
+            break
+        tok = stream.next()
+        if tok.text == "global":
+            space = MemSpace.GLOBAL
+        elif tok.text == "constant":
+            space = MemSpace.CONSTANT
+        elif tok.text == "local":
+            space = MemSpace.LOCAL
+        elif tok.text == "const":
+            const = True
+        elif tok.text == "restrict":
+            restrict = True
+        elif tok.text == "*":
+            is_pointer = True
+        elif tok.text == "aos":
+            stream.expect("(")
+            fields_tok = stream.next()
+            try:
+                record_fields = int(fields_tok.text)
+            except ValueError:
+                raise IRError(
+                    f"line {fields_tok.line}: aos(N) needs an integer field count"
+                ) from None
+            stream.expect(")")
+            layout = Layout.AOS
+        else:
+            words.append(tok)
+    if len(words) != 2:
+        line = words[0].line if words else 0
+        raise IRError(f"line {line}: parameter needs a type and a name")
+    type_tok, name_tok = words[0], words[-1]
+    try:
+        dt = parse_dtype(type_tok.text)
+    except ValueError as exc:
+        raise IRError(f"line {type_tok.line}: {exc}") from None
+    if is_pointer or layout == Layout.AOS:
+        builder.buffer(
+            name_tok.text, dt, space=space, const=const, restrict=restrict,
+            layout=layout, record_fields=record_fields,
+        )
+    else:
+        builder.scalar(name_tok.text, dt)
+
+
+def _parse_block(stream: _Stream, builder: KernelBuilder, state: dict) -> None:
+    while True:
+        tok = stream.next()
+        if tok.text == "}":
+            return
+        _parse_statement(tok, stream, builder, state)
+
+
+def _collect_until_semicolon(stream: _Stream) -> list[_Token]:
+    out = []
+    while True:
+        tok = stream.next()
+        if tok.text == ";":
+            return out
+        if tok.text in ("{", "}"):
+            raise IRError(f"line {tok.line}: missing ';' before {tok.text!r}")
+        out.append(tok)
+
+
+def _flag_value(words: list[_Token], key: str, default: float) -> float:
+    for i, tok in enumerate(words):
+        if tok.text == key:
+            if i + 1 >= len(words):
+                raise IRError(f"line {tok.line}: {key} needs a value")
+            return float(words[i + 1].text)
+    return default
+
+
+def _count(words: list[_Token]) -> float:
+    for tok in words:
+        if tok.text.startswith("x"):
+            try:
+                return float(tok.text[1:])
+            except ValueError:
+                continue
+    return 1.0
+
+
+def _has(words: list[_Token], flag: str) -> bool:
+    return any(t.text == flag for t in words)
+
+
+def _parse_statement(tok: _Token, stream: _Stream, builder: KernelBuilder, state: dict) -> None:
+    word = tok.text
+    if word == "live":
+        value = stream.next()
+        state["live"] = float(value.text)
+        stream.expect(";")
+    elif word == "int_ops":
+        words = _collect_until_semicolon(stream)
+        count = float(words[0].text)
+        scaling = Scaling.PER_ELEMENT if _has(words, "per_element") else Scaling.PER_ITEM
+        builder.int_ops(count, scaling=scaling)
+    elif word in ("load", "store"):
+        words = _collect_until_semicolon(stream)
+        dt = parse_dtype(words[0].text)
+        pattern = AccessPattern.UNIT
+        space = MemSpace.GLOBAL
+        param = None
+        for i, w in enumerate(words[1:], start=1):
+            if w.text in _PATTERNS:
+                pattern = _PATTERNS[w.text]
+            elif w.text in _SPACES:
+                space = _SPACES[w.text]
+            elif w.text in ("from", "to"):
+                param = words[i + 1].text
+        kwargs = dict(
+            pattern=pattern,
+            space=space,
+            count=_count(words),
+            scaling=Scaling.PER_ITEM if _has(words, "per_item") else Scaling.PER_ELEMENT,
+            vectorizable=not _has(words, "novec"),
+            param=param,
+            sequential=_has(words, "sequential"),
+            aligned=not _has(words, "unaligned"),
+        )
+        (builder.load if word == "load" else builder.store)(dt, **kwargs)
+    elif word in _OP_NAMES:
+        words = _collect_until_semicolon(stream)
+        dt = parse_dtype(words[0].text)
+        builder.arith(
+            _OP_NAMES[word],
+            dt,
+            count=_count(words),
+            scaling=Scaling.PER_ITEM if _has(words, "per_item") else Scaling.PER_ELEMENT,
+            vectorizable=not _has(words, "novec"),
+            accumulates=_has(words, "accum"),
+        )
+    elif word == "atomic":
+        words = _collect_until_semicolon(stream)
+        op = _OP_NAMES.get(words[0].text)
+        if op is None:
+            raise IRError(f"line {words[0].line}: unknown atomic op {words[0].text!r}")
+        dt = parse_dtype(words[1].text)
+        builder.atomic(
+            op,
+            dt,
+            count=_count(words),
+            contention=_flag_value(words, "contention", 0.01),
+            space=MemSpace.LOCAL if _has(words, "local") else MemSpace.GLOBAL,
+        )
+    elif word == "barrier":
+        words = _collect_until_semicolon(stream)
+        builder.barrier(count=_count(words) if words else 1.0)
+    elif word == "loop":
+        trip_tok = stream.next()
+        try:
+            trip = float(trip_tok.text)
+        except ValueError:
+            raise IRError(f"line {trip_tok.line}: loop needs a numeric trip count") from None
+        flags = []
+        while not stream.accept("{"):
+            flags.append(stream.next())
+        with builder.loop(
+            trip=trip,
+            vectorizable=not _has(flags, "novec"),
+            static_trip=not _has(flags, "dynamic"),
+            scaling=Scaling.PER_ITEM if _has(flags, "per_item") else Scaling.PER_ELEMENT,
+        ):
+            _parse_block(stream, builder, state)
+    elif word == "branch":
+        prob_tok = stream.next()
+        prob = float(prob_tok.text)
+        flags = []
+        while not stream.accept("{"):
+            flags.append(stream.next())
+        with builder.branch(
+            taken_prob=prob,
+            divergent=_has(flags, "divergent"),
+            count=_count(flags),
+        ):
+            _parse_block(stream, builder, state)
+    elif word == "call":
+        name_tok = stream.next()
+        flags = []
+        while not stream.accept("{"):
+            flags.append(stream.next())
+        with builder.call(
+            name_tok.text, inlined=_has(flags, "inlined"), count=_count(flags)
+        ):
+            _parse_block(stream, builder, state)
+    else:
+        raise IRError(f"line {tok.line}: unknown statement {word!r}")

@@ -1,0 +1,84 @@
+"""Structural validation of kernel IR trees.
+
+The compiler validates kernels before running passes so that model bugs
+surface as :class:`repro.errors.IRError` with a path to the offending
+node rather than as silent mispricing deep inside a device model.
+"""
+
+from __future__ import annotations
+
+from ..errors import IRError
+from .dtypes import VECTOR_WIDTHS
+from .nodes import (
+    Arith,
+    Atomic,
+    Barrier,
+    Block,
+    Branch,
+    BufferParam,
+    Call,
+    Kernel,
+    Loop,
+    MemAccess,
+    MemSpace,
+)
+
+
+def validate(kernel: Kernel) -> None:
+    """Raise :class:`IRError` if the kernel is structurally invalid."""
+    if not kernel.name:
+        raise IRError("kernel must have a name")
+    if kernel.elems_per_item < 1:
+        raise IRError(f"{kernel.name}: elems_per_item must be >= 1, got {kernel.elems_per_item}")
+    if kernel.base_live_values <= 0:
+        raise IRError(f"{kernel.name}: base_live_values must be positive")
+
+    seen: set[str] = set()
+    buffer_names: set[str] = set()
+    for p in kernel.params:
+        if p.name in seen:
+            raise IRError(f"{kernel.name}: duplicate parameter {p.name!r}")
+        seen.add(p.name)
+        if isinstance(p, BufferParam):
+            buffer_names.add(p.name)
+            if p.record_fields < 1:
+                raise IRError(f"{kernel.name}: param {p.name!r} record_fields must be >= 1")
+            if p.space == MemSpace.PRIVATE:
+                raise IRError(f"{kernel.name}: buffer param {p.name!r} cannot be __private")
+
+    _validate_block(kernel.body, kernel.name, buffer_names, path="body")
+
+
+def _validate_block(block: Block, kname: str, buffers: set[str], path: str) -> None:
+    for i, stmt in enumerate(block):
+        where = f"{kname}:{path}[{i}]"
+        count = getattr(stmt, "count", 1.0)
+        if count < 0:
+            raise IRError(f"{where}: negative count {count}")
+        if isinstance(stmt, (Arith, MemAccess)):
+            if stmt.dtype.width not in VECTOR_WIDTHS:
+                raise IRError(f"{where}: invalid width {stmt.dtype.width}")
+        if isinstance(stmt, MemAccess):
+            if stmt.param is not None and stmt.param not in buffers:
+                raise IRError(f"{where}: access references unknown buffer {stmt.param!r}")
+            if stmt.space == MemSpace.CONSTANT and stmt.kind.value == "store":
+                raise IRError(f"{where}: cannot store to __constant memory")
+        elif isinstance(stmt, Atomic):
+            if not 0.0 <= stmt.contention <= 1.0:
+                raise IRError(f"{where}: contention must be in [0, 1], got {stmt.contention}")
+        elif isinstance(stmt, Branch):
+            if not 0.0 <= stmt.taken_prob <= 1.0:
+                raise IRError(f"{where}: taken_prob must be in [0, 1], got {stmt.taken_prob}")
+            _validate_block(stmt.body, kname, buffers, f"{path}[{i}].body")
+            if stmt.orelse is not None:
+                _validate_block(stmt.orelse, kname, buffers, f"{path}[{i}].orelse")
+        elif isinstance(stmt, Loop):
+            if stmt.trip < 0:
+                raise IRError(f"{where}: negative trip count {stmt.trip}")
+            if stmt.unroll < 1:
+                raise IRError(f"{where}: unroll factor must be >= 1, got {stmt.unroll}")
+            _validate_block(stmt.body, kname, buffers, f"{path}[{i}].body")
+        elif isinstance(stmt, Call):
+            _validate_block(stmt.body, kname, buffers, f"{path}[{i}].body")
+        elif isinstance(stmt, Barrier):
+            pass

@@ -1,0 +1,26 @@
+"""ARM Mali-T604 GPU architecture model (Figure 1 of the paper)."""
+
+from .config import DEFAULT_OP_COST, MaliConfig
+from .job_manager import Distribution, distribute
+from .occupancy import (
+    FULL_BANDWIDTH_THREADS,
+    FULL_HIDING_THREADS,
+    MIN_HIDING,
+    Occupancy,
+    derive_occupancy,
+)
+from .timing import GpuLaunchTiming, time_launch
+
+__all__ = [
+    "DEFAULT_OP_COST",
+    "Distribution",
+    "FULL_BANDWIDTH_THREADS",
+    "FULL_HIDING_THREADS",
+    "GpuLaunchTiming",
+    "MIN_HIDING",
+    "MaliConfig",
+    "Occupancy",
+    "derive_occupancy",
+    "distribute",
+    "time_launch",
+]

@@ -1,0 +1,169 @@
+"""Mali-T604 architecture parameters.
+
+Figure 1 of the paper: four shader cores behind a Job Manager, an MMU
+and a Snoop-Control-Unit-coherent shared L2.  Each *tripipe* shader core
+has two arithmetic pipelines, one load/store pipeline and one texturing
+pipeline (unused by compute), all operating on 128-bit vector registers.
+The Exynos 5250 clocks the GPU at 533 MHz.
+
+Per-op issue costs follow the Midgard arithmetic pipe: simple VFP ops
+are single-issue at full width; divides/square roots run on the iterated
+unit; transcendentals expand to polynomial sequences.  FP64 executes at
+half the FP32 lane rate.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from ..errors import CalibrationError
+from ..ir.dtypes import NATIVE_REGISTER_BITS
+from ..ir.nodes import OpKind
+
+
+#: issue-slot cost per 128-bit micro-op, by op kind
+DEFAULT_OP_COST: dict[OpKind, float] = {
+    OpKind.ADD: 1.0,
+    OpKind.MUL: 1.0,
+    OpKind.FMA: 1.0,
+    OpKind.MOV: 0.5,
+    OpKind.CMP: 1.0,
+    OpKind.BITOP: 1.0,
+    OpKind.CVT: 1.0,
+    # the Midgard SFU path: fast hardware reciprocal-sqrt estimate plus
+    # a Newton step; exp/log/sin are short polynomial sequences emitted
+    # by the OpenCL compiler (far cheaper than the A15's scalar libm)
+    OpKind.DIV: 10.0,
+    OpKind.SQRT: 12.0,
+    OpKind.RSQRT: 6.0,
+    OpKind.EXP: 40.0,
+    OpKind.LOG: 40.0,
+    OpKind.SIN: 48.0,
+}
+
+
+@dataclass(frozen=True)
+class MaliConfig:
+    """Calibrated Mali-T604 hardware description."""
+
+    shader_cores: int = 4
+    arith_pipes_per_core: int = 2
+    ls_pipes_per_core: int = 1
+    clock_hz: float = 533e6
+    lane_bits: int = NATIVE_REGISTER_BITS
+    #: FP64 issue-rate penalty relative to FP32 (Midgard: half rate)
+    fp64_cost_factor: float = 2.0
+    #: maximum OpenCL work-group size the driver reports
+    max_work_group_size: int = 256
+    op_cost: dict[OpKind, float] = field(default_factory=lambda: dict(DEFAULT_OP_COST))
+
+    # overheads ---------------------------------------------------------
+    #: host-side driver cost to submit one kernel launch, seconds
+    launch_overhead_s: float = 60e-6
+    #: Job Manager cycles to schedule one work-group onto a core
+    wg_schedule_cycles: float = 60.0
+    #: cycles for a work-group barrier (sync across resident threads)
+    barrier_cycles: float = 40.0
+    #: cycles for one uncontended *global* atomic RMW (round trip
+    #: through the coherent L2 / Snoop Control Unit)
+    atomic_cycles: float = 14.0
+    #: cycles for a *local* (work-group scope) atomic, resolved near the
+    #: shader core
+    atomic_local_cycles: float = 4.0
+    #: issue cost of loop header (inc+cmp+branch) and of a function call
+    loop_header_cost: float = 2.0
+    call_cost: float = 6.0
+    branch_cost: float = 1.0
+    #: fraction of the non-bottleneck pipes' time that fails to overlap
+    #: with the bottleneck (0 = perfect roofline overlap)
+    overlap_leak: float = 0.15
+    #: DRAM efficiency of fully scalar (32-bit) global accesses relative
+    #: to 128-bit vector accesses.  Midgard threads do not coalesce like
+    #: NVIDIA warps: each thread issues its own L2/DRAM transaction, so
+    #: narrow accesses waste most of each burst — the hardware reason
+    #: the paper's "vector load and store operations ... lead to more
+    #: efficient use of the available bandwidth".
+    scalar_access_dram_efficiency: float = 0.50
+    #: LS-issue discount for __constant / broadcast loads (served by the
+    #: constant cache and uniform registers, not full LS transactions)
+    uniform_load_cost_factor: float = 0.25
+    #: issue-cost multiplier for transcendentals compiled as native_*
+    #: builtins (reduced-precision hardware estimates instead of the
+    #: IEEE polynomial sequences)
+    native_math_cost_factor: float = 0.25
+    #: per-micro-op discount for ops wider than one 128-bit register:
+    #: the expanded micro-op sequences are mutually independent, which
+    #: fills the dual-issue slots the in-order-per-thread pipe would
+    #: otherwise leave empty — §III-B: "using types wider than the
+    #: underlying hardware can improve the instruction-level scheduling"
+    wide_type_ilp_bonus: float = 0.08
+
+    def __post_init__(self) -> None:
+        if self.shader_cores < 1 or self.arith_pipes_per_core < 1 or self.ls_pipes_per_core < 1:
+            raise CalibrationError("Mali core/pipe counts must be >= 1")
+        if self.clock_hz <= 0:
+            raise CalibrationError("clock must be positive")
+        missing = [op for op in OpKind if op not in self.op_cost]
+        if missing:
+            raise CalibrationError(f"op_cost missing entries for {missing}")
+
+    # ------------------------------------------------------------------
+    def micro_ops(self, width: int, scalar_bits: int) -> int:
+        """128-bit micro-ops for a vector op of ``width`` lanes."""
+        return max(1, math.ceil(width * scalar_bits / self.lane_bits))
+
+    #: op kinds with a native_* fast path
+    NATIVE_OPS = (OpKind.DIV, OpKind.SQRT, OpKind.RSQRT, OpKind.EXP, OpKind.LOG, OpKind.SIN)
+
+    def arith_issue_cost(
+        self, op: OpKind, base: str, width: int, scalar_bits: int, native_math: bool = False
+    ) -> float:
+        """Issue-slot cycles for one IR arithmetic op on one pipe."""
+        micro = self.micro_ops(width, scalar_bits)
+        cost = self.op_cost[op] * micro
+        if micro > 1:
+            # ILP from the independent micro-ops of an over-wide type
+            cost *= 1.0 - self.wide_type_ilp_bonus
+        if native_math and op in self.NATIVE_OPS:
+            cost = max(cost * self.native_math_cost_factor, 1.0)
+        if base == "f64":
+            cost *= self.fp64_cost_factor
+        return cost
+
+    def ls_issue_cost(self, width: int, scalar_bits: int) -> float:
+        """Load/store pipe cycles for one IR memory op (cache-hit cost)."""
+        return float(self.micro_ops(width, scalar_bits))
+
+    @property
+    def peak_fp32_flops(self) -> float:
+        """Theoretical peak single-precision FLOP/s (FMA on all lanes)."""
+        lanes = self.lane_bits // 32
+        return self.shader_cores * self.arith_pipes_per_core * lanes * 2 * self.clock_hz
+
+    @property
+    def peak_fp64_flops(self) -> float:
+        lanes = self.lane_bits // 64
+        return (
+            self.shader_cores
+            * self.arith_pipes_per_core
+            * lanes
+            * 2
+            * self.clock_hz
+            / self.fp64_cost_factor
+        )
+
+    def describe(self) -> str:
+        """Textual rendering of the Figure 1 component inventory."""
+        return "\n".join(
+            [
+                "ARM Mali-T604 (Midgard) GPU",
+                f"  Job Manager -> {self.shader_cores} shader cores @ {self.clock_hz/1e6:.0f} MHz",
+                f"  per core: {self.arith_pipes_per_core} arithmetic pipes, "
+                f"{self.ls_pipes_per_core} load/store pipe, 1 texturing pipe (idle for compute)",
+                f"  {self.lane_bits}-bit vector registers; FP64 at 1/{self.fp64_cost_factor:.0f} rate",
+                f"  peak {self.peak_fp32_flops/1e9:.1f} GFLOPS fp32 / {self.peak_fp64_flops/1e9:.1f} GFLOPS fp64",
+                "  MMU + Snoop Control Unit: unified, coherent memory with the CPU",
+                f"  max work-group size {self.max_work_group_size}",
+            ]
+        )

@@ -1,0 +1,69 @@
+"""Job Manager model: work-group distribution across shader cores.
+
+The hardware Job Manager (Figure 1) splits an NDRange into work-groups
+and feeds them to cores as they drain.  Two effects matter for the
+paper's results:
+
+* **per-work-group scheduling cost** — every group costs the Job
+  Manager a fixed number of cycles, which is why vectorization's
+  reduction of the global work size "allows a reduction of the run-time
+  scheduling overheads due to the decrease in the number of
+  work-groups";
+* **imbalance** — with few groups (quantization) or ragged per-group
+  work (spmv), the slowest core sets the finish time.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .config import MaliConfig
+
+
+@dataclass(frozen=True)
+class Distribution:
+    """How an NDRange lands on the cores."""
+
+    n_work_groups: int
+    groups_per_core_max: int
+    quantization_factor: float
+    schedule_seconds: float
+
+
+def distribute(
+    n_items: int,
+    local_size: int,
+    config: MaliConfig,
+    imbalance_cv: float = 0.0,
+) -> tuple[Distribution, float]:
+    """Distribute the NDRange; returns (distribution, imbalance_factor).
+
+    ``imbalance_factor`` multiplies the parallel execution time: 1.0 for
+    a perfectly balanced launch, larger when work is ragged or when the
+    group count barely exceeds the core count.
+    """
+    n_wg = max(1, math.ceil(n_items / local_size))
+    per_core = n_wg / config.shader_cores
+    groups_per_core_max = math.ceil(per_core)
+
+    # quantization: finish time is set by the fullest core
+    quantization = groups_per_core_max / per_core if per_core > 0 else 1.0
+
+    # ragged work: with many groups the max-of-means concentrates; the
+    # expected max grows ~ cv * sqrt(2 ln k / n) for k cores and n groups
+    # per core — a standard extreme-value estimate.
+    ragged = 1.0
+    if imbalance_cv > 0.0 and per_core > 0:
+        ragged = 1.0 + imbalance_cv * math.sqrt(
+            2.0 * math.log(max(config.shader_cores, 2)) / max(per_core, 1.0)
+        )
+
+    schedule_seconds = n_wg * config.wg_schedule_cycles / config.clock_hz
+    dist = Distribution(
+        n_work_groups=n_wg,
+        groups_per_core_max=groups_per_core_max,
+        quantization_factor=quantization,
+        schedule_seconds=schedule_seconds,
+    )
+    return dist, quantization * ragged

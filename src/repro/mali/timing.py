@@ -1,0 +1,211 @@
+"""Per-launch timing model for the Mali-T604.
+
+``time_launch`` prices one ``clEnqueueNDRangeKernel`` of a compiled
+kernel as a three-roofline model with explicit overheads:
+
+* **arithmetic roofline** — issued vector micro-ops across
+  4 cores × 2 arithmetic pipes, scaled by latency hiding (occupancy);
+* **load/store roofline** — memory instructions through the per-core
+  LS pipe (this is what vector loads relieve: one ``vload4`` is one LS
+  issue where four scalar loads were four);
+* **DRAM roofline** — bytes that miss the L2, at the pattern-dependent
+  effective bandwidth of the shared DDR3L interface;
+
+plus atomic serialization, barrier costs, Job-Manager work-group
+scheduling, launch overhead, and an imbalance multiplier.  The largest
+roofline is the bottleneck; a calibrated fraction of the other two
+leaks past the overlap (threads cannot always cover both).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..compiler.pipeline import CompiledKernel
+from ..ir.analysis import InstructionMix
+from ..ir.dtypes import scalar_bits
+from ..ir.nodes import AccessPattern, MemSpace
+from ..memory.cache import CacheHierarchy
+from ..memory.dram import DramModel
+from ..workload import WorkloadTraits
+from .config import MaliConfig
+from .job_manager import Distribution, distribute
+from .occupancy import Occupancy, derive_occupancy
+
+
+@dataclass(frozen=True)
+class GpuLaunchTiming:
+    """Timing breakdown of one kernel launch on the GPU."""
+
+    seconds: float
+    arith_seconds: float
+    ls_seconds: float
+    dram_seconds: float
+    atomic_seconds: float
+    barrier_seconds: float
+    schedule_seconds: float
+    launch_overhead_seconds: float
+    imbalance_factor: float
+    occupancy: Occupancy
+    distribution: Distribution
+    dram_bytes: float
+    bottleneck: str
+
+    @property
+    def alu_utilization(self) -> float:
+        """Fraction of the run the arithmetic pipes are busy (power input)."""
+        return min(self.arith_seconds / self.seconds, 1.0) if self.seconds > 0 else 0.0
+
+    @property
+    def ls_utilization(self) -> float:
+        return min(self.ls_seconds / self.seconds, 1.0) if self.seconds > 0 else 0.0
+
+    @property
+    def dram_bandwidth(self) -> float:
+        """Average achieved DRAM bandwidth over the launch, bytes/s."""
+        return self.dram_bytes / self.seconds if self.seconds > 0 else 0.0
+
+
+def _arith_cycles(mix: InstructionMix, config: MaliConfig, native_math: bool = False) -> float:
+    cycles = 0.0
+    for (op, base, width, accumulates), count in mix.arith.items():
+        cycles += count * config.arith_issue_cost(
+            op, base, width, scalar_bits(base), native_math=native_math
+        )
+    cycles += mix.loop_headers * config.loop_header_cost
+    cycles += mix.branches * config.branch_cost
+    cycles += mix.calls * config.call_cost
+    return cycles
+
+
+def _ls_cycles(mix: InstructionMix, config: MaliConfig) -> float:
+    cycles = 0.0
+    for (kind, space, pattern, base, width, sequential, aligned), count in mix.mem.items():
+        if space == MemSpace.PRIVATE:
+            continue  # register-resident; spills are emitted as GLOBAL
+        cost = config.ls_issue_cost(width, scalar_bits(base))
+        if width > 1 and not aligned:
+            # sliding-window vloads at arbitrary element offsets cross
+            # register boundaries: two LS issues each
+            cost *= 2.0
+        if space == MemSpace.CONSTANT:
+            # __constant data comes through the constant cache / uniform
+            # registers and barely touches the LS pipe; a broadcast from
+            # plain __global memory still pays the full LS transaction
+            cost *= config.uniform_load_cost_factor
+        cycles += count * cost
+    for (op, base, space), count in mix.atomics.items():
+        if space == MemSpace.LOCAL:
+            cycles += count * config.atomic_local_cycles
+        else:
+            cycles += count * config.atomic_cycles
+    return cycles
+
+
+def _access_width_efficiency(mix: InstructionMix, config: MaliConfig) -> float:
+    """Bandwidth efficiency from the average global-access width.
+
+    Midgard threads issue independent L2/DRAM transactions (no
+    warp-level coalescing), so a stream of 32-bit scalar accesses
+    sustains only ``scalar_access_dram_efficiency`` of the bandwidth a
+    128-bit ``vload4`` stream reaches.  Interpolates linearly in the
+    byte-weighted mean access width.
+    """
+    total_bytes = 0.0
+    weighted_bits = 0.0
+    for (kind, space, pattern, base, width, sequential, aligned), count in mix.mem.items():
+        if space != MemSpace.GLOBAL:
+            continue
+        from ..ir.dtypes import DType
+
+        nbytes = count * DType(base, width).bytes
+        total_bytes += nbytes
+        if sequential:
+            # a per-thread streaming walk consumes whole cache lines
+            # regardless of the instruction width
+            weighted_bits += nbytes * config.lane_bits
+        else:
+            weighted_bits += nbytes * min(width * scalar_bits(base), config.lane_bits)
+    if total_bytes <= 0.0:
+        return 1.0
+    mean_bits = weighted_bits / total_bytes
+    # 32-bit accesses -> the scalar floor; 128-bit accesses -> full rate
+    frac = min(max((mean_bits - 32.0) / (config.lane_bits - 32.0), 0.0), 1.0)
+    low = config.scalar_access_dram_efficiency
+    return low + (1.0 - low) * frac
+
+
+def time_launch(
+    compiled: CompiledKernel,
+    n_items: int,
+    local_size: int,
+    traits: WorkloadTraits,
+    config: MaliConfig,
+    dram: DramModel,
+    caches: CacheHierarchy,
+    concurrent_agents: int = 1,
+) -> GpuLaunchTiming:
+    """Price one NDRange launch of ``n_items`` work-items."""
+    if n_items < 1:
+        raise ValueError(f"n_items must be >= 1, got {n_items}")
+    mix = compiled.mix
+    totals = mix.scaled(float(n_items))
+
+    occ = derive_occupancy(compiled.registers.threads_per_core, local_size)
+    dist, imbalance = distribute(n_items, local_size, config, traits.imbalance_cv)
+
+    clock = config.clock_hz
+    n_cores = config.shader_cores
+
+    native_math = compiled.options.native_math
+    arith_cycles = _arith_cycles(totals, config, native_math) / (
+        n_cores * config.arith_pipes_per_core
+    )
+    ls_cycles = _ls_cycles(totals, config) / (n_cores * config.ls_pipes_per_core)
+    arith_s = arith_cycles / clock / occ.hiding
+    ls_s = ls_cycles / clock / occ.hiding
+
+    traffic = caches.dram_traffic(list(traits.streams))
+    dram_bytes = sum(traffic.values())
+    access_eff = _access_width_efficiency(totals, config)
+    dram_s = (
+        dram.transfer_seconds("gpu", traffic, concurrent_agents=concurrent_agents)
+        / occ.bandwidth_hiding
+        / access_eff
+        if dram_bytes > 0
+        else 0.0
+    )
+
+    atomic_s = (
+        totals.atomic_contention_weight * config.atomic_cycles
+        # local atomics serialize only within one core: 1/n_cores weight
+        + totals.atomic_contention_weight_local * config.atomic_local_cycles / n_cores
+    ) / clock
+
+    barrier_instances = totals.barriers / max(local_size, 1)
+    barrier_s = barrier_instances * config.barrier_cycles / clock / n_cores
+
+    components = {"arith": arith_s, "ls": ls_s, "dram": dram_s, "atomic": atomic_s}
+    bottleneck = max(components, key=components.get)
+    peak = components[bottleneck]
+    leak = config.overlap_leak * (sum(components.values()) - peak)
+    parallel_s = (peak + leak) * imbalance + barrier_s
+
+    total = parallel_s + dist.schedule_seconds + config.launch_overhead_s
+
+    return GpuLaunchTiming(
+        seconds=total,
+        arith_seconds=arith_s,
+        ls_seconds=ls_s,
+        dram_seconds=dram_s,
+        atomic_seconds=atomic_s,
+        barrier_seconds=barrier_s,
+        schedule_seconds=dist.schedule_seconds,
+        launch_overhead_seconds=config.launch_overhead_s,
+        imbalance_factor=imbalance,
+        occupancy=occ,
+        distribution=dist,
+        dram_bytes=dram_bytes,
+        bottleneck=bottleneck,
+    )

@@ -1,0 +1,202 @@
+"""Analytical cache model for the Exynos 5250 on-chip hierarchy.
+
+We price caches with a working-set model rather than a trace simulator:
+each kernel declares, per buffer *stream*, its footprint (distinct bytes
+touched) and reuse (average touches per byte).  For an LRU cache of
+capacity ``C`` and a stream of working set ``W``:
+
+* every byte misses once (compulsory),
+* reuse touches hit with probability ≈ the resident fraction
+  ``min(C_share / W, 1)``, where ``C_share`` is the stream's share of
+  capacity when several streams compete.
+
+This reproduces the behaviours the paper's benchmarks depend on —
+``dmmm`` blocking keeps its tiles L2-resident, ``vecop`` streams straight
+through, ``2dcon``/``3dstc`` neighbourhoods hit in cache — without
+simulating addresses.  Burst/row-buffer effects are *not* modelled here;
+they belong to :class:`repro.memory.patterns.PatternEfficiency` (the two
+compose: the cache decides how many bytes reach DRAM, the pattern table
+decides how fast DRAM moves them).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import CalibrationError
+from ..ir.nodes import AccessPattern
+
+
+@dataclass(frozen=True)
+class StreamSpec:
+    """One buffer's traffic as seen by the cache hierarchy.
+
+    Attributes:
+        name: buffer/stream identifier (matches ``MemAccess.param``).
+        footprint_bytes: distinct bytes the kernel touches in the buffer.
+        touches_per_byte: average times each byte is requested (>= 1).
+        pattern: spatial pattern (forwarded to the DRAM model).
+        reuse_window_bytes: span of data between successive touches of
+            the same byte.  A stencil re-touches a pixel within a few
+            rows; a naive matrix-column walk re-touches only after the
+            whole matrix.  ``None`` means the full footprint (the
+            pessimistic default).
+    """
+
+    name: str
+    footprint_bytes: float
+    touches_per_byte: float = 1.0
+    pattern: AccessPattern = AccessPattern.UNIT
+    reuse_window_bytes: float | None = None
+    #: bytes per individual access (element size); data-dependent
+    #: gathers that miss pull a whole cache line per element, so their
+    #: miss traffic is amplified by line/access_bytes
+    access_bytes: float = 4.0
+
+    def __post_init__(self) -> None:
+        if self.footprint_bytes < 0:
+            raise ValueError(f"stream {self.name!r}: negative footprint")
+        if self.touches_per_byte < 1.0:
+            raise ValueError(f"stream {self.name!r}: touches_per_byte must be >= 1")
+        if self.reuse_window_bytes is not None and self.reuse_window_bytes < 0:
+            raise ValueError(f"stream {self.name!r}: negative reuse window")
+
+    @property
+    def window(self) -> float:
+        """Effective reuse distance (defaults to the footprint)."""
+        if self.reuse_window_bytes is None:
+            return self.footprint_bytes
+        return min(self.reuse_window_bytes, self.footprint_bytes)
+
+    @property
+    def requested_bytes(self) -> float:
+        return self.footprint_bytes * self.touches_per_byte
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """One cache level."""
+
+    size_bytes: int
+    line_bytes: int = 64
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0 or self.line_bytes <= 0:
+            raise CalibrationError("cache sizes must be positive")
+
+
+class CacheModel:
+    """Working-set hit/miss estimation for one cache level."""
+
+    def __init__(self, config: CacheConfig):
+        self.config = config
+
+    def shares(self, streams: list[StreamSpec]) -> dict[str, float]:
+        """LRU steady-state capacity shares for competing streams.
+
+        LRU keeps what is touched often: capacity is assigned in
+        proportion to each stream's *request volume*, but a stream never
+        needs more than its reuse window — excess is redistributed to
+        the still-hungry streams.  This keeps small hot structures
+        (histogram bins, convolution filters) resident regardless of how
+        much bulk data streams past them, which is what real LRU does.
+        """
+        size = float(self.config.size_bytes)
+        total_req = sum(s.requested_bytes for s in streams)
+        if total_req <= 0.0:
+            return {s.name: size for s in streams}
+        share = {s.name: size * s.requested_bytes / total_req for s in streams}
+        # redistribute excess above each stream's window (two passes
+        # cover the common cases; the loop converges monotonically)
+        for _ in range(4):
+            excess = 0.0
+            hungry: list[StreamSpec] = []
+            hungry_req = 0.0
+            for s in streams:
+                if share[s.name] > s.window:
+                    excess += share[s.name] - s.window
+                    share[s.name] = s.window
+                elif share[s.name] < s.window:
+                    hungry.append(s)
+                    hungry_req += s.requested_bytes
+            if excess <= 0.0 or not hungry:
+                break
+            for s in hungry:
+                share[s.name] += excess * (s.requested_bytes / hungry_req)
+        return share
+
+    def resident_fraction(self, stream: StreamSpec, share_bytes: float | None = None) -> float:
+        """Probability a re-touch of the stream finds its byte resident.
+
+        The byte survives if the stream's capacity share covers its
+        *reuse window* — the data touched between successive uses.
+        """
+        if stream.footprint_bytes <= 0.0 or stream.window <= 0.0:
+            return 1.0
+        share = self.config.size_bytes if share_bytes is None else share_bytes
+        return min(share / stream.window, 1.0)
+
+    def miss_bytes(self, stream: StreamSpec, share_bytes: float | None = None) -> float:
+        """Bytes of the stream that go to the next level."""
+        if stream.requested_bytes <= 0.0:
+            return 0.0
+        resident = self.resident_fraction(stream, share_bytes)
+        compulsory = stream.footprint_bytes
+        reuse_requests = stream.requested_bytes - stream.footprint_bytes
+        reuse_misses = reuse_requests * (1.0 - resident)
+        return compulsory + reuse_misses
+
+    def hit_fraction(self, stream: StreamSpec, share_bytes: float | None = None) -> float:
+        """Fraction of requested bytes served by this level."""
+        if stream.requested_bytes <= 0.0:
+            return 1.0
+        return 1.0 - self.miss_bytes(stream, share_bytes) / stream.requested_bytes
+
+
+class CacheHierarchy:
+    """L1 + shared L2 feeding DRAM.
+
+    ``dram_traffic`` reduces a set of streams to per-pattern DRAM byte
+    counts; the device models hand those to :class:`~repro.memory.dram.
+    DramModel`.  L1 filtering only matters for the CPU's cycle cost (the
+    GPU's per-core L1s are tiny and bypassed for streaming); DRAM traffic
+    is governed by the last-level cache.
+    """
+
+    def __init__(self, l1: CacheConfig, l2: CacheConfig):
+        self.l1 = CacheModel(l1)
+        self.l2 = CacheModel(l2)
+
+    def dram_traffic(self, streams: list[StreamSpec]) -> dict[AccessPattern, float]:
+        """Per-pattern bytes that reach DRAM after L2 filtering.
+
+        Gather streams amplify their *reuse* misses by the line size: a
+        randomly-addressed element that misses pulls a whole cache line
+        of which only ``access_bytes`` are used before eviction.
+        Compulsory traffic is not amplified (every byte of the footprint
+        is eventually consumed).
+        """
+        out: dict[AccessPattern, float] = {}
+        shares = self.l2.shares(streams)
+        for s in streams:
+            missed = self.l2.miss_bytes(s, share_bytes=shares[s.name])
+            if missed <= 0.0:
+                continue
+            if s.pattern == AccessPattern.GATHER:
+                reuse_miss = max(missed - s.footprint_bytes, 0.0)
+                amp = min(self.l2.config.line_bytes / max(s.access_bytes, 1.0), 16.0)
+                missed = min(s.footprint_bytes, missed) + reuse_miss * amp
+            out[s.pattern] = out.get(s.pattern, 0.0) + missed
+        return out
+
+    def l1_hit_fraction(self, streams: list[StreamSpec]) -> float:
+        """Request-weighted L1 hit fraction across streams (CPU cost)."""
+        requested = sum(s.requested_bytes for s in streams)
+        if requested <= 0.0:
+            return 1.0
+        shares = self.l1.shares(streams)
+        hits = sum(
+            s.requested_bytes * self.l1.hit_fraction(s, share_bytes=shares[s.name])
+            for s in streams
+        )
+        return hits / requested

@@ -1,0 +1,54 @@
+"""Mini-OpenCL host API backed by the simulated Mali-T604.
+
+The surface mirrors OpenCL 1.1 closely enough that the paper's
+host-code optimizations are expressible verbatim: buffer flags
+(``USE_HOST_PTR`` vs ``ALLOC_HOST_PTR``), map/unmap vs read/write
+copies, NDRange launches with explicit or driver-chosen local sizes,
+and profiling events.
+"""
+
+from .buffer import Buffer
+from .context import Context
+from .device import Device, mali_embedded_profile, mali_t604
+from .driver import (
+    EmbeddedProfileNoFp64,
+    Fp64RngCompilerBug,
+    copy_seconds,
+    default_quirks,
+    driver_local_size,
+    embedded_profile_quirks,
+    map_seconds,
+)
+from .enums import CommandStatus, CommandType, DeviceType, MapFlag, MemFlag
+from .event import Event
+from .kernel import Kernel
+from .platform import Platform, get_platforms
+from .program import KernelSpec, Program
+from .queue import CommandQueue
+
+__all__ = [
+    "Buffer",
+    "CommandQueue",
+    "CommandStatus",
+    "CommandType",
+    "Context",
+    "Device",
+    "EmbeddedProfileNoFp64",
+    "DeviceType",
+    "Event",
+    "Fp64RngCompilerBug",
+    "Kernel",
+    "KernelSpec",
+    "MapFlag",
+    "MemFlag",
+    "Platform",
+    "Program",
+    "copy_seconds",
+    "default_quirks",
+    "embedded_profile_quirks",
+    "driver_local_size",
+    "get_platforms",
+    "mali_embedded_profile",
+    "mali_t604",
+    "map_seconds",
+]

@@ -1,0 +1,56 @@
+"""OpenCL-style flags and enums for the mini-runtime.
+
+Names mirror the OpenCL 1.1 C API closely enough that the host-code
+optimization of Section III-A reads like the real thing:
+``CL_MEM_ALLOC_HOST_PTR`` + map/unmap vs ``CL_MEM_USE_HOST_PTR`` +
+explicit enqueue copies vs plain device buffers.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class MemFlag(enum.IntFlag):
+    """``cl_mem_flags`` subset used by the paper's host code."""
+
+    READ_WRITE = 1 << 0
+    WRITE_ONLY = 1 << 1
+    READ_ONLY = 1 << 2
+    USE_HOST_PTR = 1 << 3
+    ALLOC_HOST_PTR = 1 << 4
+    COPY_HOST_PTR = 1 << 5
+
+
+class MapFlag(enum.IntFlag):
+    """``cl_map_flags``."""
+
+    READ = 1 << 0
+    WRITE = 1 << 1
+
+
+class DeviceType(enum.Enum):
+    """``cl_device_type`` subset."""
+
+    CPU = "cpu"
+    GPU = "gpu"
+
+
+class CommandType(enum.Enum):
+    """What a queue entry did (for event introspection)."""
+
+    NDRANGE_KERNEL = "ndrange_kernel"
+    WRITE_BUFFER = "write_buffer"
+    READ_BUFFER = "read_buffer"
+    MAP_BUFFER = "map_buffer"
+    UNMAP_MEM_OBJECT = "unmap_mem_object"
+    FILL_BUFFER = "fill_buffer"
+    COPY_BUFFER = "copy_buffer"
+
+
+class CommandStatus(enum.Enum):
+    """Execution status of an enqueued command."""
+
+    QUEUED = "queued"
+    COMPLETE = "complete"
+    ERROR = "error"

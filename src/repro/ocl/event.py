@@ -1,0 +1,33 @@
+"""OpenCL events with profiling info (``CL_QUEUE_PROFILING_ENABLE``)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .enums import CommandStatus, CommandType
+
+
+@dataclass
+class Event:
+    """Completion record of one enqueued command.
+
+    Times are simulated queue-clock seconds (monotonic from queue
+    creation), matching ``clGetEventProfilingInfo`` semantics.
+    """
+
+    command_type: CommandType
+    queued_s: float
+    start_s: float
+    end_s: float
+    status: CommandStatus = CommandStatus.COMPLETE
+    #: free-form details (bytes copied, launch breakdown ...)
+    info: dict = field(default_factory=dict)
+
+    @property
+    def duration_s(self) -> float:
+        """``CL_PROFILING_COMMAND_END - CL_PROFILING_COMMAND_START``."""
+        return self.end_s - self.start_s
+
+    def wait(self) -> "Event":
+        """``clWaitForEvents`` — commands complete synchronously here."""
+        return self

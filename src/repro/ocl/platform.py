@@ -1,0 +1,42 @@
+"""OpenCL platform discovery (``clGetPlatformIDs`` analogue)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..calibration.exynos5250 import ExynosPlatform, default_platform
+from .device import Device, mali_t604
+from .enums import DeviceType
+
+
+@dataclass(frozen=True)
+class Platform:
+    """An OpenCL platform (one per installed driver stack)."""
+
+    name: str
+    vendor: str
+    version: str
+    devices: tuple[Device, ...]
+
+    def get_devices(self, device_type: DeviceType | None = None) -> tuple[Device, ...]:
+        if device_type is None:
+            return self.devices
+        return tuple(d for d in self.devices if d.device_type == device_type)
+
+
+def get_platforms(hardware: ExynosPlatform | None = None) -> tuple[Platform, ...]:
+    """Enumerate platforms of the simulated board.
+
+    The Arndale board image ships ARM's Mali OpenCL driver exposing one
+    platform with the GPU.  (The A15 cluster is not an OpenCL device in
+    that stack — the paper's CPU baselines are plain serial/OpenMP C.)
+    """
+    hw = hardware or default_platform()
+    return (
+        Platform(
+            name="ARM Platform",
+            vendor="ARM",
+            version="OpenCL 1.1 FULL_PROFILE",
+            devices=(mali_t604(hw),),
+        ),
+    )

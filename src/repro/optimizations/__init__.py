@@ -1,0 +1,54 @@
+"""Section III optimization techniques, work-size rules, autotuner."""
+
+from .autotune import TuneResult, TuneTrial, sweep, tune
+from .techniques import (
+    ALL_TECHNIQUES,
+    DATA_LAYOUT_SOA,
+    LOAD_DISTRIBUTION,
+    LOOP_UNROLLING,
+    MEMORY_MAPPING,
+    NO_THREAD_DIVERGENCE,
+    OPTION_TECHNIQUES,
+    QUALIFIERS,
+    Technique,
+    TechniqueKind,
+    UNIFIED_MEMORY_NO_TILING,
+    VECTORIZATION,
+    VECTOR_LOADS,
+    VECTOR_SIZE_TUNING,
+)
+from .worksize import (
+    GUIDE_CONSTANTS,
+    MIN_EFFICIENT_GLOBAL,
+    candidate_local_sizes,
+    guide_global_size,
+    is_global_size_efficient,
+    round_global,
+)
+
+__all__ = [
+    "ALL_TECHNIQUES",
+    "DATA_LAYOUT_SOA",
+    "GUIDE_CONSTANTS",
+    "LOAD_DISTRIBUTION",
+    "LOOP_UNROLLING",
+    "MEMORY_MAPPING",
+    "MIN_EFFICIENT_GLOBAL",
+    "NO_THREAD_DIVERGENCE",
+    "OPTION_TECHNIQUES",
+    "QUALIFIERS",
+    "Technique",
+    "TechniqueKind",
+    "TuneResult",
+    "TuneTrial",
+    "UNIFIED_MEMORY_NO_TILING",
+    "VECTORIZATION",
+    "VECTOR_LOADS",
+    "VECTOR_SIZE_TUNING",
+    "candidate_local_sizes",
+    "guide_global_size",
+    "is_global_size_efficient",
+    "round_global",
+    "sweep",
+    "tune",
+]

@@ -1,0 +1,171 @@
+"""The Section III optimization catalogue as first-class objects.
+
+Used by the ablation benchmarks (one bench per technique) and by the
+documentation examples: each technique knows how to switch itself on in
+a :class:`~repro.compiler.options.CompileOptions`, and records the
+paper's own rationale.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..compiler.options import CompileOptions
+
+
+class TechniqueKind(enum.Enum):
+    """Where in the stack a Section III technique acts."""
+
+    HOST = "host code"
+    KERNEL = "kernel code"
+    ARCHITECTURAL = "architecture property"
+
+
+@dataclass(frozen=True)
+class Technique:
+    """One optimization from Section III."""
+
+    key: str
+    title: str
+    kind: TechniqueKind
+    paper_rationale: str
+    #: how to express the technique in compile options (None for host-
+    #: side or architectural techniques that options don't encode)
+    enable: tuple[tuple[str, object], ...] | None = None
+
+    def apply(self, base: CompileOptions) -> CompileOptions:
+        if self.enable is None:
+            raise ValueError(f"technique {self.key!r} is not a compile option")
+        return base.with_(**dict(self.enable))
+
+
+MEMORY_MAPPING = Technique(
+    key="memory_mapping",
+    title="Memory allocation and mapping",
+    kind=TechniqueKind.HOST,
+    paper_rationale=(
+        "Allocate with CL_MEM_ALLOC_HOST_PTR and use clEnqueueMapBuffer/"
+        "clEnqueueUnmapMemObject so both the application processor and the "
+        "Mali GPU access the same unified memory without copies."
+    ),
+)
+
+LOAD_DISTRIBUTION = Technique(
+    key="load_distribution",
+    title="Load distribution (work-size tuning)",
+    kind=TechniqueKind.HOST,
+    paper_rationale=(
+        "Global work size ~ max work-group size x shader cores x {4,8}; "
+        "manually tune the local work size, the driver's NULL pick is "
+        "not always good."
+    ),
+)
+
+VECTORIZATION = Technique(
+    key="vectorization",
+    title="Vectorization",
+    kind=TechniqueKind.KERNEL,
+    paper_rationale=(
+        "Shader cores have 128-bit vector registers; convert scalar types "
+        "to vector types (float4...), reducing global work size and "
+        "run-time scheduling overhead."
+    ),
+    enable=(("vector_width", 4),),
+)
+
+VECTOR_SIZE_TUNING = Technique(
+    key="vector_size_tuning",
+    title="Vector size tuning",
+    kind=TechniqueKind.KERNEL,
+    paper_rationale=(
+        "The best vector size is not bound to the hardware width: wider "
+        "types improve instruction-level scheduling but increase register "
+        "pressure; experiment with 4, 8, 16."
+    ),
+    enable=(("vector_width", 8),),
+)
+
+VECTOR_LOADS = Technique(
+    key="vector_loads",
+    title="Vector loads/stores in scalar kernels",
+    kind=TechniqueKind.KERNEL,
+    paper_rationale=(
+        "Vector load/store operations access multiple data elements with "
+        "a single instruction, using bandwidth more efficiently even when "
+        "compute stays scalar."
+    ),
+    enable=(("vector_loads", True),),
+)
+
+LOOP_UNROLLING = Technique(
+    key="loop_unrolling",
+    title="Loop unrolling",
+    kind=TechniqueKind.KERNEL,
+    paper_rationale=(
+        "Unroll loops and replace multiple instructions with vector "
+        "instructions; beware the remainder-iteration overhead when the "
+        "trip count is not a multiple of the vector size."
+    ),
+    enable=(("unroll", 2),),
+)
+
+DATA_LAYOUT_SOA = Technique(
+    key="data_layout_soa",
+    title="Data organization (AOS to SOA)",
+    kind=TechniqueKind.KERNEL,
+    paper_rationale=(
+        "AOS executes poorly in vector registers; SOA keeps types the "
+        "same across the vector and enables vector instructions."
+    ),
+    enable=(("soa", True),),
+)
+
+QUALIFIERS = Technique(
+    key="qualifiers",
+    title="Directives and type qualifiers",
+    kind=TechniqueKind.KERNEL,
+    paper_rationale=(
+        "inline enlarges basic blocks and removes call overhead; const "
+        "lets the compiler assume more; restrict limits pointer aliasing."
+    ),
+    enable=(("qualifiers", True),),
+)
+
+UNIFIED_MEMORY_NO_TILING = Technique(
+    key="unified_memory",
+    title="Memory spaces: no local-memory tiling",
+    kind=TechniqueKind.ARCHITECTURAL,
+    paper_rationale=(
+        "Mali maps OpenCL local memory to the same physical memory as "
+        "global; traditional locality tiling is not required."
+    ),
+)
+
+NO_THREAD_DIVERGENCE = Technique(
+    key="no_divergence",
+    title="Thread divergence is free",
+    kind=TechniqueKind.ARCHITECTURAL,
+    paper_rationale=(
+        "The smallest unit of parallelism is a single work-item; "
+        "divergent control flow carries no warp/wavefront penalty."
+    ),
+)
+
+ALL_TECHNIQUES: tuple[Technique, ...] = (
+    MEMORY_MAPPING,
+    LOAD_DISTRIBUTION,
+    VECTORIZATION,
+    VECTOR_SIZE_TUNING,
+    VECTOR_LOADS,
+    LOOP_UNROLLING,
+    DATA_LAYOUT_SOA,
+    QUALIFIERS,
+    UNIFIED_MEMORY_NO_TILING,
+    NO_THREAD_DIVERGENCE,
+)
+
+#: techniques expressible as compile-option ablations
+OPTION_TECHNIQUES: tuple[Technique, ...] = tuple(
+    t for t in ALL_TECHNIQUES if t.enable is not None
+)

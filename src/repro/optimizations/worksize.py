@@ -1,0 +1,55 @@
+"""Global/local work-size selection (Section III-A, "Load distribution").
+
+The Mali OpenCL Developer Guide formula the paper quotes: "the optimal
+global work size can be calculated as the device maximum work-group
+size multiplied by the number of shader cores multiplied by a constant
+[4 or 8 on the T604] ... more generally, the global work size must be
+in the order of several thousands".  And for the local size: the driver
+picks when ``NULL`` is passed, but "the driver is not always capable of
+doing a good selection. ... we strongly suggest to manually tune the
+local work size parameter."
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..mali.config import MaliConfig
+
+#: the Developer Guide's multiplier for the Mali-T604
+GUIDE_CONSTANTS = (4, 8)
+
+#: "the global work size must be in the order of several thousands"
+MIN_EFFICIENT_GLOBAL = 2048
+
+
+def guide_global_size(config: MaliConfig, constant: int = 4) -> int:
+    """The Developer Guide's minimum global size for full utilization."""
+    if constant not in GUIDE_CONSTANTS:
+        raise ValueError(f"guide constant must be one of {GUIDE_CONSTANTS}, got {constant}")
+    return config.max_work_group_size * config.shader_cores * constant
+
+
+def is_global_size_efficient(global_size: int, config: MaliConfig) -> bool:
+    """Whether the global size can keep the GPU resources utilized."""
+    return global_size >= min(guide_global_size(config, 4), MIN_EFFICIENT_GLOBAL)
+
+
+def candidate_local_sizes(config: MaliConfig) -> tuple[int, ...]:
+    """The local sizes the paper's tuning sweeps (powers of two)."""
+    sizes = []
+    size = 32
+    while size <= config.max_work_group_size:
+        sizes.append(size)
+        size *= 2
+    return tuple(sizes)
+
+
+def round_global(n_items: int, local_size: int) -> int:
+    """Round a global size up to a multiple of the local size.
+
+    OpenCL 1.1 requires divisibility; kernels guard the tail items.
+    """
+    if local_size < 1:
+        raise ValueError("local_size must be >= 1")
+    return math.ceil(n_items / local_size) * local_size

@@ -1,0 +1,18 @@
+"""Power and energy measurement stack: rails, trace, meter, energy."""
+
+from .energy import EnergyReport
+from .meter import PowerMeasurement, YokogawaWT230
+from .model import BoardPowerModel, PowerTrace, TraceSegment
+from .rails import Activity, ActivityKind, PowerRailConfig
+
+__all__ = [
+    "Activity",
+    "ActivityKind",
+    "BoardPowerModel",
+    "EnergyReport",
+    "PowerMeasurement",
+    "PowerRailConfig",
+    "PowerTrace",
+    "TraceSegment",
+    "YokogawaWT230",
+]

@@ -1,0 +1,86 @@
+"""Yokogawa WT230 power-meter simulator.
+
+The paper: "The power consumption of the board was measured with the
+Yokogawa WT230 power meter.  The WT230 power meter offers a sampling
+frequency of 10 Hz with 0.1 % accuracy."  The experiments were run long
+enough "to get an accurate energy consumption figure", repeated 20
+times, with negligible standard deviation.
+
+:class:`YokogawaWT230` samples a :class:`~repro.power.model.PowerTrace`
+at 10 Hz, applies a 0.1 % gaussian accuracy error per sample, and
+reports the mean — exactly the measurement pipeline of the paper.  The
+benchmark runner repeats the timed region until the run covers a
+minimum number of meter samples, mirroring the paper's methodology of
+adjusting iteration counts for measurement accuracy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .model import PowerTrace
+
+
+@dataclass(frozen=True)
+class PowerMeasurement:
+    """One meter reading session."""
+
+    mean_power_w: float
+    n_samples: int
+    sample_std_w: float
+    duration_s: float
+
+    @property
+    def energy_j(self) -> float:
+        return self.mean_power_w * self.duration_s
+
+
+class YokogawaWT230:
+    """10 Hz sampling wattmeter with 0.1 % gaussian accuracy."""
+
+    def __init__(self, sample_hz: float = 10.0, accuracy: float = 0.001, seed: int | None = 0):
+        if sample_hz <= 0:
+            raise ValueError("sample_hz must be positive")
+        if accuracy < 0:
+            raise ValueError("accuracy must be >= 0")
+        self.sample_hz = sample_hz
+        self.accuracy = accuracy
+        self._rng = np.random.default_rng(seed)
+
+    def measure(self, trace: PowerTrace) -> PowerMeasurement:
+        """Sample the trace over its full duration and average.
+
+        Raises ``ValueError`` if the run is too short for even one
+        sample — the caller must extend the run (the paper adjusts the
+        number of iterations for exactly this reason).
+        """
+        duration = trace.duration_s
+        n = int(np.floor(duration * self.sample_hz))
+        if n < 1:
+            raise ValueError(
+                f"run of {duration * 1e3:.2f} ms is shorter than one meter "
+                f"sample period ({1e3 / self.sample_hz:.0f} ms); repeat the "
+                "timed region to cover at least one sample"
+            )
+        # sample at the middle of each meter period (vectorized lookup:
+        # long runs repeat the per-iteration trace thousands of times)
+        times = (np.arange(n) + 0.5) / self.sample_hz
+        durations = np.fromiter((s.duration_s for s in trace.segments), dtype=np.float64)
+        watts = np.fromiter((s.watts for s in trace.segments), dtype=np.float64)
+        bounds = np.cumsum(durations)
+        idx = np.minimum(np.searchsorted(bounds, times, side="right"), len(watts) - 1)
+        true_powers = watts[idx]
+        noise = self._rng.normal(loc=0.0, scale=self.accuracy, size=n)
+        readings = true_powers * (1.0 + noise)
+        return PowerMeasurement(
+            mean_power_w=float(readings.mean()),
+            n_samples=n,
+            sample_std_w=float(readings.std(ddof=1)) if n > 1 else 0.0,
+            duration_s=duration,
+        )
+
+    def min_duration_s(self, min_samples: int = 20) -> float:
+        """Run length needed for a statistically stable reading."""
+        return min_samples / self.sample_hz

@@ -1,0 +1,68 @@
+"""Board power model: activities → a piecewise-constant power trace."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .rails import Activity, PowerRailConfig
+
+
+@dataclass(frozen=True)
+class TraceSegment:
+    """One homogeneous stretch of the power trace."""
+
+    duration_s: float
+    watts: float
+
+
+@dataclass(frozen=True)
+class PowerTrace:
+    """Piecewise-constant board power over a run."""
+
+    segments: tuple[TraceSegment, ...]
+
+    @property
+    def duration_s(self) -> float:
+        return sum(s.duration_s for s in self.segments)
+
+    @property
+    def energy_j(self) -> float:
+        """Exact energy of the trace (what a perfect meter would report)."""
+        return sum(s.duration_s * s.watts for s in self.segments)
+
+    @property
+    def mean_power_w(self) -> float:
+        d = self.duration_s
+        return self.energy_j / d if d > 0 else 0.0
+
+    def power_at(self, t: float) -> float:
+        """Instantaneous power at time ``t`` (for the sampling meter)."""
+        acc = 0.0
+        for seg in self.segments:
+            acc += seg.duration_s
+            if t < acc:
+                return seg.watts
+        return self.segments[-1].watts if self.segments else 0.0
+
+    def repeated(self, times: int) -> "PowerTrace":
+        """The trace of ``times`` back-to-back repetitions of the run."""
+        if times < 1:
+            raise ValueError("times must be >= 1")
+        return PowerTrace(self.segments * times)
+
+
+class BoardPowerModel:
+    """Turns a sequence of activities into a power trace."""
+
+    def __init__(self, rails: PowerRailConfig | None = None):
+        self.rails = rails or PowerRailConfig()
+
+    def trace(self, activities: list[Activity]) -> PowerTrace:
+        segments = tuple(
+            TraceSegment(duration_s=a.duration_s, watts=self.rails.power(a))
+            for a in activities
+            if a.duration_s > 0.0
+        )
+        if not segments:
+            raise ValueError("no non-empty activity segments")
+        return PowerTrace(segments)

@@ -1,0 +1,105 @@
+"""Board power rails for the Arndale / Exynos 5250.
+
+The paper measures *wall* power of the whole board with a bench meter,
+so the model sums rails: a constant board floor (regulators, DRAM
+refresh, peripherals, the idle cluster), per-active-CPU-core dynamic
+power scaling with achieved IPC, GPU power scaling with arithmetic and
+load/store pipe utilization, and DRAM power proportional to bandwidth.
+
+Rail coefficients are calibrated so the *ratios* the paper reports hold:
+OpenMP ≈ +31 % over Serial (second core), OpenCL within ±20 % of Serial
+(GPU active but CPU nearly idle), with memory-bound GPU runs *below*
+Serial (ALUs idle) and compute-bound ones above (all pipes busy) —
+Figure 3's spread.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..errors import CalibrationError
+
+
+class ActivityKind(enum.Enum):
+    """What the board is doing during a power-trace segment."""
+
+    IDLE = "idle"
+    CPU = "cpu"            # serial or OpenMP compute
+    GPU_KERNEL = "gpu"     # GPU executing, host core polling
+    HOST_COPY = "copy"     # CPU moving buffers for the GPU
+
+
+@dataclass(frozen=True)
+class Activity:
+    """One homogeneous segment of a run, as the power model sees it."""
+
+    kind: ActivityKind
+    duration_s: float
+    active_cpu_cores: int = 0
+    cpu_ipc: float = 0.0
+    gpu_alu_utilization: float = 0.0
+    gpu_ls_utilization: float = 0.0
+    dram_bandwidth: float = 0.0  # bytes/s
+
+    def __post_init__(self) -> None:
+        if self.duration_s < 0:
+            raise ValueError("duration_s must be >= 0")
+        if not 0.0 <= self.gpu_alu_utilization <= 1.0:
+            raise ValueError("gpu_alu_utilization must be in [0, 1]")
+        if not 0.0 <= self.gpu_ls_utilization <= 1.0:
+            raise ValueError("gpu_ls_utilization must be in [0, 1]")
+
+
+@dataclass(frozen=True)
+class PowerRailConfig:
+    """Calibrated rail coefficients (watts)."""
+
+    board_idle_w: float = 2.35
+    #: active CPU core: static+clock component
+    cpu_core_base_w: float = 0.70
+    #: dynamic component per unit of achieved IPC per core
+    cpu_core_ipc_w: float = 0.25
+    #: GPU with clocks on but pipes idle
+    gpu_base_w: float = 0.10
+    #: GPU arithmetic pipes at 100 % utilization (all cores)
+    gpu_alu_w: float = 1.20
+    #: GPU load/store pipes at 100 % utilization
+    gpu_ls_w: float = 0.50
+    #: host core lightly polling the GPU queue
+    host_polling_w: float = 0.15
+    #: DRAM dynamic power per GB/s of traffic
+    dram_w_per_gbps: float = 0.085
+
+    def __post_init__(self) -> None:
+        for name in (
+            "board_idle_w",
+            "cpu_core_base_w",
+            "cpu_core_ipc_w",
+            "gpu_base_w",
+            "gpu_alu_w",
+            "gpu_ls_w",
+            "host_polling_w",
+            "dram_w_per_gbps",
+        ):
+            if getattr(self, name) < 0:
+                raise CalibrationError(f"{name} must be >= 0")
+
+    # ------------------------------------------------------------------
+    def power(self, activity: Activity) -> float:
+        """Instantaneous board power (watts) during an activity segment."""
+        p = self.board_idle_w
+        p += self.dram_w_per_gbps * activity.dram_bandwidth / 1e9
+        if activity.kind == ActivityKind.IDLE:
+            return p
+        if activity.kind in (ActivityKind.CPU, ActivityKind.HOST_COPY):
+            cores = max(activity.active_cpu_cores, 1)
+            p += cores * (self.cpu_core_base_w + self.cpu_core_ipc_w * activity.cpu_ipc)
+            return p
+        if activity.kind == ActivityKind.GPU_KERNEL:
+            p += self.host_polling_w
+            p += self.gpu_base_w
+            p += self.gpu_alu_w * activity.gpu_alu_utilization
+            p += self.gpu_ls_w * activity.gpu_ls_utilization
+            return p
+        raise ValueError(f"unknown activity kind {activity.kind!r}")  # pragma: no cover

@@ -1,0 +1,76 @@
+"""Integration: the cluster extrapolation (paper §I motivation / §VII)."""
+
+import pytest
+
+from repro.benchmarks import Precision
+from repro.cluster import (
+    XEON_2013_NODE,
+    ClusterProjection,
+    NodeSpec,
+    compare_at_target,
+    format_comparison,
+    measure_arndale_node,
+    nodes_for_target,
+)
+
+
+@pytest.fixture(scope="module")
+def sp_node():
+    return measure_arndale_node(precision=Precision.SINGLE, scale=0.25)
+
+
+@pytest.fixture(scope="module")
+def dp_node():
+    return measure_arndale_node(precision=Precision.DOUBLE, scale=0.25)
+
+
+class TestNodeMeasurement:
+    def test_node_in_plausible_range(self, sp_node):
+        assert 1.0 < sp_node.gflops < 20.0
+        assert 2.5 < sp_node.watts < 5.0
+        assert sp_node.memory_gb == 2.0
+
+    def test_dp_node_slower_but_similar_power(self, sp_node, dp_node):
+        assert dp_node.gflops < sp_node.gflops
+        assert dp_node.watts == pytest.approx(sp_node.watts, rel=0.2)
+
+    def test_sp_efficiency_competitive_with_xeon(self, sp_node):
+        """The paper's thesis: the embedded node can beat the 2013 Xeon
+        on (single-precision) energy efficiency."""
+        assert sp_node.gflops_per_watt > XEON_2013_NODE.gflops_per_watt
+
+    def test_dp_efficiency_still_behind(self, dp_node):
+        """...while the half-rate FP64 keeps it behind for real HPC —
+        the historically accurate caveat."""
+        assert dp_node.gflops_per_watt < XEON_2013_NODE.gflops_per_watt
+
+    def test_invalid_node_rejected(self):
+        with pytest.raises(ValueError):
+            NodeSpec("bad", gflops=0.0, watts=10.0, memory_gb=1.0)
+
+
+class TestProjection:
+    def test_nodes_for_target(self, sp_node):
+        proj = nodes_for_target(sp_node, 1000.0)
+        assert proj.n_nodes == -(-1000 // sp_node.gflops)
+        assert proj.total_gflops >= 1000.0
+        assert proj.total_kw == pytest.approx(proj.n_nodes * sp_node.watts / 1e3)
+
+    def test_invalid_target(self, sp_node):
+        with pytest.raises(ValueError):
+            nodes_for_target(sp_node, 0.0)
+        with pytest.raises(ValueError):
+            ClusterProjection(node=sp_node, n_nodes=0)
+
+    def test_comparison_structure(self, sp_node):
+        result = compare_at_target(sp_node, XEON_2013_NODE, 10e3)
+        assert result["embedded"].total_gflops >= 10e3
+        assert result["conventional"].total_gflops >= 10e3
+        # many more embedded nodes for the same throughput
+        assert result["node_ratio"] > 10.0
+        # ...but less power (SP)
+        assert result["power_ratio"] < 1.0
+
+    def test_format(self, sp_node):
+        text = format_comparison(compare_at_target(sp_node, XEON_2013_NODE, 10e3))
+        assert "GF/W" in text and "Xeon" in text

@@ -1,0 +1,78 @@
+"""Integration: the paper's double-precision driver failures.
+
+Figure 2(b): the amcd OpenCL versions "are not presented due to a
+compiler issue"; the optimized nbody and 2dcon kernels fail with
+``CL_OUT_OF_RESOURCES`` so their Opt bars collapse toward the naive
+ones.
+"""
+
+import pytest
+
+from repro.benchmarks import Precision, Version, create, run_version
+from repro.compiler import CompileOptions, compile_kernel
+from repro.errors import CLBuildProgramFailure, CompilerInternalError, RegisterAllocationError
+from repro.ocl.driver import default_quirks
+from repro.optimizations.autotune import sweep
+
+SCALE = 0.1
+
+
+class TestAmcdCompilerBug:
+    def test_dp_amcd_fails_to_build(self):
+        bench = create("amcd", precision=Precision.DOUBLE, scale=SCALE)
+        with pytest.raises(CompilerInternalError):
+            compile_kernel(bench.kernel_ir(CompileOptions()), quirks=default_quirks())
+
+    def test_dp_amcd_opencl_version_reports_failure(self):
+        bench = create("amcd", precision=Precision.DOUBLE, scale=SCALE)
+        r = run_version(bench, Version.OPENCL)
+        assert not r.ok
+        assert "CL_BUILD_PROGRAM_FAILURE" in r.failure
+
+    def test_dp_amcd_opt_version_reports_failure(self):
+        bench = create("amcd", precision=Precision.DOUBLE, scale=SCALE)
+        r = run_version(bench, Version.OPENCL_OPT)
+        assert not r.ok
+
+    def test_sp_amcd_unaffected(self):
+        bench = create("amcd", precision=Precision.SINGLE, scale=SCALE)
+        r = run_version(bench, Version.OPENCL)
+        assert r.ok and r.verified
+
+    def test_dp_amcd_cpu_versions_fine(self):
+        bench = create("amcd", precision=Precision.DOUBLE, scale=SCALE)
+        assert run_version(bench, Version.SERIAL).ok
+        assert run_version(bench, Version.OPENMP).ok
+
+
+class TestRegisterExhaustion:
+    @pytest.mark.parametrize("name", ["nbody", "2dcon"])
+    def test_dp_aggressive_configs_infeasible(self, name):
+        bench = create(name, precision=Precision.DOUBLE, scale=0.05)
+        result = sweep(bench)
+        assert result.n_infeasible > 0, "some DP configs must exhaust the register file"
+        assert result.best is not None, "a conservative config must survive"
+
+    @pytest.mark.parametrize("name", ["nbody", "2dcon"])
+    def test_sp_has_fewer_failures_than_dp(self, name):
+        sp = sweep(create(name, precision=Precision.SINGLE, scale=0.05))
+        dp = sweep(create(name, precision=Precision.DOUBLE, scale=0.05))
+        assert dp.n_infeasible > sp.n_infeasible
+
+    def test_dp_2dcon_wide_vector_raises(self):
+        bench = create("2dcon", precision=Precision.DOUBLE, scale=0.05)
+        with pytest.raises(RegisterAllocationError):
+            compile_kernel(
+                bench.kernel_ir(CompileOptions(vector_width=8, unroll=2, qualifiers=True)),
+                CompileOptions(vector_width=8, unroll=2, qualifiers=True),
+            )
+
+    def test_opt_gap_collapses_in_dp(self):
+        """The §V-A discussion: DP Opt ~ DP OpenCL for nbody."""
+        bench = create("nbody", precision=Precision.DOUBLE, scale=0.25)
+        naive = run_version(bench, Version.OPENCL)
+        opt = run_version(bench, Version.OPENCL_OPT)
+        assert naive.ok and opt.ok
+        assert opt.elapsed_s <= naive.elapsed_s
+        # the gap is small: the best feasible config is near-naive
+        assert naive.elapsed_s / opt.elapsed_s < 1.5

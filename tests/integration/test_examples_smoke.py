@@ -1,0 +1,62 @@
+"""Smoke tests: every example script runs to completion.
+
+Each example is executed in-process (``runpy``) with a patched
+``sys.argv``; the slow full-grid script is exercised at reduced scale.
+Keeping these green guarantees the documentation entry points never
+rot.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "architecture_tour.py",
+    "custom_kernel.py",
+]
+
+
+@pytest.mark.parametrize("script", FAST_EXAMPLES)
+def test_fast_example_runs(script, capsys, monkeypatch):
+    monkeypatch.setattr(sys, "argv", [script])
+    runpy.run_path(str(EXAMPLES / script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert len(out) > 200  # produced a real report
+
+
+def test_paper_figures_small_grid(capsys, monkeypatch, tmp_path):
+    out_path = tmp_path / "EXPERIMENTS.md"
+    monkeypatch.setattr(
+        sys,
+        "argv",
+        ["paper_figures.py", "--scale", "0.05", "--sp-only",
+         "--write-experiments", str(out_path)],
+    )
+    with pytest.raises(SystemExit) as exit_info:
+        runpy.run_path(str(EXAMPLES / "paper_figures.py"), run_name="__main__")
+    assert exit_info.value.code == 0
+    out = capsys.readouterr().out
+    assert "fig2a" in out and "Summary" in out
+    assert out_path.exists()
+    assert "Known deviations" in out_path.read_text()
+
+
+def test_all_examples_are_tested_or_listed():
+    """Every example file is either smoke-tested here or known-slow."""
+    known_slow = {
+        "paper_figures.py",       # tested above at reduced scale
+        "optimization_walkthrough.py",
+        "autotune_example.py",
+        "energy_study.py",
+        "precision_study.py",
+        "roofline_study.py",
+        "future_hardware.py",
+        "cluster_study.py",
+    }
+    on_disk = {p.name for p in EXAMPLES.glob("*.py")}
+    assert on_disk == set(FAST_EXAMPLES) | known_slow

@@ -1,0 +1,214 @@
+"""Integration: the paper's qualitative result shapes at full scale.
+
+These assertions encode what the reproduction must preserve — who wins,
+by roughly what factor, where the orderings fall — with tolerances wide
+enough to survive recalibration but tight enough to catch regressions.
+The grid runs once per session at the paper-scale problem sizes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.benchmarks import PAPER_ORDER, Precision, Version
+from repro.experiments import figure2, figure3, figure4, run_grid, summarize
+
+SP = Precision.SINGLE
+DP = Precision.DOUBLE
+
+
+@pytest.fixture(scope="session")
+def grid():
+    return run_grid(scale=1.0, precisions=(SP, DP))
+
+
+@pytest.fixture(scope="session")
+def fig2a(grid):
+    return figure2(grid, SP)
+
+
+@pytest.fixture(scope="session")
+def fig2b(grid):
+    return figure2(grid, DP)
+
+
+@pytest.fixture(scope="session")
+def fig3a(grid):
+    return figure3(grid, SP)
+
+
+@pytest.fixture(scope="session")
+def fig4a(grid):
+    return figure4(grid, SP)
+
+
+class TestEverythingRan:
+    def test_all_cells_present(self, grid):
+        # 9 benchmarks x 4 versions x 2 precisions
+        assert len(grid.results) == 9 * 4 * 2
+
+    def test_all_successful_runs_verified(self, grid):
+        assert grid.all_verified()
+
+    def test_exactly_the_paper_failures(self, grid):
+        failed = sorted(
+            (b, v.value, p.label)
+            for (b, v, p), r in grid.results.items()
+            if not r.ok
+        )
+        assert failed == [
+            ("amcd", "OpenCL", "DP"),
+            ("amcd", "OpenCL Opt", "DP"),
+        ]
+
+
+class TestFigure2aShapes:
+    def test_openmp_range(self, fig2a):
+        """OpenMP speedups 1.2x-1.9x, mean ~1.7 (paper §V-A)."""
+        values = [fig2a.value(b, Version.OPENMP) for b in PAPER_ORDER]
+        assert all(1.1 <= v <= 2.05 for v in values)
+        assert 1.5 <= float(np.mean(values)) <= 2.0
+
+    def test_naive_port_can_lose_to_serial(self, fig2a):
+        """spmv and hist degrade; vecop is at best marginal."""
+        assert fig2a.value("spmv", Version.OPENCL) < 1.0
+        assert fig2a.value("hist", Version.OPENCL) < 1.0
+        assert fig2a.value("vecop", Version.OPENCL) < 1.3
+
+    def test_compute_bound_naive_ports_win_big(self, fig2a):
+        assert fig2a.value("nbody", Version.OPENCL) > 6.0
+        assert fig2a.value("amcd", Version.OPENCL) > 3.0
+        assert fig2a.value("dmmm", Version.OPENCL) > 3.0
+
+    def test_opt_always_at_least_naive(self, fig2a):
+        for b in PAPER_ORDER:
+            assert fig2a.value(b, Version.OPENCL_OPT) >= fig2a.value(b, Version.OPENCL) * 0.999
+
+    def test_spmv_is_the_worst_opt(self, fig2a):
+        """spmv 'is the only application that does not perform well'."""
+        spmv = fig2a.value("spmv", Version.OPENCL_OPT)
+        for b in PAPER_ORDER:
+            if b != "spmv":
+                assert fig2a.value(b, Version.OPENCL_OPT) > spmv
+
+    def test_dmmm_2dcon_nbody_are_the_big_three(self, fig2a):
+        """'The last three applications can reach significant speedups.'"""
+        big = {"nbody", "2dcon", "dmmm"}
+        small = set(PAPER_ORDER) - big
+        floor_big = min(fig2a.value(b, Version.OPENCL_OPT) for b in big)
+        ceil_small = max(fig2a.value(b, Version.OPENCL_OPT) for b in small)
+        assert floor_big > ceil_small
+
+    def test_dmmm_opt_in_paper_band(self, fig2a):
+        assert 15.0 <= fig2a.value("dmmm", Version.OPENCL_OPT) <= 40.0
+
+    def test_vectorization_transforms_vecop(self, fig2a):
+        naive = fig2a.value("vecop", Version.OPENCL)
+        opt = fig2a.value("vecop", Version.OPENCL_OPT)
+        assert opt / naive > 1.8  # vector loads matter on Mali
+
+    def test_amcd_gains_little_from_optimization(self, fig2a):
+        """'We did not find many hot spots for optimizations.'"""
+        ratio = fig2a.value("amcd", Version.OPENCL_OPT) / fig2a.value("amcd", Version.OPENCL)
+        assert ratio < 1.45
+
+
+class TestFigure2bShapes:
+    def test_amcd_missing(self, fig2b):
+        assert fig2b.value("amcd", Version.OPENCL) is None
+        assert fig2b.value("amcd", Version.OPENCL_OPT) is None
+
+    def test_dp_slower_than_sp_on_gpu(self, fig2a, fig2b):
+        for b in ("vecop", "red", "nbody", "2dcon"):
+            sp = fig2a.value(b, Version.OPENCL_OPT)
+            dp = fig2b.value(b, Version.OPENCL_OPT)
+            assert dp < sp * 1.05
+
+    def test_nbody_gap_collapses(self, fig2b):
+        """§V-A: the optimized DP kernels fail -> Opt ~ OpenCL."""
+        naive = fig2b.value("nbody", Version.OPENCL)
+        opt = fig2b.value("nbody", Version.OPENCL_OPT)
+        assert opt / naive < 1.3
+
+    def test_dmmm_dp_opt_still_large(self, fig2b):
+        assert fig2b.value("dmmm", Version.OPENCL_OPT) > 8.0
+
+
+class TestFigure3Shapes:
+    def test_openmp_power_premium(self, fig3a):
+        """+23% to +45%, average +31% (paper §V-B)."""
+        values = [fig3a.value(b, Version.OPENMP) for b in PAPER_ORDER]
+        assert all(1.1 <= v <= 1.5 for v in values)
+        assert 1.2 <= float(np.mean(values)) <= 1.4
+
+    def test_gpu_power_close_to_serial(self, fig3a):
+        """'Results vary insignificantly between OpenCL and Serial.'"""
+        values = [fig3a.value(b, Version.OPENCL) for b in PAPER_ORDER]
+        assert all(0.75 <= v <= 1.45 for v in values)
+        assert 0.95 <= float(np.mean(values)) <= 1.2
+
+    def test_memory_bound_gpu_below_serial(self, fig3a):
+        """spmv/vecop below 1.0 (idle ALUs)."""
+        assert fig3a.value("spmv", Version.OPENCL) < 1.0
+        assert fig3a.value("vecop", Version.OPENCL) < 1.0
+
+    def test_compute_bound_gpu_above_serial(self, fig3a):
+        assert fig3a.value("amcd", Version.OPENCL) > 1.0
+        assert fig3a.value("dmmm", Version.OPENCL) > 1.0
+
+    def test_opt_power_similar_to_naive(self, fig3a):
+        """'Power consumption varies insignificantly between optimized
+        and non-optimized versions' (except hist/dmmm)."""
+        for b in PAPER_ORDER:
+            if b in ("hist", "dmmm"):
+                continue
+            ratio = fig3a.value(b, Version.OPENCL_OPT) / fig3a.value(b, Version.OPENCL)
+            assert 0.75 <= ratio <= 1.25
+
+
+class TestFigure4Shapes:
+    def test_opt_best_energy_almost_everywhere(self, fig4a):
+        """'For all the benchmarks under study, OpenCL Opt versions
+        experience the lowest energy-to-solution.'  Known deviation:
+        our spmv Opt only matches the naive port (the model cannot
+        reproduce the paper's 1.25x spmv gain from work-size tuning
+        alone), so spmv may lose to OpenMP on energy — recorded in
+        EXPERIMENTS.md."""
+        for b in PAPER_ORDER:
+            if b == "spmv":
+                continue
+            opt = fig4a.value(b, Version.OPENCL_OPT)
+            for v in (Version.OPENMP, Version.OPENCL):
+                assert opt <= fig4a.value(b, v) * 1.02
+
+    def test_spmv_opt_no_worse_than_naive_energy(self, fig4a):
+        assert fig4a.value("spmv", Version.OPENCL_OPT) <= fig4a.value(
+            "spmv", Version.OPENCL
+        ) * 1.02
+
+    def test_openmp_energy_saving_modest(self, fig4a):
+        values = [fig4a.value(b, Version.OPENMP) for b in PAPER_ORDER]
+        assert 0.6 <= float(np.mean(values)) <= 0.9
+
+    def test_nbody_energy_tiny(self, fig4a):
+        assert fig4a.value("nbody", Version.OPENCL) < 0.25
+        assert fig4a.value("dmmm", Version.OPENCL_OPT) < 0.15
+
+    def test_opt_mean_energy_band(self, fig4a):
+        values = [fig4a.value(b, Version.OPENCL_OPT) for b in PAPER_ORDER]
+        assert 0.2 <= float(np.mean(values)) <= 0.45  # paper: 0.28
+
+
+class TestHeadline:
+    def test_mean_opt_speedup_near_8_7(self, grid):
+        summary = summarize(grid)
+        assert 5.5 <= summary.opt_speedup_mean <= 12.0  # paper: 8.7
+
+    def test_mean_opt_energy_near_32_percent(self, grid):
+        summary = summarize(grid)
+        assert 0.22 <= summary.opt_energy_mean <= 0.45  # paper: 0.32
+
+    def test_red_dp_energy_regression_present(self, grid):
+        """§V-C: red Opt energy rises significantly in DP vs SP."""
+        sp = grid.ratios("red", Version.OPENCL_OPT, SP)[2]
+        dp = grid.ratios("red", Version.OPENCL_OPT, DP)[2]
+        assert dp > sp

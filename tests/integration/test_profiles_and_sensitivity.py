@@ -1,0 +1,102 @@
+"""Integration: the Embedded/Full Profile contrast and calibration
+robustness."""
+
+import numpy as np
+import pytest
+
+from repro.benchmarks import Precision, create
+from repro.calibration.sensitivity import (
+    PERTURBATIONS,
+    analyze_sensitivity,
+    format_sensitivity,
+    probe_speedups,
+)
+from repro.calibration import default_platform
+from repro.errors import CLBuildProgramFailure
+from repro.ir import F32, F64, KernelBuilder, OpKind
+from repro.ocl import Context, KernelSpec, Program, mali_embedded_profile, mali_t604
+from repro.workload import WorkloadTraits
+
+
+def _spec(dtype):
+    b = KernelBuilder("k")
+    b.buffer("x", dtype)
+    b.load(dtype, param="x")
+    b.arith(OpKind.FMA, dtype)
+    return KernelSpec(ir=b.build(), func=lambda x: None, traits=WorkloadTraits(elements=1))
+
+
+class TestProfiles:
+    """§II-B: HPC needs the Full Profile; the T604 is the first to ship it."""
+
+    def test_embedded_profile_rejects_fp64(self):
+        ctx = Context(mali_embedded_profile())
+        with pytest.raises(CLBuildProgramFailure, match="Embedded Profile"):
+            Program(ctx, [_spec(F64)]).build()
+
+    def test_embedded_profile_accepts_fp32(self):
+        ctx = Context(mali_embedded_profile())
+        Program(ctx, [_spec(F32)]).build()
+
+    def test_full_profile_accepts_fp64(self):
+        ctx = Context(mali_t604())
+        Program(ctx, [_spec(F64)]).build()
+
+    def test_device_metadata(self):
+        embedded = mali_embedded_profile()
+        full = mali_t604()
+        assert embedded.profile == "EMBEDDED_PROFILE"
+        assert not embedded.supports_fp64()
+        assert full.profile == "FULL_PROFILE"
+        assert full.supports_fp64()
+
+    def test_every_dp_benchmark_needs_full_profile(self):
+        """All nine benchmarks in double precision hit the restriction."""
+        from repro.benchmarks import PAPER_ORDER
+        from repro.compiler.options import NAIVE
+
+        for name in PAPER_ORDER:
+            bench = create(name, precision=Precision.DOUBLE, scale=0.02)
+            assert bench.kernel_ir(NAIVE).uses_fp64, name
+
+
+class TestSensitivity:
+    @pytest.fixture(scope="class")
+    def analysis(self):
+        # two perturbations only: keep the integration test quick
+        perts = tuple(p for p in PERTURBATIONS if p.name in ("mali.clock_hz", "dram.agent_caps"))
+        return analyze_sensitivity(factors=(0.8, 1.25), perturbations=perts, scale=0.05)
+
+    def test_baseline_probe_shapes(self, analysis):
+        baseline, _ = analysis
+        s = baseline.speedups
+        assert s["dmmm"] > s["hist"] > 1.0
+        assert s["vecop"] > 1.0
+
+    def test_gpu_clock_moves_compute_bound_most(self, analysis):
+        baseline, rows = analysis
+        fast_gpu = next(
+            r for r in rows if r.constant == "mali.clock_hz" and r.factor == 1.25
+        )
+        dmmm_gain = fast_gpu.speedups["dmmm"] / baseline.speedups["dmmm"]
+        vecop_gain = fast_gpu.speedups["vecop"] / baseline.speedups["vecop"]
+        assert dmmm_gain > vecop_gain  # vecop is bandwidth-bound, not clock-bound
+
+    def test_no_perturbation_flips_the_headline(self, analysis):
+        """±20-25% on any probed constant keeps every probe > 1x
+        (the GPU still wins) — the conclusion is not a calibration
+        artifact."""
+        _, rows = analysis
+        for row in rows:
+            for bench, speedup in row.speedups.items():
+                assert speedup > 1.0, (row.constant, row.factor, bench)
+
+    def test_format(self, analysis):
+        baseline, rows = analysis
+        text = format_sensitivity(baseline, rows)
+        assert "baseline" in text and "mali.clock_hz" in text
+
+    def test_probe_deterministic(self):
+        a = probe_speedups(default_platform(), benchmarks=("vecop",), scale=0.05)
+        b = probe_speedups(default_platform(), benchmarks=("vecop",), scale=0.05)
+        assert a == b

@@ -1,0 +1,131 @@
+"""Property-based tests on IR transformations (hypothesis)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.compiler import CompileOptions
+from repro.compiler.passes import PassContext
+from repro.compiler.unroll import UnrollPass
+from repro.compiler.vectorize import VectorizePass
+from repro.ir import (
+    AccessPattern,
+    F32,
+    F64,
+    KernelBuilder,
+    OpKind,
+    Scaling,
+    analyze,
+    validate,
+)
+
+widths = st.sampled_from([2, 4, 8, 16])
+unrolls = st.sampled_from([2, 3, 4, 8])
+trips = st.floats(min_value=1.0, max_value=4096.0)
+counts = st.floats(min_value=0.25, max_value=64.0)
+fdtypes = st.sampled_from([F32, F64])
+
+
+def streaming_kernel(load_count, fma_count, dtype):
+    b = KernelBuilder("stream")
+    b.buffer("a", dtype)
+    b.int_ops(2)
+    b.load(dtype, param="a", count=load_count)
+    b.arith(OpKind.FMA, dtype, count=fma_count)
+    b.store(dtype, param="a")
+    return b.build(base_live_values=4.0)
+
+
+def loop_kernel(trip, fma_count, dtype):
+    b = KernelBuilder("loopy")
+    b.buffer("a", dtype)
+    with b.loop(trip=trip, scaling=Scaling.PER_ITEM):
+        b.load(dtype, param="a", sequential=True)
+        b.arith(OpKind.FMA, dtype, count=fma_count)
+    return b.build(base_live_values=4.0)
+
+
+@given(w=widths, loads=counts, fmas=counts, dtype=fdtypes)
+@settings(max_examples=60)
+def test_streaming_vectorization_preserves_per_element_flops(w, loads, fmas, dtype):
+    base = streaming_kernel(loads, fmas, dtype)
+    ctx = PassContext()
+    vec = VectorizePass().run(base, CompileOptions(vector_width=w), ctx)
+    validate(vec)
+    base_flops = analyze(base).flops() / base.elems_per_item
+    vec_flops = analyze(vec).flops() / vec.elems_per_item
+    assert vec_flops == pytest.approx(base_flops, rel=1e-9)
+
+
+@given(w=widths, loads=counts, fmas=counts, dtype=fdtypes)
+@settings(max_examples=60)
+def test_streaming_vectorization_preserves_bytes_per_element(w, loads, fmas, dtype):
+    base = streaming_kernel(loads, fmas, dtype)
+    vec = VectorizePass().run(base, CompileOptions(vector_width=w), PassContext())
+    assert analyze(vec).bytes_moved() / vec.elems_per_item == pytest.approx(
+        analyze(base).bytes_moved() / base.elems_per_item, rel=1e-9
+    )
+
+
+@given(w=widths, trip=trips, fmas=counts, dtype=fdtypes)
+@settings(max_examples=60)
+def test_loop_vectorization_preserves_total_flops(w, trip, fmas, dtype):
+    base = loop_kernel(trip, fmas, dtype)
+    vec = VectorizePass().run(base, CompileOptions(vector_width=w), PassContext())
+    validate(vec)
+    assert analyze(vec).flops() == pytest.approx(analyze(base).flops(), rel=1e-6)
+
+
+@given(w=widths, trip=trips)
+@settings(max_examples=60)
+def test_loop_vectorization_reduces_issue_count(w, trip):
+    base = loop_kernel(trip, 1.0, F32)
+    vec = VectorizePass().run(base, CompileOptions(vector_width=w), PassContext())
+    # issued vector instructions never exceed the scalar count
+    assert analyze(vec).arith_issues() <= analyze(base).arith_issues() + 1e-9
+
+
+@given(u=unrolls, trip=trips, fmas=counts)
+@settings(max_examples=60)
+def test_unroll_preserves_work_and_reduces_headers(u, trip, fmas):
+    base = loop_kernel(trip, fmas, F32)
+    unrolled = UnrollPass().run(base, CompileOptions(unroll=u), PassContext())
+    validate(unrolled)
+    base_mix, new_mix = analyze(base), analyze(unrolled)
+    assert new_mix.flops() == pytest.approx(base_mix.flops(), rel=1e-6)
+    assert new_mix.loop_headers <= base_mix.loop_headers + 1e-9
+
+
+@given(
+    factor=st.floats(min_value=0.0, max_value=1e6),
+    loads=counts,
+    fmas=counts,
+)
+@settings(max_examples=60)
+def test_mix_scaling_is_linear(factor, loads, fmas):
+    mix = analyze(streaming_kernel(loads, fmas, F32))
+    scaled = mix.scaled(factor)
+    assert scaled.flops() == pytest.approx(mix.flops() * factor, rel=1e-9)
+    assert scaled.mem_issues() == pytest.approx(mix.mem_issues() * factor, rel=1e-9)
+    assert scaled.total_issues() == pytest.approx(mix.total_issues() * factor, rel=1e-9)
+
+
+@given(loads=counts, fmas=counts, dtype=fdtypes)
+@settings(max_examples=40)
+def test_merged_mix_is_sum(loads, fmas, dtype):
+    m1 = analyze(streaming_kernel(loads, fmas, dtype))
+    m2 = analyze(loop_kernel(8.0, fmas, dtype))
+    merged = m1.merged(m2)
+    assert merged.flops() == pytest.approx(m1.flops() + m2.flops(), rel=1e-9)
+    assert merged.loop_headers == pytest.approx(m1.loop_headers + m2.loop_headers)
+
+
+@given(w=widths)
+@settings(max_examples=20)
+def test_gather_loads_never_widen(w):
+    b = KernelBuilder("g")
+    b.buffer("x", F32)
+    b.load(F32, pattern=AccessPattern.GATHER, param="x", vectorizable=False)
+    vec = VectorizePass().run(b.build(), CompileOptions(vector_width=w), PassContext())
+    assert analyze(vec).max_vector_width() == 1

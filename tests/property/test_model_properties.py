@@ -1,0 +1,190 @@
+"""Property-based tests on the memory, power and register models."""
+
+import math
+
+import pytest
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.compiler import CompileOptions, compile_kernel, estimate_registers
+from repro.errors import RegisterAllocationError
+from repro.ir import F32, F64, KernelBuilder, OpKind
+from repro.ir.nodes import AccessPattern
+from repro.memory import CacheConfig, CacheModel, DramConfig, DramModel, StreamSpec
+from repro.power import PowerTrace, TraceSegment, YokogawaWT230
+
+footprints = st.floats(min_value=1.0, max_value=1e9)
+touches = st.floats(min_value=1.0, max_value=1e3)
+sizes = st.integers(min_value=1024, max_value=1 << 24)
+
+
+# ---------------------------------------------------------------------------
+# cache invariants
+# ---------------------------------------------------------------------------
+
+
+@given(fp=footprints, t=touches, size=sizes)
+@settings(max_examples=80)
+def test_miss_bytes_bounded_by_requests_and_compulsory(fp, t, size):
+    cache = CacheModel(CacheConfig(size_bytes=size))
+    s = StreamSpec("x", fp, touches_per_byte=t)
+    missed = cache.miss_bytes(s, share_bytes=float(size))
+    assert missed >= min(fp, s.requested_bytes) - 1e-6  # at least compulsory
+    assert missed <= s.requested_bytes + 1e-6
+
+
+@given(fp=footprints, t=touches)
+@settings(max_examples=80)
+def test_bigger_cache_never_misses_more(fp, t):
+    small = CacheModel(CacheConfig(size_bytes=32 * 1024))
+    big = CacheModel(CacheConfig(size_bytes=1024 * 1024))
+    s = StreamSpec("x", fp, touches_per_byte=t)
+    assert big.miss_bytes(s, 1024.0 * 1024) <= small.miss_bytes(s, 32.0 * 1024) + 1e-6
+
+
+@given(
+    fps=st.lists(footprints, min_size=1, max_size=6),
+    size=sizes,
+)
+@settings(max_examples=60)
+def test_shares_never_exceed_capacity(fps, size):
+    cache = CacheModel(CacheConfig(size_bytes=size))
+    streams = [StreamSpec(f"s{i}", fp, touches_per_byte=2.0) for i, fp in enumerate(fps)]
+    shares = cache.shares(streams)
+    assert sum(shares.values()) <= size * (1.0 + 1e-9)
+    assert all(v >= 0.0 for v in shares.values())
+
+
+@given(fp=footprints, t=touches, window=st.floats(min_value=1.0, max_value=1e9))
+@settings(max_examples=80)
+def test_smaller_window_never_misses_more(fp, t, window):
+    cache = CacheModel(CacheConfig(size_bytes=256 * 1024))
+    wide = StreamSpec("x", fp, touches_per_byte=t)
+    narrow = StreamSpec("x", fp, touches_per_byte=t, reuse_window_bytes=window)
+    assume(narrow.window <= wide.window)
+    assert cache.miss_bytes(narrow, 256.0 * 1024) <= cache.miss_bytes(wide, 256.0 * 1024) + 1e-6
+
+
+# ---------------------------------------------------------------------------
+# DRAM invariants
+# ---------------------------------------------------------------------------
+
+
+@given(nbytes=st.floats(min_value=1.0, max_value=1e10))
+@settings(max_examples=60)
+def test_transfer_time_positive_and_linear(nbytes):
+    dram = DramModel(DramConfig())
+    t1 = dram.transfer_seconds("gpu", {AccessPattern.UNIT: nbytes})
+    t2 = dram.transfer_seconds("gpu", {AccessPattern.UNIT: 2 * nbytes})
+    assert t1 > 0
+    assert t2 == pytest.approx(2 * t1, rel=1e-9)
+
+
+@given(
+    unit=st.floats(min_value=0.0, max_value=1e9),
+    gather=st.floats(min_value=0.0, max_value=1e9),
+)
+@settings(max_examples=60)
+def test_effective_bandwidth_never_exceeds_cap(unit, gather):
+    assume(unit + gather > 0)
+    dram = DramModel(DramConfig())
+    bw = dram.effective_bandwidth(
+        "gpu", {AccessPattern.UNIT: unit, AccessPattern.GATHER: gather}
+    )
+    assert 0 < bw <= dram.config.gpu_cap
+
+
+@given(
+    unit=st.floats(min_value=1.0, max_value=1e9),
+    extra_gather=st.floats(min_value=0.0, max_value=1e9),
+)
+@settings(max_examples=60)
+def test_adding_gather_bytes_never_speeds_transfer(unit, extra_gather):
+    dram = DramModel(DramConfig())
+    base = dram.transfer_seconds("gpu", {AccessPattern.UNIT: unit})
+    mixed = dram.transfer_seconds(
+        "gpu", {AccessPattern.UNIT: unit, AccessPattern.GATHER: extra_gather}
+    )
+    assert mixed >= base - 1e-12
+
+
+# ---------------------------------------------------------------------------
+# meter / energy invariants
+# ---------------------------------------------------------------------------
+
+
+@given(
+    watts=st.lists(st.floats(min_value=0.5, max_value=20.0), min_size=1, max_size=5),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+@settings(max_examples=60)
+def test_meter_mean_within_range_of_trace(watts, seed):
+    trace = PowerTrace(tuple(TraceSegment(1.0, w) for w in watts)).repeated(3)
+    m = YokogawaWT230(seed=seed).measure(trace)
+    lo, hi = min(watts), max(watts)
+    assert lo * 0.99 <= m.mean_power_w <= hi * 1.01
+
+
+@given(
+    watts=st.floats(min_value=0.5, max_value=20.0),
+    duration=st.floats(min_value=1.0, max_value=100.0),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+@settings(max_examples=60)
+def test_meter_error_within_5_sigma(watts, duration, seed):
+    trace = PowerTrace((TraceSegment(duration, watts),))
+    m = YokogawaWT230(seed=seed).measure(trace)
+    sigma_mean = 0.001 * watts / math.sqrt(m.n_samples)
+    assert abs(m.mean_power_w - watts) <= 5 * sigma_mean
+
+
+@given(
+    watts=st.floats(min_value=0.5, max_value=20.0),
+    duration=st.floats(min_value=0.5, max_value=10.0),
+)
+@settings(max_examples=40)
+def test_trace_energy_identity(watts, duration):
+    trace = PowerTrace((TraceSegment(duration, watts),))
+    assert trace.energy_j == pytest.approx(trace.mean_power_w * trace.duration_s)
+
+
+# ---------------------------------------------------------------------------
+# register model invariants
+# ---------------------------------------------------------------------------
+
+
+@given(
+    live=st.floats(min_value=1.0, max_value=12.0),
+    w1=st.sampled_from([1, 2, 4]),
+    w2=st.sampled_from([4, 8, 16]),
+)
+@settings(max_examples=60)
+def test_registers_monotone_in_width(live, w1, w2):
+    assume(w1 < w2)
+
+    def kern(width):
+        b = KernelBuilder("k")
+        b.buffer("x", F32)
+        b.load(F32.with_width(width), param="x")
+        b.arith(OpKind.FMA, F32.with_width(width))
+        return b.build(base_live_values=live)
+
+    _, r1 = estimate_registers(kern(w1))
+    _, r2 = estimate_registers(kern(w2))
+    assert r2 >= r1
+
+
+@given(live=st.floats(min_value=1.0, max_value=60.0), w=st.sampled_from([1, 2, 4, 8, 16]))
+@settings(max_examples=80)
+def test_compile_either_succeeds_or_raises_cleanly(live, w):
+    b = KernelBuilder("k")
+    b.buffer("x", F64)
+    b.load(F64, param="x")
+    b.arith(OpKind.FMA, F64)
+    kernel = b.build(base_live_values=live)
+    try:
+        compiled = compile_kernel(kernel, CompileOptions(vector_width=w))
+    except RegisterAllocationError as exc:
+        assert exc.registers_required > exc.register_limit
+    else:
+        assert 1 <= compiled.registers.threads_per_core <= 256
+        assert 0 < compiled.registers.occupancy <= 1.0

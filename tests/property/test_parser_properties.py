@@ -1,0 +1,106 @@
+"""Property tests: randomly generated kernel programs parse faithfully."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ir import analyze, validate
+from repro.ir.parser import parse_kernel
+
+op_names = st.sampled_from(["add", "mul", "fma", "div", "sqrt", "exp", "cmp", "mov"])
+types = st.sampled_from(["f32", "f64", "float", "double", "float4", "i32"])
+patterns = st.sampled_from(["unit", "strided", "gather", "broadcast"])
+counts = st.integers(min_value=1, max_value=64)
+
+
+@st.composite
+def arith_stmt(draw):
+    op = draw(op_names)
+    t = draw(types)
+    n = draw(counts)
+    flags = ""
+    if draw(st.booleans()):
+        flags += " novec"
+    if draw(st.booleans()) and op in ("add", "mul", "fma"):
+        flags += " accum"
+    return f"{op} {t} x{n}{flags};", (op, n)
+
+
+@st.composite
+def mem_stmt(draw):
+    kind = draw(st.sampled_from(["load", "store"]))
+    t = draw(types)
+    pattern = draw(patterns)
+    n = draw(counts)
+    seq = " sequential" if draw(st.booleans()) else ""
+    return f"{kind} {t} {pattern} from buf x{n}{seq};", (kind, n)
+
+
+@st.composite
+def program(draw):
+    stmts = draw(st.lists(st.one_of(arith_stmt(), mem_stmt()), min_size=1, max_size=10))
+    body = "\n".join(s for s, _ in stmts)
+    meta = [m for _, m in stmts]
+    source = f"kernel randk(global const f32* buf) {{\n{body}\n}}"
+    return source, meta
+
+
+@given(prog=program())
+@settings(max_examples=80)
+def test_random_programs_parse_and_validate(prog):
+    source, _ = prog
+    kernel = parse_kernel(source)
+    validate(kernel)
+    assert kernel.name == "randk"
+
+
+@given(prog=program())
+@settings(max_examples=80)
+def test_statement_counts_preserved(prog):
+    source, meta = prog
+    kernel = parse_kernel(source)
+    mix = analyze(kernel)
+    expected_arith = sum(n for kind, n in meta if kind not in ("load", "store"))
+    expected_mem = sum(n for kind, n in meta if kind in ("load", "store"))
+    assert mix.arith_issues() == pytest.approx(expected_arith)
+    assert mix.mem_issues() == pytest.approx(expected_mem)
+
+
+@given(
+    trip=st.integers(min_value=1, max_value=4096),
+    inner=st.integers(min_value=1, max_value=16),
+)
+@settings(max_examples=60)
+def test_loop_nesting_multiplies(trip, inner):
+    source = f"""
+    kernel k(global const f32* buf) {{
+        loop {trip} per_item {{
+            load f32 from buf x{inner};
+        }}
+    }}
+    """
+    mix = analyze(parse_kernel(source))
+    assert mix.mem_issues() == pytest.approx(trip * inner)
+    assert mix.loop_headers == pytest.approx(trip)
+
+
+@given(prob=st.floats(min_value=0.0, max_value=1.0))
+@settings(max_examples=40)
+def test_branch_probability_respected(prob):
+    source = f"""
+    kernel k() {{
+        branch {prob:.6f} divergent {{
+            add f32 x4;
+        }}
+    }}
+    """
+    mix = analyze(parse_kernel(source))
+    assert mix.arith_issues() == pytest.approx(4.0 * prob, abs=1e-4)
+
+
+@given(prog=program())
+@settings(max_examples=40)
+def test_parse_is_deterministic(prog):
+    source, _ = prog
+    a = analyze(parse_kernel(source))
+    b = analyze(parse_kernel(source))
+    assert a.arith == b.arith and a.mem == b.mem

@@ -1,0 +1,117 @@
+"""Property tests: occupancy, job manager, autotuner, timing monotonicity."""
+
+import pytest
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.calibration import default_platform
+from repro.compiler import CompileOptions, compile_kernel
+from repro.ir import F32, KernelBuilder, OpKind
+from repro.mali import MaliConfig, derive_occupancy, distribute, time_launch
+from repro.memory.cache import StreamSpec
+from repro.workload import WorkloadTraits
+
+locals_ = st.sampled_from([1, 2, 4, 8, 16, 32, 64, 128, 256])
+threads = st.integers(min_value=8, max_value=256)
+items = st.integers(min_value=1, max_value=1 << 22)
+cvs = st.floats(min_value=0.0, max_value=4.0)
+
+
+@given(t=threads, local=locals_)
+@settings(max_examples=100)
+def test_occupancy_invariants(t, local):
+    occ = derive_occupancy(t, local)
+    assert 1 <= occ.threads_per_core <= 256
+    assert 0.0 < occ.hiding <= 1.0
+    assert 0.0 < occ.bandwidth_hiding <= 1.0
+    assert occ.bandwidth_hiding >= occ.hiding - 1e-12  # bw saturates earlier
+    assert occ.threads_per_core <= max(t, 1)
+
+
+@given(t1=threads, t2=threads, local=locals_)
+@settings(max_examples=100)
+def test_more_register_threads_never_hurt(t1, t2, local):
+    assume(t1 <= t2)
+    occ1 = derive_occupancy(t1, local)
+    occ2 = derive_occupancy(t2, local)
+    assert occ2.hiding >= occ1.hiding - 1e-12
+
+
+@given(n=items, local=locals_, cv=cvs)
+@settings(max_examples=100)
+def test_distribution_invariants(n, local, cv):
+    dist, imbalance = distribute(n, local, MaliConfig(), imbalance_cv=cv)
+    assert dist.n_work_groups >= 1
+    assert imbalance >= 1.0
+    assert dist.schedule_seconds >= 0.0
+    # quantization can never exceed the core count
+    assert dist.quantization_factor <= MaliConfig().shader_cores + 1e-9
+
+
+@given(n=items, cv=cvs)
+@settings(max_examples=60)
+def test_raggedness_never_speeds_up(n, cv):
+    _, balanced = distribute(n, 128, MaliConfig(), imbalance_cv=0.0)
+    _, ragged = distribute(n, 128, MaliConfig(), imbalance_cv=cv)
+    assert ragged >= balanced - 1e-12
+
+
+@st.composite
+def launch_params(draw):
+    n = draw(st.integers(min_value=128, max_value=1 << 20))
+    local = draw(st.sampled_from([32, 64, 128, 256]))
+    fmas = draw(st.floats(min_value=0.5, max_value=32.0))
+    return n, local, fmas
+
+
+@given(params=launch_params())
+@settings(max_examples=40, deadline=None)
+def test_launch_time_positive_and_bounded_below_by_overhead(params):
+    n, local, fmas = params
+    platform = default_platform()
+    b = KernelBuilder("k")
+    b.buffer("x", F32)
+    b.load(F32, param="x")
+    b.arith(OpKind.FMA, F32, count=fmas)
+    compiled = compile_kernel(b.build())
+    traits = WorkloadTraits(streams=(StreamSpec("x", 4.0 * n),), elements=n)
+    t = time_launch(compiled, n, local, traits, platform.mali,
+                    platform.dram_model(), platform.gpu_caches())
+    assert t.seconds >= platform.mali.launch_overhead_s
+    assert t.seconds < 60.0  # sanity: nothing takes a minute at these sizes
+
+
+@given(
+    fmas1=st.floats(min_value=0.5, max_value=16.0),
+    extra=st.floats(min_value=0.0, max_value=16.0),
+)
+@settings(max_examples=40, deadline=None)
+def test_more_arithmetic_never_faster(fmas1, extra):
+    platform = default_platform()
+
+    def launch_time(fmas):
+        b = KernelBuilder("k")
+        b.buffer("x", F32)
+        b.load(F32, param="x")
+        b.arith(OpKind.FMA, F32, count=fmas)
+        compiled = compile_kernel(b.build())
+        n = 1 << 18
+        traits = WorkloadTraits(streams=(StreamSpec("x", 4.0 * n),), elements=n)
+        return time_launch(compiled, n, 128, traits, platform.mali,
+                           platform.dram_model(), platform.gpu_caches()).seconds
+
+    assert launch_time(fmas1 + extra) >= launch_time(fmas1) - 1e-12
+
+
+@given(seed=st.integers(min_value=0, max_value=2**31))
+@settings(max_examples=15, deadline=None)
+def test_autotuner_best_never_worse_than_any_feasible(seed):
+    from repro.benchmarks import create
+    from repro.optimizations.autotune import sweep
+
+    bench = create("vecop", scale=0.02, seed=seed)
+    result = sweep(bench)
+    best = result.best
+    assert best is not None
+    for trial in result.trials:
+        if trial.feasible:
+            assert best.seconds <= trial.seconds + 1e-15

@@ -1,0 +1,200 @@
+"""Unit tests for the instruction-mix analysis."""
+
+import math
+
+import pytest
+
+from repro.ir import (
+    AccessPattern,
+    F32,
+    F64,
+    I32,
+    KernelBuilder,
+    MemKind,
+    MemSpace,
+    OpKind,
+    Scaling,
+    U32,
+    analyze,
+    max_unroll,
+    max_width,
+)
+from repro.ir.analysis import InstructionMix
+
+
+def test_flat_counts():
+    b = KernelBuilder("k")
+    b.buffer("x", F32)
+    b.load(F32, param="x", count=2.0)
+    b.arith(OpKind.FMA, F32, count=3.0)
+    b.store(F32, param="x")
+    mix = analyze(b.build())
+    assert mix.arith_issues() == 3.0
+    assert mix.mem_issues() == 3.0
+    assert mix.flops() == 6.0  # FMA = 2 flops each
+    assert mix.bytes_moved() == 3 * 4.0
+
+
+def test_loop_multiplies_body_and_counts_headers():
+    b = KernelBuilder("k")
+    b.buffer("x", F32)
+    with b.loop(trip=10.0):
+        b.load(F32, param="x")
+        b.arith(OpKind.ADD, F32)
+    mix = analyze(b.build())
+    assert mix.mem_issues() == 10.0
+    assert mix.arith_issues() == 10.0
+    assert mix.loop_headers == 10.0
+
+
+def test_unrolled_loop_reduces_headers_only():
+    b = KernelBuilder("k")
+    b.buffer("x", F32)
+    with b.loop(trip=16.0):
+        b.arith(OpKind.ADD, F32)
+    k = b.build()
+    loop = k.body.stmts[0]
+    import dataclasses
+
+    k4 = k.with_body(k.body.with_stmts((dataclasses.replace(loop, unroll=4),)))
+    mix = analyze(k4)
+    assert mix.arith_issues() == 16.0  # total work unchanged
+    assert mix.loop_headers == 4.0     # headers divided by unroll
+
+
+def test_fractional_trip_counts():
+    b = KernelBuilder("k")
+    b.buffer("x", F32)
+    with b.loop(trip=24.7, static_trip=False):
+        b.arith(OpKind.ADD, F32)
+    mix = analyze(b.build())
+    assert mix.arith_issues() == pytest.approx(24.7)
+    assert mix.loop_headers == pytest.approx(24.7)
+
+
+def test_branch_weights_by_probability():
+    b = KernelBuilder("k")
+    with b.branch(taken_prob=0.25, divergent=True):
+        b.arith(OpKind.MUL, F32, count=4.0)
+    mix = analyze(b.build())
+    assert mix.arith_issues() == pytest.approx(1.0)
+    assert mix.branches == 1.0
+    assert mix.divergent_branches == 1.0
+
+
+def test_non_inlined_call_counts_once():
+    b = KernelBuilder("k")
+    with b.call("f", count=3.0):
+        b.arith(OpKind.ADD, F32)
+    mix = analyze(b.build())
+    assert mix.calls == 3.0
+    assert mix.arith_issues() == 3.0
+
+
+def test_inlined_call_has_no_overhead():
+    b = KernelBuilder("k")
+    with b.call("f", inlined=True):
+        b.arith(OpKind.ADD, F32)
+    mix = analyze(b.build())
+    assert mix.calls == 0.0
+    assert mix.arith_issues() == 1.0
+
+
+def test_atomic_contention_by_space():
+    b = KernelBuilder("k")
+    b.atomic(OpKind.ADD, U32, contention=0.5)
+    b.atomic(OpKind.ADD, U32, contention=0.25, space=MemSpace.LOCAL)
+    mix = analyze(b.build())
+    assert mix.atomic_ops() == 2.0
+    assert mix.atomic_contention_weight == pytest.approx(0.5)
+    assert mix.atomic_contention_weight_local == pytest.approx(0.25)
+
+
+def test_bytes_by_pattern_includes_atomics():
+    b = KernelBuilder("k")
+    b.buffer("x", F32)
+    b.load(F32, pattern=AccessPattern.GATHER, param="x")
+    b.atomic(OpKind.ADD, U32)
+    mix = analyze(b.build())
+    by_pattern = mix.bytes_by_pattern()
+    assert by_pattern[AccessPattern.GATHER] == 4.0
+    assert by_pattern[AccessPattern.ATOMIC] == 8.0  # RMW round trip
+
+
+def test_bytes_moved_filters():
+    b = KernelBuilder("k")
+    b.buffer("x", F32)
+    b.load(F32, param="x")
+    b.store(F32, param="x", count=2.0)
+    b.load(F32, space=MemSpace.LOCAL)
+    mix = analyze(b.build())
+    assert mix.bytes_moved(space=MemSpace.GLOBAL) == 12.0
+    assert mix.bytes_moved(space=MemSpace.GLOBAL, kind=MemKind.LOAD) == 4.0
+    assert mix.bytes_moved(space=MemSpace.LOCAL) == 4.0
+
+
+def test_scaled_is_linear():
+    b = KernelBuilder("k")
+    b.buffer("x", F32)
+    b.load(F32, param="x")
+    b.arith(OpKind.ADD, F32)
+    b.barrier()
+    mix = analyze(b.build())
+    big = mix.scaled(100.0)
+    assert big.arith_issues() == 100.0
+    assert big.mem_issues() == 100.0
+    assert big.barriers == 100.0
+
+
+def test_merged_adds_counts():
+    b = KernelBuilder("k")
+    b.arith(OpKind.ADD, F32)
+    mix = analyze(b.build())
+    both = mix.merged(mix)
+    assert both.arith_issues() == 2.0
+
+
+def test_max_width_and_unroll():
+    b = KernelBuilder("k")
+    b.buffer("x", F32)
+    b.load(F32.with_width(8), param="x")
+    b.arith(OpKind.ADD, F32)
+    k = b.build()
+    assert max_width(k) == 8
+    assert max_unroll(k.body) == 1
+
+
+def test_flops_per_base():
+    b = KernelBuilder("k")
+    b.arith(OpKind.ADD, F32)
+    b.arith(OpKind.ADD, F64)
+    b.arith(OpKind.ADD, I32)  # integer: no flops
+    mix = analyze(b.build())
+    assert mix.flops("f32") == 1.0
+    assert mix.flops("f64") == 1.0
+    assert mix.flops() == 2.0
+
+
+def test_vector_ops_count_lanes_in_flops():
+    b = KernelBuilder("k")
+    b.arith(OpKind.FMA, F32.with_width(4))
+    mix = analyze(b.build())
+    assert mix.flops() == 8.0  # 4 lanes x 2 flops
+    assert mix.arith_issues() == 1.0  # but one issued instruction
+
+
+def test_total_issues_accounts_for_everything():
+    b = KernelBuilder("k")
+    b.buffer("x", F32)
+    b.load(F32, param="x")
+    b.arith(OpKind.ADD, F32)
+    b.atomic(OpKind.ADD, U32)
+    with b.loop(trip=2.0):
+        b.arith(OpKind.MUL, F32)
+    with b.call("f"):
+        pass
+    with b.branch(taken_prob=0.5):
+        pass
+    mix = analyze(b.build())
+    # 1 load + 1 add + 1 atomic + 2 muls + 2 headers + 1 call + 1 branch
+    assert mix.total_issues() == pytest.approx(9.0)

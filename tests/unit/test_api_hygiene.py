@@ -1,0 +1,77 @@
+"""API hygiene: public surface exists, is documented, and is consistent."""
+
+import importlib
+import inspect
+
+import pytest
+
+import repro
+
+PUBLIC_MODULES = [
+    "repro",
+    "repro.analysis",
+    "repro.benchmarks",
+    "repro.calibration",
+    "repro.cluster",
+    "repro.compiler",
+    "repro.cpu",
+    "repro.experiments",
+    "repro.ir",
+    "repro.mali",
+    "repro.memory",
+    "repro.ocl",
+    "repro.optimizations",
+    "repro.power",
+    "repro.whatif",
+    "repro.workload",
+]
+
+
+@pytest.mark.parametrize("module_name", PUBLIC_MODULES)
+def test_module_has_docstring(module_name):
+    module = importlib.import_module(module_name)
+    assert module.__doc__ and len(module.__doc__.strip()) > 20
+
+
+@pytest.mark.parametrize("module_name", PUBLIC_MODULES)
+def test_all_exports_resolve(module_name):
+    module = importlib.import_module(module_name)
+    for name in getattr(module, "__all__", []):
+        assert hasattr(module, name), f"{module_name}.__all__ lists missing {name!r}"
+
+
+@pytest.mark.parametrize("module_name", PUBLIC_MODULES)
+def test_public_callables_documented(module_name):
+    """Every class and function exported via __all__ has a docstring."""
+    module = importlib.import_module(module_name)
+    undocumented = []
+    for name in getattr(module, "__all__", []):
+        obj = getattr(module, name)
+        if inspect.isclass(obj) or inspect.isfunction(obj):
+            if not (obj.__doc__ and obj.__doc__.strip()):
+                undocumented.append(name)
+    assert not undocumented, f"{module_name}: undocumented exports {undocumented}"
+
+
+def test_version_string():
+    assert repro.__version__ == "1.0.0"
+
+
+def test_paper_order_is_the_figure_axis():
+    # guard against accidental reordering: the figures rely on this
+    assert repro.PAPER_ORDER == (
+        "spmv", "vecop", "hist", "3dstc", "red", "amcd", "nbody", "2dcon", "dmmm",
+    )
+
+
+def test_benchmark_classes_have_paper_descriptions():
+    for name, cls in repro.BENCHMARKS.items():
+        assert cls.description, name
+        assert cls.__doc__, name
+
+
+def test_top_level_all_resolves_and_is_sorted_sanely():
+    names = repro.__all__
+    assert len(names) == len(set(names))
+    for name in names:
+        assert hasattr(repro, name)

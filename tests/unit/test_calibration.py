@@ -1,0 +1,75 @@
+"""Unit tests for the platform calibration and its validation."""
+
+import dataclasses
+
+import pytest
+
+from repro.calibration import ExynosPlatform, default_platform, validate_platform
+from repro.errors import CalibrationError
+from repro.memory.cache import CacheConfig
+from repro.memory.dram import DramConfig
+from repro.power.rails import PowerRailConfig
+
+
+def test_default_platform_validates():
+    validate_platform(default_platform())
+
+
+def test_default_platform_is_cached_singleton():
+    assert default_platform() is default_platform()
+
+
+def test_paper_hardware_facts():
+    p = default_platform()
+    assert p.cpu.cores == 2
+    assert p.cpu.clock_hz == pytest.approx(1.7e9)
+    assert p.mali.shader_cores == 4
+    assert p.cpu_l1.size_bytes == 32 * 1024
+    assert p.cpu_l2.size_bytes == 1024 * 1024
+    assert p.dram.peak_bandwidth == pytest.approx(12.8e9)
+    assert p.meter_sample_hz == 10.0
+    assert p.meter_accuracy == 0.001
+
+
+def test_model_factories():
+    p = default_platform()
+    assert p.dram_model().config is p.dram
+    assert p.cpu_caches().l2.config.size_bytes == 1024 * 1024
+    assert p.gpu_caches().l2.config.size_bytes == 256 * 1024
+    assert p.power_model().rails is p.rails
+    assert p.meter().sample_hz == 10.0
+
+
+def test_inverted_dram_caps_rejected():
+    bad = ExynosPlatform(
+        dram=DramConfig(cpu_single_core_cap=6e9, cpu_dual_core_cap=5e9)
+    )
+    with pytest.raises(CalibrationError, match="ordered"):
+        validate_platform(bad)
+
+
+def test_weak_gpu_rejected():
+    from repro.mali.config import MaliConfig
+
+    bad = ExynosPlatform(mali=MaliConfig(shader_cores=1, clock_hz=50e6))
+    with pytest.raises(CalibrationError, match="exceed"):
+        validate_platform(bad)
+
+
+def test_power_ordering_enforced():
+    # absurdly hot GPU base: memory-bound GPU would beat Serial power
+    bad = ExynosPlatform(rails=PowerRailConfig(gpu_base_w=3.0))
+    with pytest.raises(CalibrationError):
+        validate_platform(bad)
+
+
+def test_cache_hierarchy_ordering_enforced():
+    bad = ExynosPlatform(cpu_l1=CacheConfig(size_bytes=4 * 1024 * 1024))
+    with pytest.raises(CalibrationError, match="L1 must be smaller"):
+        validate_platform(bad)
+
+
+def test_gpu_l2_cannot_exceed_cpu_l2():
+    bad = ExynosPlatform(gpu_l2=CacheConfig(size_bytes=8 * 1024 * 1024))
+    with pytest.raises(CalibrationError):
+        validate_platform(bad)

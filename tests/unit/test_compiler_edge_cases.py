@@ -1,0 +1,190 @@
+"""Edge-case tests for the compiler passes and pipeline."""
+
+import pytest
+
+from repro.compiler import CompileOptions, compile_kernel
+from repro.compiler.passes import KernelPass, PassContext, run_pipeline
+from repro.compiler.vectorize import VectorizePass
+from repro.ir import (
+    AccessPattern,
+    Branch,
+    Call,
+    F32,
+    F64,
+    KernelBuilder,
+    Loop,
+    MemSpace,
+    OpKind,
+    Scaling,
+    analyze,
+    walk_stmts,
+)
+
+
+class TestVectorizeEdgeCases:
+    def test_branch_body_not_double_scaled(self):
+        """A per-element branch executes w times; its body must not be
+        scaled again."""
+        b = KernelBuilder("k")
+        with b.branch(taken_prob=0.5, divergent=True):
+            b.arith(OpKind.MUL, F32, count=2.0, vectorizable=False)
+        base = b.build()
+        vec = VectorizePass().run(base, CompileOptions(vector_width=4), PassContext())
+        base_mix, vec_mix = analyze(base), analyze(vec)
+        # total scalar muls per covered element must be invariant
+        assert vec_mix.arith_issues() / vec.elems_per_item == pytest.approx(
+            base_mix.arith_issues() / base.elems_per_item
+        )
+        assert vec_mix.branches / vec.elems_per_item == pytest.approx(
+            base_mix.branches / base.elems_per_item
+        )
+
+    def test_call_bodies_widened_in_streaming_mode(self):
+        b = KernelBuilder("k")
+        b.buffer("x", F32)
+        with b.call("helper", inlined=False):
+            b.load(F32, param="x")
+        vec = VectorizePass().run(b.build(), CompileOptions(vector_width=4), PassContext())
+        mix = analyze(vec)
+        assert mix.max_vector_width() == 4
+        # the call itself executes once per (wider) work-item
+        assert mix.calls == pytest.approx(1.0)
+
+    def test_already_vector_statements_untouched(self):
+        b = KernelBuilder("k")
+        b.buffer("x", F32)
+        b.load(F32.with_width(4), param="x")
+        vec = VectorizePass().run(b.build(), CompileOptions(vector_width=8), PassContext())
+        widths = {w for (_, _, _, _, w, _, _) in analyze(vec).mem}
+        assert widths == {4}  # no re-widening of vector code
+
+    def test_nested_vectorizable_loops_only_innermost_mined(self):
+        b = KernelBuilder("k")
+        b.buffer("x", F32)
+        with b.loop(trip=8.0, vectorizable=True):
+            with b.loop(trip=16.0, vectorizable=True):
+                b.load(F32, param="x")
+                b.arith(OpKind.ADD, F32)
+        vec = VectorizePass().run(b.build(), CompileOptions(vector_width=4), PassContext())
+        loops = [s for s in walk_stmts(vec.body) if isinstance(s, Loop)]
+        assert loops[0].trip == 8.0          # outer untouched
+        assert loops[1].trip == 4.0          # inner strip-mined 16/4
+
+    def test_fractional_trip_loop_mode(self):
+        b = KernelBuilder("k")
+        b.buffer("x", F32)
+        with b.loop(trip=10.5, vectorizable=True, static_trip=False):
+            b.load(F32, param="x")
+            b.arith(OpKind.ADD, F32)
+        base = b.build()
+        vec = VectorizePass().run(base, CompileOptions(vector_width=4), PassContext())
+        assert analyze(vec).flops() == pytest.approx(analyze(base).flops(), rel=1e-6)
+
+    def test_trip_smaller_than_width(self):
+        b = KernelBuilder("k")
+        b.buffer("x", F32)
+        with b.loop(trip=3.0, vectorizable=True):
+            b.arith(OpKind.ADD, F32)
+        vec = VectorizePass().run(b.build(), CompileOptions(vector_width=8), PassContext())
+        # no main loop possible: everything lands in the scalar epilogue
+        assert analyze(vec).flops() == pytest.approx(3.0)
+        assert analyze(vec).max_vector_width() == 1
+
+    def test_vector_loads_skip_strided(self):
+        b = KernelBuilder("k")
+        b.buffer("x", F32)
+        b.load(F32, pattern=AccessPattern.STRIDED, param="x")
+        vec = VectorizePass().run(b.build(), CompileOptions(vector_loads=True), PassContext())
+        assert analyze(vec).max_vector_width() == 1
+
+
+class TestPipelineEdgeCases:
+    def test_pass_order_soa_before_vectorize(self):
+        """SOA must run first: it is what makes AOS fields vectorizable."""
+        from repro.ir import Layout
+
+        b = KernelBuilder("k")
+        b.buffer("pts", F32, layout=Layout.AOS, record_fields=4)
+        b.load(F32, pattern=AccessPattern.STRIDED, param="pts")
+        b.arith(OpKind.ADD, F32)
+        compiled = compile_kernel(b.build(), CompileOptions(soa=True, vector_width=4))
+        widths = {w for (_, _, _, _, w, _, _) in compiled.mix.mem}
+        assert 4 in widths  # the ex-strided load got vector-loaded
+
+    def test_without_soa_aos_stays_scalar(self):
+        from repro.ir import Layout
+
+        b = KernelBuilder("k")
+        b.buffer("pts", F32, layout=Layout.AOS, record_fields=4)
+        b.load(F32, pattern=AccessPattern.STRIDED, param="pts")
+        b.arith(OpKind.ADD, F32)
+        compiled = compile_kernel(b.build(), CompileOptions(vector_width=4))
+        widths = {w for (_, _, _, _, w, _, _) in compiled.mix.mem}
+        assert widths == {1}
+
+    def test_custom_pass_injection(self):
+        class CountingPass(KernelPass):
+            name = "counting"
+            calls = 0
+
+            def applies(self, options):
+                return True
+
+            def run(self, kernel, options, ctx):
+                CountingPass.calls += 1
+                ctx.info("counting: ran")
+                return kernel
+
+        b = KernelBuilder("k")
+        b.arith(OpKind.ADD, F32)
+        ctx = PassContext()
+        run_pipeline(b.build(), CompileOptions(), [CountingPass()], ctx)
+        assert CountingPass.calls == 1
+        assert ctx.log == ["counting: ran"]  # same kernel -> no 'applied' entry
+
+    def test_compiled_kernel_mix_matches_reanalysis(self):
+        b = KernelBuilder("k")
+        b.buffer("x", F32)
+        b.load(F32, param="x")
+        b.arith(OpKind.FMA, F32)
+        compiled = compile_kernel(b.build(), CompileOptions(vector_width=4))
+        fresh = analyze(compiled.kernel)
+        assert compiled.mix.total_issues() == pytest.approx(fresh.total_issues())
+
+    def test_spill_kernel_still_validates(self):
+        b = KernelBuilder("k")
+        b.buffer("x", F64)
+        with b.loop(trip=64.0, scaling=Scaling.PER_ITEM):
+            b.load(F64, param="x")
+            b.arith(OpKind.FMA, F64)
+        compiled = compile_kernel(
+            b.build(base_live_values=14.0), CompileOptions(vector_width=4)
+        )
+        assert compiled.registers.spills
+        from repro.ir import validate
+
+        validate(compiled.kernel)  # spill statements are structurally legal
+
+
+class TestUnrollEdgeCases:
+    def test_unroll_then_vectorize_composition(self):
+        b = KernelBuilder("k")
+        b.buffer("x", F32)
+        with b.loop(trip=64.0, scaling=Scaling.PER_ITEM):
+            b.load(F32, param="x", sequential=True)
+            b.arith(OpKind.ADD, F32)
+        base = b.build()
+        compiled = compile_kernel(base, CompileOptions(vector_width=4, unroll=2))
+        mix = compiled.mix
+        # 64 elements -> 16 vector iterations -> 8 unrolled headers
+        assert mix.loop_headers == pytest.approx(8.0)
+        assert mix.flops() == pytest.approx(64.0)
+
+    def test_epilogue_of_epilogue(self):
+        """trip=67, vec 4 -> main 16 + epi 3; unroll 2 -> epi of 1 more."""
+        b = KernelBuilder("k")
+        b.buffer("x", F32)
+        with b.loop(trip=67.0, scaling=Scaling.PER_ITEM):
+            b.arith(OpKind.ADD, F32)
+        compiled = compile_kernel(b.build(), CompileOptions(vector_width=4, unroll=2))
+        assert compiled.mix.flops() == pytest.approx(67.0)

@@ -1,0 +1,107 @@
+"""Tests for the IR/traits consistency checker and ResultSet JSON."""
+
+import math
+
+import pytest
+
+from repro.benchmarks import PAPER_ORDER, Precision, Version, all_benchmarks, create
+from repro.benchmarks.consistency import (
+    DEVICE_MEMORY_BYTES,
+    MAX_BYTES_RATIO,
+    check_all,
+    check_benchmark,
+)
+from repro.compiler.options import NAIVE, CompileOptions
+from repro.experiments.runner import ResultSet, run_grid
+
+
+class TestConsistency:
+    @pytest.mark.parametrize("name", PAPER_ORDER)
+    @pytest.mark.parametrize("precision", [Precision.SINGLE, Precision.DOUBLE])
+    def test_naive_ir_matches_traits(self, name, precision):
+        bench = create(name, precision=precision, scale=0.1)
+        report = check_benchmark(bench, NAIVE)
+        assert report.ok, report.issues
+
+    @pytest.mark.parametrize("name", PAPER_ORDER)
+    def test_tuned_ir_matches_traits(self, name):
+        bench = create(name, scale=0.1)
+        options, _ = next(iter(bench.tuning_space()))
+        report = check_benchmark(bench, options)
+        assert report.ok, report.issues
+
+    def test_check_all_covers_both_variants(self):
+        reports = check_all(all_benchmarks(scale=0.05))
+        assert len(reports) == 2 * len(PAPER_ORDER)
+        assert all(r.ok for r in reports)
+
+    def test_ratio_sanity(self):
+        bench = create("vecop", scale=0.1)
+        report = check_benchmark(bench)
+        assert report.bytes_ratio == pytest.approx(1.0, abs=0.1)
+        assert report.ir_bytes > 0 and report.trait_bytes > 0
+
+    def test_drifted_traits_detected(self):
+        """A benchmark whose traits under-declare traffic must fail."""
+        bench = create("vecop", scale=0.1)
+        original = bench.cpu_traits
+
+        def shrunken():
+            traits = original()
+            import dataclasses
+
+            streams = tuple(
+                dataclasses.replace(s, footprint_bytes=s.footprint_bytes / 100.0)
+                for s in traits.streams
+            )
+            return dataclasses.replace(traits, streams=streams)
+
+        bench.cpu_traits = shrunken  # gpu_traits defaults to cpu_traits
+        report = check_benchmark(bench)
+        assert not report.ok
+        assert report.bytes_ratio > MAX_BYTES_RATIO
+
+    def test_constants_sane(self):
+        assert DEVICE_MEMORY_BYTES == 2 * 1024**3
+        assert MAX_BYTES_RATIO >= 2.0
+
+
+class TestResultSetSerialization:
+    @pytest.fixture(scope="class")
+    def grid(self):
+        return run_grid(benchmarks=["vecop"], scale=0.05,
+                        precisions=(Precision.SINGLE, Precision.DOUBLE))
+
+    def test_roundtrip_preserves_metrics(self, grid):
+        loaded = ResultSet.from_json(grid.to_json())
+        assert set(loaded.results) == set(grid.results)
+        for key, run in grid.results.items():
+            other = loaded.results[key]
+            assert other.elapsed_s == pytest.approx(run.elapsed_s)
+            assert other.energy_j == pytest.approx(run.energy_j)
+            assert other.verified == run.verified
+
+    def test_roundtrip_preserves_ratios(self, grid):
+        loaded = ResultSet.from_json(grid.to_json())
+        assert loaded.ratios("vecop", Version.OPENCL_OPT, Precision.SINGLE) == pytest.approx(
+            grid.ratios("vecop", Version.OPENCL_OPT, Precision.SINGLE)
+        )
+
+    def test_failed_runs_roundtrip(self):
+        grid = run_grid(benchmarks=["amcd"], scale=0.05,
+                        versions=(Version.SERIAL, Version.OPENCL),
+                        precisions=(Precision.DOUBLE,))
+        loaded = ResultSet.from_json(grid.to_json())
+        run = loaded.get("amcd", Version.OPENCL, Precision.DOUBLE)
+        assert not run.ok
+        assert math.isnan(run.elapsed_s)
+        assert loaded.ratios("amcd", Version.OPENCL, Precision.DOUBLE) is None
+
+    def test_unknown_schema_rejected(self):
+        with pytest.raises(ValueError):
+            ResultSet.from_json('{"schema": 99, "runs": []}')
+
+    def test_options_label_preserved(self, grid):
+        loaded = ResultSet.from_json(grid.to_json())
+        run = loaded.get("vecop", Version.OPENCL_OPT, Precision.SINGLE)
+        assert run.diagnostics["options_label"]

@@ -1,0 +1,130 @@
+"""Unit tests for repro.ir.dtypes."""
+
+import pytest
+
+from repro.ir.dtypes import (
+    BOOL,
+    DType,
+    F16,
+    F32,
+    F64,
+    I32,
+    I64,
+    NATIVE_REGISTER_BITS,
+    U32,
+    VECTOR_WIDTHS,
+    dtype,
+    float_type,
+    normalize_width,
+    scalar_bits,
+)
+
+
+class TestNormalizeWidth:
+    def test_passthrough_valid_widths(self):
+        for w in VECTOR_WIDTHS:
+            assert normalize_width(w) == w
+
+    def test_width3_rounds_to_4(self):
+        assert normalize_width(3) == 4
+
+    @pytest.mark.parametrize("w", [0, -1, 5, 6, 7, 9, 32])
+    def test_invalid_width_raises(self, w):
+        with pytest.raises(ValueError):
+            normalize_width(w)
+
+
+class TestScalarBits:
+    def test_known_bases(self):
+        assert scalar_bits("f32") == 32
+        assert scalar_bits("f64") == 64
+        assert scalar_bits("i64") == 64
+        assert scalar_bits("u16") == 16
+
+    def test_unknown_base_raises(self):
+        with pytest.raises(ValueError):
+            scalar_bits("f128")
+
+
+class TestDType:
+    def test_scalar_metrics(self):
+        assert F32.bits == 32
+        assert F32.bytes == 4
+        assert F64.scalar_bytes == 8
+        assert not F32.is_vector
+
+    def test_vector_metrics(self):
+        v = DType("f32", 4)
+        assert v.bits == 128
+        assert v.bytes == 16
+        assert v.is_vector
+        assert v.width == 4
+
+    def test_width3_normalized_on_construction(self):
+        assert DType("f32", 3).width == 4
+
+    def test_unknown_base_raises(self):
+        with pytest.raises(ValueError):
+            DType("quux")
+
+    def test_is_float_and_integer(self):
+        assert F32.is_float and F64.is_float and F16.is_float
+        assert I32.is_integer and U32.is_integer and I64.is_integer
+        assert not I32.is_float
+        assert not BOOL.is_integer and not BOOL.is_float
+
+    def test_registers_128(self):
+        assert DType("f32", 4).registers_128 == 1.0
+        assert DType("f32", 8).registers_128 == 2.0
+        assert DType("f64", 4).registers_128 == 2.0
+        assert F32.registers_128 == 0.25  # packs 4 to a register
+
+    def test_with_width_and_scalar(self):
+        v = F32.with_width(8)
+        assert v.width == 8 and v.base == "f32"
+        assert v.scalar == F32
+        assert F32.scalar is F32
+
+    def test_lanes_per_register(self):
+        assert F32.lanes_per_register() == 4
+        assert F64.lanes_per_register() == 2
+        assert DType("i16").lanes_per_register() == 8
+
+    def test_str(self):
+        assert str(F32) == "f32"
+        assert str(DType("f64", 2)) == "f64x2"
+
+
+class TestDtypeParser:
+    @pytest.mark.parametrize(
+        "spec,base,width",
+        [
+            ("f32", "f32", 1),
+            ("f32x4", "f32", 4),
+            ("float", "f32", 1),
+            ("float4", "f32", 4),
+            ("double8", "f64", 8),
+            ("int", "i32", 1),
+            ("uint2", "u32", 2),
+            ("long", "i64", 1),
+            ("uchar16", "u8", 16),
+            ("half4", "f16", 4),
+        ],
+    )
+    def test_parse(self, spec, base, width):
+        dt = dtype(spec)
+        assert dt.base == base and dt.width == width
+
+    def test_float3_normalizes(self):
+        assert dtype("float3").width == 4
+
+
+class TestFloatType:
+    def test_single_and_double(self):
+        assert float_type(False) == F32
+        assert float_type(True) == F64
+
+
+def test_native_register_is_128_bits():
+    # the Mali-T604 vector register width the whole model hinges on
+    assert NATIVE_REGISTER_BITS == 128

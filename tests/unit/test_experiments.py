@@ -1,0 +1,176 @@
+"""Unit tests for the experiments layer (runner, figures, summary, report)."""
+
+import math
+
+import pytest
+
+from repro.benchmarks import Precision, RunResult, Version
+from repro.experiments import (
+    figure2,
+    figure3,
+    figure4,
+    format_experiments_markdown,
+    format_figure,
+    format_summary,
+    run_grid,
+    summarize,
+)
+from repro.experiments.figures import BAR_VERSIONS, Metric, all_figures
+from repro.experiments.paper_data import (
+    FIG2A_SPEEDUP,
+    FIG2B_SPEEDUP,
+    FIG3A_POWER,
+    FIG4A_ENERGY,
+    Kind,
+    PaperValue,
+)
+from repro.experiments.runner import ResultSet
+
+
+def synthetic_result(bench, version, precision, elapsed, power, ok=True):
+    if not ok:
+        return RunResult.failed(bench, version, precision, "synthetic failure")
+    return RunResult(
+        benchmark=bench,
+        version=version,
+        precision=precision,
+        elapsed_s=elapsed,
+        mean_power_w=power,
+        energy_j=elapsed * power,
+        verified=True,
+    )
+
+
+@pytest.fixture()
+def synthetic_grid():
+    rs = ResultSet()
+    sp = Precision.SINGLE
+    rs.add(synthetic_result("vecop", Version.SERIAL, sp, 10.0, 3.0))
+    rs.add(synthetic_result("vecop", Version.OPENMP, sp, 6.0, 4.0))
+    rs.add(synthetic_result("vecop", Version.OPENCL, sp, 9.0, 3.1))
+    rs.add(synthetic_result("vecop", Version.OPENCL_OPT, sp, 4.0, 3.2))
+    rs.add(synthetic_result("amcd", Version.SERIAL, sp, 8.0, 3.3))
+    rs.add(synthetic_result("amcd", Version.OPENMP, sp, 4.4, 4.2))
+    rs.add(synthetic_result("amcd", Version.OPENCL, sp, 2.0, 4.0))
+    rs.add(synthetic_result("amcd", Version.OPENCL_OPT, sp, 1.9, 4.0, ok=False))
+    return rs
+
+
+class TestResultSet:
+    def test_ratios(self, synthetic_grid):
+        speedup, power, energy = synthetic_grid.ratios(
+            "vecop", Version.OPENCL_OPT, Precision.SINGLE
+        )
+        assert speedup == pytest.approx(2.5)
+        assert power == pytest.approx(3.2 / 3.0)
+        assert energy == pytest.approx((4.0 * 3.2) / (10.0 * 3.0))
+
+    def test_failed_ratio_is_none(self, synthetic_grid):
+        assert synthetic_grid.ratios("amcd", Version.OPENCL_OPT, Precision.SINGLE) is None
+
+    def test_benchmarks_in_paper_order(self, synthetic_grid):
+        assert synthetic_grid.benchmarks() == ["vecop", "amcd"]
+
+    def test_has(self, synthetic_grid):
+        assert synthetic_grid.has("vecop", Version.SERIAL, Precision.SINGLE)
+        assert not synthetic_grid.has("dmmm", Version.SERIAL, Precision.SINGLE)
+
+
+class TestFigureBuilders:
+    def test_figure2_values(self, synthetic_grid):
+        fig = figure2(synthetic_grid)
+        assert fig.figure_id == "fig2a"
+        assert fig.metric is Metric.SPEEDUP
+        assert fig.value("vecop", Version.OPENCL_OPT) == pytest.approx(2.5)
+        assert fig.value("amcd", Version.OPENCL_OPT) is None
+
+    def test_figure3_and_4_metrics(self, synthetic_grid):
+        assert figure3(synthetic_grid).metric is Metric.POWER
+        assert figure4(synthetic_grid).metric is Metric.ENERGY
+        power = figure3(synthetic_grid).value("vecop", Version.OPENMP)
+        assert power == pytest.approx(4.0 / 3.0)
+
+    def test_mean_skips_missing(self, synthetic_grid):
+        fig = figure2(synthetic_grid)
+        assert fig.mean(Version.OPENCL_OPT) == pytest.approx(2.5)  # amcd excluded
+
+    def test_all_figures_count(self, synthetic_grid):
+        figs = all_figures(synthetic_grid, (Precision.SINGLE,))
+        assert [f.figure_id for f in figs] == ["fig2a", "fig3a", "fig4a"]
+
+
+class TestSummary:
+    def test_summary_aggregates(self, synthetic_grid):
+        s = summarize(synthetic_grid)
+        assert s.opt_speedup_mean == pytest.approx(2.5)  # only vecop's Opt ran
+        assert s.failed_runs == (("amcd", Version.OPENCL_OPT, Precision.SINGLE),)
+        omp = s.version_means[(Version.OPENMP, Precision.SINGLE)]
+        assert omp[0] == pytest.approx((10 / 6 + 8 / 4.4) / 2)
+
+    def test_format_summary_mentions_paper(self, synthetic_grid):
+        text = format_summary(summarize(synthetic_grid))
+        assert "8.7" in text  # the paper headline for comparison
+        assert "failed runs" in text
+
+
+class TestReportRendering:
+    def test_format_figure_shows_bars_and_paper(self, synthetic_grid):
+        text = format_figure(figure2(synthetic_grid))
+        assert "vecop" in text and "#" in text
+        assert "paper" in text
+        assert "failed" in text  # the amcd bar
+
+    def test_markdown_tables(self, synthetic_grid):
+        figs = all_figures(synthetic_grid, (Precision.SINGLE,))
+        md = format_experiments_markdown(figs, summarize(synthetic_grid))
+        assert "| vecop |" in md
+        assert "fig2a" in md and "fig4a" in md
+        assert "Known deviations" in md
+        assert "—" in md  # failed cell marker
+
+
+class TestPaperData:
+    def test_every_benchmark_covered(self):
+        from repro.benchmarks import PAPER_ORDER
+
+        for table in (FIG2A_SPEEDUP, FIG2B_SPEEDUP, FIG3A_POWER, FIG4A_ENERGY):
+            assert set(table) == set(PAPER_ORDER)
+            for row in table.values():
+                assert set(row) == set(BAR_VERSIONS)
+
+    def test_value_kinds(self):
+        assert PaperValue.exact(2.0).midpoint == 2.0
+        assert PaperValue.range(2.0, 4.0).midpoint == 3.0
+        assert PaperValue.below(1.0).midpoint == 1.0
+        assert PaperValue.above(0.95).midpoint == 0.95
+        assert math.isnan(PaperValue.missing().midpoint)
+
+    def test_describe(self):
+        assert PaperValue.exact(8.7).describe() == "8.7"
+        assert PaperValue.range(2, 4).describe() == "2-4"
+        assert PaperValue.below(1).describe() == "<1"
+        assert PaperValue.above(0.95).describe() == ">0.95"
+        assert PaperValue.missing().describe() == "failed"
+
+    def test_dp_amcd_marked_missing(self):
+        assert FIG2B_SPEEDUP["amcd"][Version.OPENCL].kind is Kind.MISSING
+
+    def test_headlines(self):
+        from repro.experiments.paper_data import HEADLINE_ENERGY, HEADLINE_SPEEDUP
+
+        assert HEADLINE_SPEEDUP.midpoint == 8.7
+        assert HEADLINE_ENERGY.midpoint == 0.32
+
+
+class TestRunGridSmall:
+    def test_grid_runs_subset(self):
+        rs = run_grid(benchmarks=["vecop"], versions=(Version.SERIAL, Version.OPENCL),
+                      scale=0.02)
+        assert len(rs.results) == 2
+        assert rs.all_verified()
+
+    def test_progress_callback(self):
+        seen = []
+        run_grid(benchmarks=["vecop"], versions=(Version.SERIAL,), scale=0.02,
+                 progress=seen.append)
+        assert seen == ["vecop [SP] Serial"]

@@ -1,0 +1,208 @@
+"""Unit tests for IR nodes, the builder and structural validation."""
+
+import pytest
+
+from repro.errors import IRError
+from repro.ir import (
+    AccessPattern,
+    Arith,
+    Atomic,
+    Barrier,
+    Block,
+    Branch,
+    BufferParam,
+    Call,
+    F32,
+    F64,
+    I32,
+    Kernel,
+    KernelBuilder,
+    Layout,
+    Loop,
+    MemAccess,
+    MemKind,
+    MemSpace,
+    OpKind,
+    Scaling,
+    U32,
+    validate,
+    walk_stmts,
+)
+
+
+def build_simple(dtype=F32, live=4.0):
+    b = KernelBuilder("k")
+    b.buffer("x", dtype, const=True)
+    b.buffer("y", dtype)
+    b.load(dtype, param="x")
+    b.arith(OpKind.MUL, dtype)
+    b.store(dtype, param="y")
+    return b.build(base_live_values=live)
+
+
+class TestBuilder:
+    def test_builds_expected_structure(self):
+        k = build_simple()
+        assert k.name == "k"
+        assert len(k.params) == 2
+        assert len(k.body) == 3
+        assert isinstance(k.body.stmts[0], MemAccess)
+        assert isinstance(k.body.stmts[1], Arith)
+        assert k.body.stmts[2].kind == MemKind.STORE
+
+    def test_nested_loop_and_branch(self):
+        b = KernelBuilder("nested")
+        b.buffer("x", F32)
+        with b.loop(trip=10.0):
+            b.load(F32, param="x")
+            with b.branch(taken_prob=0.5, divergent=True):
+                b.arith(OpKind.ADD, F32)
+        k = b.build()
+        loop = k.body.stmts[0]
+        assert isinstance(loop, Loop) and loop.trip == 10.0
+        branch = loop.body.stmts[1]
+        assert isinstance(branch, Branch) and branch.divergent
+
+    def test_call_context(self):
+        b = KernelBuilder("c")
+        with b.call("helper", count=2.0):
+            b.arith(OpKind.MUL, F32)
+        k = b.build()
+        call = k.body.stmts[0]
+        assert isinstance(call, Call)
+        assert call.name == "helper" and call.count == 2.0 and not call.inlined
+
+    def test_unclosed_context_raises(self):
+        b = KernelBuilder("bad")
+        b._stack.append(type(b._stack[0])())  # simulate an unclosed frame
+        with pytest.raises(RuntimeError):
+            b.build()
+
+    def test_atomic_space(self):
+        b = KernelBuilder("a")
+        b.atomic(OpKind.ADD, U32, contention=0.5, space=MemSpace.LOCAL)
+        k = b.build()
+        assert k.body.stmts[0].space == MemSpace.LOCAL
+
+
+class TestKernel:
+    def test_uses_fp64(self):
+        assert not build_simple(F32).uses_fp64
+        assert build_simple(F64).uses_fp64
+
+    def test_buffer_params_and_lookup(self):
+        k = build_simple()
+        assert [p.name for p in k.buffer_params()] == ["x", "y"]
+        assert k.param("x").is_const
+        with pytest.raises(KeyError):
+            k.param("zzz")
+
+    def test_with_elems_per_item(self):
+        k = build_simple().with_elems_per_item(4)
+        assert k.elems_per_item == 4
+
+    def test_walk_stmts_covers_nested(self):
+        b = KernelBuilder("w")
+        b.buffer("x", F32)
+        with b.loop(trip=2.0):
+            with b.branch(taken_prob=0.1):
+                b.load(F32, param="x")
+        k = b.build()
+        kinds = [type(s).__name__ for s in walk_stmts(k.body)]
+        assert kinds == ["Loop", "Branch", "MemAccess"]
+
+
+class TestValidate:
+    def test_valid_kernel_passes(self):
+        validate(build_simple())
+
+    def test_elems_per_item_must_be_positive(self):
+        k = Kernel(name="k", params=(), body=Block(), elems_per_item=0)
+        with pytest.raises(IRError, match="elems_per_item"):
+            validate(k)
+
+    def test_duplicate_param_rejected(self):
+        k = Kernel(
+            name="k",
+            params=(BufferParam("x", F32), BufferParam("x", F32)),
+            body=Block(),
+        )
+        with pytest.raises(IRError, match="duplicate"):
+            validate(k)
+
+    def test_unknown_buffer_reference_rejected(self):
+        k = Kernel(
+            name="k",
+            params=(),
+            body=Block((MemAccess(MemKind.LOAD, MemSpace.GLOBAL, F32, param="nope"),)),
+        )
+        with pytest.raises(IRError, match="unknown buffer"):
+            validate(k)
+
+    def test_store_to_constant_rejected(self):
+        k = Kernel(
+            name="k",
+            params=(BufferParam("c", F32, space=MemSpace.CONSTANT),),
+            body=Block((MemAccess(MemKind.STORE, MemSpace.CONSTANT, F32, param="c"),)),
+        )
+        with pytest.raises(IRError, match="constant"):
+            validate(k)
+
+    def test_negative_count_rejected(self):
+        k = Kernel(name="k", params=(), body=Block((Arith(OpKind.ADD, F32, count=-1.0),)))
+        with pytest.raises(IRError, match="negative count"):
+            validate(k)
+
+    def test_bad_contention_rejected(self):
+        k = Kernel(name="k", params=(), body=Block((Atomic(OpKind.ADD, U32, contention=1.5),)))
+        with pytest.raises(IRError, match="contention"):
+            validate(k)
+
+    def test_bad_taken_prob_rejected(self):
+        k = Kernel(
+            name="k", params=(), body=Block((Branch(taken_prob=2.0, body=Block()),))
+        )
+        with pytest.raises(IRError, match="taken_prob"):
+            validate(k)
+
+    def test_negative_trip_rejected(self):
+        k = Kernel(name="k", params=(), body=Block((Loop(trip=-1.0, body=Block()),)))
+        with pytest.raises(IRError, match="trip"):
+            validate(k)
+
+    def test_bad_unroll_rejected(self):
+        k = Kernel(name="k", params=(), body=Block((Loop(trip=4.0, body=Block(), unroll=0),)))
+        with pytest.raises(IRError, match="unroll"):
+            validate(k)
+
+    def test_nested_errors_reported_with_path(self):
+        k = Kernel(
+            name="k",
+            params=(),
+            body=Block((Loop(trip=4.0, body=Block((Arith(OpKind.ADD, F32, count=-2.0),))),)),
+        )
+        with pytest.raises(IRError, match=r"body\[0\].body\[0\]"):
+            validate(k)
+
+    def test_private_buffer_param_rejected(self):
+        k = Kernel(
+            name="k", params=(BufferParam("p", F32, space=MemSpace.PRIVATE),), body=Block()
+        )
+        with pytest.raises(IRError, match="private"):
+            validate(k)
+
+
+class TestLayoutParams:
+    def test_aos_buffer(self):
+        b = KernelBuilder("aos")
+        p = b.buffer("bodies", F32, layout=Layout.AOS, record_fields=8)
+        assert p.layout == Layout.AOS and p.record_fields == 8
+
+    def test_zero_record_fields_rejected(self):
+        k = Kernel(
+            name="k",
+            params=(BufferParam("x", F32, record_fields=0),),
+            body=Block(),
+        )
+        with pytest.raises(IRError, match="record_fields"):
+            validate(k)

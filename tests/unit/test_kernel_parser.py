@@ -1,0 +1,216 @@
+"""Tests for the textual kernel language."""
+
+import pytest
+
+from repro.errors import IRError
+from repro.ir import (
+    AccessPattern,
+    Call,
+    Kernel,
+    Layout,
+    Loop,
+    MemSpace,
+    OpKind,
+    analyze,
+    validate,
+    walk_stmts,
+)
+from repro.ir.parser import parse_kernel, parse_kernels
+
+SAXPY = """
+kernel saxpy(global const restrict float* x, global restrict float* y) {
+    live 4;
+    int_ops 2;
+    load f32 unit from x;
+    load f32 unit from y;
+    fma f32;
+    store f32 unit to y;
+}
+"""
+
+DOT = """
+kernel dot(global const float* a, global const float* b, global float* out) {
+    loop 1024 per_item {
+        load f32 unit from a sequential;
+        load f32 unit from b sequential;
+        fma f32 accum;
+    }
+    store f32 unit to out per_item;
+}
+"""
+
+
+class TestBasicParsing:
+    def test_saxpy_structure(self):
+        k = parse_kernel(SAXPY)
+        assert isinstance(k, Kernel)
+        assert k.name == "saxpy"
+        assert k.base_live_values == 4.0
+        validate(k)
+        mix = analyze(k)
+        assert mix.flops() == 2.0
+        assert mix.mem_issues() == 3.0
+
+    def test_param_qualifiers(self):
+        k = parse_kernel(SAXPY)
+        x = k.param("x")
+        assert x.is_const and x.is_restrict
+        assert x.space == MemSpace.GLOBAL
+        y = k.param("y")
+        assert not y.is_const and y.is_restrict
+
+    def test_loop_kernel(self):
+        k = parse_kernel(DOT)
+        validate(k)
+        loop = k.body.stmts[0]
+        assert isinstance(loop, Loop)
+        assert loop.trip == 1024.0
+        mix = analyze(k)
+        assert mix.flops() == pytest.approx(2 * 1024.0)
+        # the fma is an accumulation chain
+        accum = [acc for (op, base, w, acc), c in mix.arith.items() if op is OpKind.FMA]
+        assert accum == [True]
+
+    def test_opencl_type_spellings(self):
+        k = parse_kernel("kernel k(global float4* v) { load float4 from v; }")
+        assert k.param("v").dtype.width == 4
+        widths = {w for (_, _, _, _, w, _, _) in analyze(k).mem}
+        assert widths == {4}
+
+    def test_scalar_params(self):
+        k = parse_kernel("kernel k(global float* x, int n) { load f32 from x; }")
+        from repro.ir import ScalarParam
+
+        assert isinstance(k.param("n"), ScalarParam)
+
+    def test_aos_annotation(self):
+        k = parse_kernel("kernel k(global float aos(8) bodies) { load f32 strided from bodies; }")
+        p = k.param("bodies")
+        assert p.layout == Layout.AOS and p.record_fields == 8
+
+    def test_comments_ignored(self):
+        k = parse_kernel("""
+        kernel k() {   # a kernel
+            add f32;   # one add
+        }
+        """)
+        assert analyze(k).flops() == 1.0
+
+
+class TestStatements:
+    def test_counts_and_flags(self):
+        k = parse_kernel("""
+        kernel k(global const float* img) {
+            load f32 unit from img x9 sequential unaligned;
+            mul f32 x3 novec;
+            exp f32 per_item;
+        }
+        """)
+        mix = analyze(k)
+        assert mix.mem_issues() == 9.0
+        stmt = k.body.stmts[0]
+        assert stmt.sequential and not stmt.aligned
+        mul = k.body.stmts[1]
+        assert not mul.vectorizable and mul.count == 3.0
+
+    def test_gather_and_broadcast(self):
+        k = parse_kernel("""
+        kernel k(global const float* x, constant float* f) {
+            load f32 gather from x novec;
+            load f32 broadcast from f constant_mem;
+        }
+        """)
+        mix = analyze(k)
+        assert mix.bytes_moved(pattern=AccessPattern.GATHER) == 4.0
+        assert mix.bytes_moved(space=MemSpace.CONSTANT) == 4.0
+
+    def test_atomic(self):
+        k = parse_kernel("""
+        kernel k(global uint* bins) {
+            atomic add u32 contention 0.25 local;
+        }
+        """)
+        mix = analyze(k)
+        assert mix.atomic_ops() == 1.0
+        assert mix.atomic_contention_weight_local == pytest.approx(0.25)
+
+    def test_barrier_and_branch_and_call(self):
+        k = parse_kernel("""
+        kernel k() {
+            barrier x7;
+            branch 0.5 divergent {
+                mov f32;
+            }
+            call rng inlined {
+                bitop u32 x3;
+            }
+        }
+        """)
+        mix = analyze(k)
+        assert mix.barriers == 7.0
+        assert mix.divergent_branches == 1.0
+        assert mix.calls == 0.0  # inlined
+        calls = [s for s in walk_stmts(k.body) if isinstance(s, Call)]
+        assert calls[0].name == "rng"
+
+    def test_dynamic_loop(self):
+        k = parse_kernel("""
+        kernel k(global const float* v) {
+            loop 24.5 dynamic novec {
+                load f32 from v;
+            }
+        }
+        """)
+        loop = k.body.stmts[0]
+        assert not loop.static_trip and not loop.vectorizable
+        assert loop.trip == 24.5
+
+
+class TestMultipleAndErrors:
+    def test_parse_kernels_multiple(self):
+        kernels = parse_kernels(SAXPY + DOT)
+        assert [k.name for k in kernels] == ["saxpy", "dot"]
+
+    def test_parse_kernel_rejects_multiple(self):
+        with pytest.raises(IRError, match="exactly one"):
+            parse_kernel(SAXPY + DOT)
+
+    @pytest.mark.parametrize(
+        "source,match",
+        [
+            ("kernel k() { frobnicate f32; }", "unknown statement"),
+            ("kernel k() { add f32 }", "missing ';'"),
+            ("kernel k(float) { }", "type and a name"),
+            ("kernel k() { loop fast { } }", "numeric trip"),
+            ("kernel k() { atomic frob u32; }", "unknown atomic"),
+            ("kernel k() { load", "unexpected end"),
+        ],
+    )
+    def test_error_messages(self, source, match):
+        with pytest.raises(IRError, match=match):
+            parse_kernel(source)
+
+    def test_parsed_kernel_compiles_end_to_end(self):
+        from repro.compiler import CompileOptions, compile_kernel
+
+        k = parse_kernel(SAXPY)
+        compiled = compile_kernel(k, CompileOptions(vector_width=4, qualifiers=True))
+        assert compiled.elems_per_item == 4
+
+    def test_parser_equivalent_to_builder(self):
+        """The same kernel via text and via the builder produce the
+        same instruction mix."""
+        from repro.ir import F32, KernelBuilder
+
+        b = KernelBuilder("saxpy")
+        b.buffer("x", F32, const=True, restrict=True)
+        b.buffer("y", F32, restrict=True)
+        b.int_ops(2)
+        b.load(F32, param="x")
+        b.load(F32, param="y")
+        b.arith(OpKind.FMA, F32)
+        b.store(F32, param="y")
+        built = analyze(b.build(base_live_values=4.0))
+        parsed = analyze(parse_kernel(SAXPY))
+        assert built.arith == parsed.arith
+        assert built.mem == parsed.mem

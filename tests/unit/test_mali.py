@@ -1,0 +1,226 @@
+"""Unit tests for the Mali-T604 architecture model."""
+
+import pytest
+
+from repro.calibration import default_platform
+from repro.compiler import CompileOptions, compile_kernel
+from repro.errors import CLInvalidWorkGroupSize
+from repro.ir import AccessPattern, F32, F64, KernelBuilder, MemSpace, OpKind
+from repro.mali import (
+    FULL_BANDWIDTH_THREADS,
+    FULL_HIDING_THREADS,
+    MaliConfig,
+    derive_occupancy,
+    distribute,
+    time_launch,
+)
+from repro.memory.cache import StreamSpec
+from repro.workload import WorkloadTraits
+
+
+@pytest.fixture(scope="module")
+def platform():
+    return default_platform()
+
+
+def simple_kernel(dtype=F32, **build_kw):
+    b = KernelBuilder("k")
+    b.buffer("a", dtype)
+    b.buffer("c", dtype)
+    b.load(dtype, param="a")
+    b.arith(OpKind.FMA, dtype)
+    b.store(dtype, param="c")
+    return b.build(**build_kw)
+
+
+def traits(n, itemsize=4):
+    nbytes = float(n * itemsize)
+    return WorkloadTraits(
+        streams=(StreamSpec("a", nbytes), StreamSpec("c", nbytes)), elements=n
+    )
+
+
+def launch(platform, compiled, n, local=128, tr=None):
+    return time_launch(
+        compiled,
+        n,
+        local,
+        tr or traits(n),
+        platform.mali,
+        platform.dram_model(),
+        platform.gpu_caches(),
+    )
+
+
+class TestMaliConfig:
+    def test_peak_flops(self):
+        cfg = MaliConfig()
+        # 4 cores x 2 pipes x 4 lanes x 2 flops x 533 MHz
+        assert cfg.peak_fp32_flops == pytest.approx(4 * 2 * 4 * 2 * 533e6)
+        assert cfg.peak_fp64_flops < cfg.peak_fp32_flops
+
+    def test_micro_ops(self):
+        cfg = MaliConfig()
+        assert cfg.micro_ops(4, 32) == 1
+        assert cfg.micro_ops(8, 32) == 2
+        assert cfg.micro_ops(4, 64) == 2
+        assert cfg.micro_ops(1, 32) == 1
+
+    def test_fp64_costs_double(self):
+        cfg = MaliConfig()
+        assert cfg.arith_issue_cost(OpKind.FMA, "f64", 1, 64) == pytest.approx(
+            2 * cfg.arith_issue_cost(OpKind.FMA, "f32", 1, 32)
+        )
+
+    def test_describe_mentions_figure1_components(self):
+        text = MaliConfig().describe()
+        for needle in ("Job Manager", "shader cores", "load/store", "Snoop Control"):
+            assert needle in text
+
+
+class TestOccupancy:
+    def test_full_occupancy(self):
+        occ = derive_occupancy(256, 128)
+        assert occ.threads_per_core == 256
+        assert occ.hiding == 1.0
+        assert occ.bandwidth_hiding == 1.0
+
+    def test_quantization_by_local_size(self):
+        # 96 register-limited threads, groups of 64 -> one resident group
+        occ = derive_occupancy(96, 64)
+        assert occ.resident_groups == 1
+        assert occ.threads_per_core == 64
+
+    def test_oversized_group_degrades(self):
+        occ = derive_occupancy(64, 256)
+        assert occ.threads_per_core < 64
+        assert occ.hiding < 1.0
+
+    def test_hiding_monotone_in_threads(self):
+        hidings = [derive_occupancy(t, t).hiding for t in (8, 16, 32, 64, 128)]
+        assert hidings == sorted(hidings)
+        assert hidings[-1] == 1.0
+
+    def test_bandwidth_saturates_earlier_than_alu(self):
+        occ = derive_occupancy(FULL_BANDWIDTH_THREADS, FULL_BANDWIDTH_THREADS)
+        assert occ.bandwidth_hiding == 1.0
+        assert occ.hiding < 1.0  # ALU hiding needs FULL_HIDING_THREADS
+
+    def test_invalid_local_size(self):
+        with pytest.raises(CLInvalidWorkGroupSize):
+            derive_occupancy(256, 0)
+        with pytest.raises(CLInvalidWorkGroupSize):
+            derive_occupancy(256, 512)
+
+
+class TestJobManager:
+    def test_work_group_count(self):
+        dist, _ = distribute(1024, 128, MaliConfig())
+        assert dist.n_work_groups == 8
+
+    def test_quantization_penalty_small_launches(self):
+        _, imb_small = distribute(128, 128, MaliConfig())  # 1 group on 4 cores
+        _, imb_big = distribute(128 * 400, 128, MaliConfig())
+        assert imb_small == pytest.approx(4.0)
+        assert imb_big < 1.05
+
+    def test_ragged_work_raises_imbalance(self):
+        _, balanced = distribute(1 << 16, 128, MaliConfig(), imbalance_cv=0.0)
+        _, ragged = distribute(1 << 16, 128, MaliConfig(), imbalance_cv=1.5)
+        assert ragged > balanced
+
+    def test_schedule_cost_scales_with_groups(self):
+        cfg = MaliConfig()
+        d1, _ = distribute(1 << 14, 128, cfg)
+        d2, _ = distribute(1 << 16, 128, cfg)
+        assert d2.schedule_seconds == pytest.approx(4 * d1.schedule_seconds)
+
+
+class TestTimeLaunch:
+    def test_more_items_take_longer(self, platform):
+        compiled = compile_kernel(simple_kernel())
+        t1 = launch(platform, compiled, 1 << 16)
+        t2 = launch(platform, compiled, 1 << 18)
+        assert t2.seconds > t1.seconds
+
+    def test_vectorization_speeds_up_streaming(self, platform):
+        n = 1 << 20
+        naive = compile_kernel(simple_kernel())
+        vec = compile_kernel(simple_kernel(), CompileOptions(vector_width=4))
+        t_naive = launch(platform, naive, n)
+        t_vec = launch(platform, vec, n // vec.elems_per_item)
+        assert t_vec.seconds < t_naive.seconds
+
+    def test_fp64_slower_than_fp32(self, platform):
+        n = 1 << 18
+        t32 = launch(platform, compile_kernel(simple_kernel(F32)), n)
+        t64 = launch(
+            platform, compile_kernel(simple_kernel(F64)), n, tr=traits(n, itemsize=8)
+        )
+        assert t64.seconds > t32.seconds
+
+    def test_breakdown_sums_sensibly(self, platform):
+        compiled = compile_kernel(simple_kernel())
+        t = launch(platform, compiled, 1 << 18)
+        assert t.seconds >= max(t.arith_seconds, t.ls_seconds, t.dram_seconds)
+        assert t.bottleneck in ("arith", "ls", "dram", "atomic")
+        assert 0.0 <= t.alu_utilization <= 1.0
+        assert 0.0 <= t.ls_utilization <= 1.0
+
+    def test_launch_overhead_floor(self, platform):
+        compiled = compile_kernel(simple_kernel())
+        t = launch(platform, compiled, 1, local=1)
+        assert t.seconds >= platform.mali.launch_overhead_s
+
+    def test_imbalanced_traits_slow_launch(self, platform):
+        compiled = compile_kernel(simple_kernel())
+        n = 1 << 18
+        balanced = launch(platform, compiled, n)
+        ragged = launch(
+            platform,
+            compiled,
+            n,
+            tr=WorkloadTraits(streams=traits(n).streams, imbalance_cv=2.0, elements=n),
+        )
+        assert ragged.seconds > balanced.seconds
+
+    def test_rejects_empty_launch(self, platform):
+        compiled = compile_kernel(simple_kernel())
+        with pytest.raises(ValueError):
+            launch(platform, compiled, 0)
+
+    def test_constant_loads_cheaper_than_global(self, platform):
+        def kern(space):
+            b = KernelBuilder("k")
+            b.buffer("f", F32, space=space)
+            b.load(F32, pattern=AccessPattern.BROADCAST, param="f",
+                   space=space, count=16.0, vectorizable=False)
+            return compile_kernel(b.build())
+
+        n = 1 << 18
+        tr = WorkloadTraits(
+            streams=(StreamSpec("f", 256.0, touches_per_byte=float(n)),), elements=n
+        )
+        t_const = launch(platform, kern(MemSpace.CONSTANT), n, tr=tr)
+        t_global = launch(platform, kern(MemSpace.GLOBAL), n, tr=tr)
+        assert t_const.ls_seconds < t_global.ls_seconds
+
+    def test_atomic_contention_serializes(self, platform):
+        def kern(contention):
+            from repro.ir import U32
+
+            b = KernelBuilder("k")
+            b.buffer("bins", U32)
+            b.atomic(OpKind.ADD, U32, contention=contention)
+            return compile_kernel(b.build())
+
+        n = 1 << 18
+        tr = WorkloadTraits(
+            streams=(StreamSpec("bins", 1024.0, touches_per_byte=float(n) / 256,
+                                pattern=AccessPattern.ATOMIC),),
+            elements=n,
+        )
+        cold = launch(platform, kern(0.001), n, tr=tr)
+        hot = launch(platform, kern(0.9), n, tr=tr)
+        assert hot.seconds > cold.seconds
+        assert hot.atomic_seconds > cold.atomic_seconds

@@ -1,0 +1,125 @@
+"""Tests for the extended OpenCL surface: fill/copy buffers, kernel info."""
+
+import numpy as np
+import pytest
+
+from repro.compiler import CompileOptions
+from repro.errors import CLInvalidValue
+from repro.ir import F32, F64, KernelBuilder, OpKind
+from repro.memory.cache import StreamSpec
+from repro.ocl import (
+    Buffer,
+    CommandQueue,
+    CommandType,
+    Context,
+    KernelSpec,
+    MemFlag,
+    Program,
+    get_platforms,
+)
+from repro.workload import WorkloadTraits
+
+
+@pytest.fixture()
+def ctx():
+    return Context(get_platforms()[0].get_devices()[0])
+
+
+@pytest.fixture()
+def queue(ctx):
+    return CommandQueue(ctx)
+
+
+class TestFillBuffer:
+    def test_fills_and_costs_time(self, ctx, queue):
+        buf = Buffer(ctx, MemFlag.READ_WRITE, shape=1 << 18, dtype=np.float32)
+        buf.device_view()[...] = 7.0
+        event = queue.enqueue_fill_buffer(buf, 0)
+        assert np.all(buf.device_view() == 0.0)
+        assert event.command_type == CommandType.FILL_BUFFER
+        assert event.duration_s > 0
+
+    def test_fill_value(self, ctx, queue):
+        buf = Buffer(ctx, MemFlag.READ_WRITE, shape=16, dtype=np.uint32)
+        queue.enqueue_fill_buffer(buf, 42)
+        assert np.all(buf.device_view() == 42)
+
+    def test_fill_scales_with_size(self, ctx, queue):
+        small = Buffer(ctx, MemFlag.READ_WRITE, shape=1 << 16, dtype=np.float32)
+        big = Buffer(ctx, MemFlag.READ_WRITE, shape=1 << 22, dtype=np.float32)
+        t_small = queue.enqueue_fill_buffer(small).duration_s
+        t_big = queue.enqueue_fill_buffer(big).duration_s
+        assert t_big > 10 * t_small
+
+
+class TestCopyBuffer:
+    def test_copies_contents(self, ctx, queue):
+        src = Buffer(ctx, MemFlag.COPY_HOST_PTR, hostbuf=np.arange(64, dtype=np.float32))
+        dst = Buffer(ctx, MemFlag.READ_WRITE, shape=64, dtype=np.float32)
+        event = queue.enqueue_copy_buffer(src, dst)
+        assert np.array_equal(dst.device_view(), src.device_view())
+        assert event.command_type == CommandType.COPY_BUFFER
+
+    def test_copy_costs_more_than_fill(self, ctx, queue):
+        a = Buffer(ctx, MemFlag.READ_WRITE, shape=1 << 20, dtype=np.float32)
+        b = Buffer(ctx, MemFlag.READ_WRITE, shape=1 << 20, dtype=np.float32)
+        t_fill = queue.enqueue_fill_buffer(a).duration_s
+        t_copy = queue.enqueue_copy_buffer(a, b).duration_s
+        assert t_copy > t_fill  # read + write vs write-only
+
+    def test_size_mismatch_rejected(self, ctx, queue):
+        a = Buffer(ctx, MemFlag.READ_WRITE, shape=32, dtype=np.float32)
+        b = Buffer(ctx, MemFlag.READ_WRITE, shape=64, dtype=np.float32)
+        with pytest.raises(CLInvalidValue):
+            queue.enqueue_copy_buffer(a, b)
+
+    def test_copy_between_shapes_of_same_size(self, ctx, queue):
+        a = Buffer(ctx, MemFlag.COPY_HOST_PTR, hostbuf=np.ones((8, 8), dtype=np.float32))
+        b = Buffer(ctx, MemFlag.READ_WRITE, shape=64, dtype=np.float32)
+        queue.enqueue_copy_buffer(a, b)
+        assert np.all(b.device_view() == 1.0)
+
+
+class TestKernelWorkGroupInfo:
+    def _kernel(self, ctx, options, live=8.0, dtype=F32):
+        b = KernelBuilder("k")
+        b.buffer("x", dtype)
+        b.load(dtype, param="x")
+        b.arith(OpKind.FMA, dtype)
+        spec = KernelSpec(
+            ir=b.build(base_live_values=live), func=lambda x: None,
+            traits=WorkloadTraits(streams=(StreamSpec("x", 1024.0),), elements=256),
+        )
+        return Program(ctx, [spec]).build(options).create_kernel("k")
+
+    def test_light_kernel_reports_device_max(self, ctx):
+        info = self._kernel(ctx, CompileOptions()).work_group_info()
+        assert info["kernel_work_group_size"] == 256
+        assert info["preferred_work_group_size_multiple"] == 4
+        assert info["launchable"]
+
+    def test_heavy_kernel_reports_reduced_ceiling(self, ctx):
+        info = self._kernel(
+            ctx, CompileOptions(vector_width=4), live=10.0, dtype=F64
+        ).work_group_info()
+        assert info["kernel_work_group_size"] < 256
+        assert info["registers"] > 4
+
+    def test_unlaunchable_kernel(self, ctx):
+        kern = self._kernel(ctx, CompileOptions(vector_width=16, unroll=4), live=20.0, dtype=F64)
+        info = kern.work_group_info()
+        assert not info["launchable"]
+        assert info["kernel_work_group_size"] == 0
+
+
+class TestHistUsesFill:
+    def test_fill_events_inside_timed_region(self):
+        from repro.benchmarks import create
+        from repro.benchmarks.base import run_gpu_version
+        from repro.compiler.options import CompileOptions
+
+        bench = create("hist", scale=0.05)
+        r = run_gpu_version(bench, CompileOptions(qualifiers=True), 128)
+        kinds = [e.command_type for e in r.diagnostics["events"]]
+        assert kinds.count(CommandType.FILL_BUFFER) == 2  # bins + partials
+        assert CommandType.NDRANGE_KERNEL in kinds

@@ -1,0 +1,125 @@
+"""Unit tests for work-size rules, technique catalogue and the autotuner."""
+
+import pytest
+
+from repro.benchmarks import create
+from repro.compiler import CompileOptions
+from repro.mali import MaliConfig
+from repro.optimizations import (
+    ALL_TECHNIQUES,
+    GUIDE_CONSTANTS,
+    LOOP_UNROLLING,
+    MEMORY_MAPPING,
+    OPTION_TECHNIQUES,
+    VECTORIZATION,
+    candidate_local_sizes,
+    guide_global_size,
+    is_global_size_efficient,
+    round_global,
+    sweep,
+    tune,
+)
+
+
+class TestWorksize:
+    def test_guide_formula(self):
+        cfg = MaliConfig()
+        # max work-group size x shader cores x constant (4 or 8)
+        assert guide_global_size(cfg, 4) == 256 * 4 * 4
+        assert guide_global_size(cfg, 8) == 256 * 4 * 8
+
+    def test_guide_constant_validated(self):
+        with pytest.raises(ValueError):
+            guide_global_size(MaliConfig(), 3)
+
+    def test_efficiency_threshold(self):
+        cfg = MaliConfig()
+        assert is_global_size_efficient(1 << 20, cfg)
+        assert not is_global_size_efficient(64, cfg)
+
+    def test_candidate_local_sizes(self):
+        sizes = candidate_local_sizes(MaliConfig())
+        assert sizes == (32, 64, 128, 256)
+
+    def test_round_global(self):
+        assert round_global(100, 64) == 128
+        assert round_global(128, 64) == 128
+        with pytest.raises(ValueError):
+            round_global(10, 0)
+
+
+class TestTechniques:
+    def test_catalogue_covers_section_iii(self):
+        keys = {t.key for t in ALL_TECHNIQUES}
+        assert {
+            "memory_mapping",
+            "load_distribution",
+            "vectorization",
+            "vector_size_tuning",
+            "vector_loads",
+            "loop_unrolling",
+            "data_layout_soa",
+            "qualifiers",
+            "unified_memory",
+            "no_divergence",
+        } == keys
+
+    def test_option_techniques_apply(self):
+        base = CompileOptions()
+        opts = VECTORIZATION.apply(base)
+        assert opts.vector_width == 4
+        opts = LOOP_UNROLLING.apply(base)
+        assert opts.unroll == 2
+
+    def test_host_techniques_not_appliable(self):
+        with pytest.raises(ValueError):
+            MEMORY_MAPPING.apply(CompileOptions())
+
+    def test_every_technique_has_rationale(self):
+        for t in ALL_TECHNIQUES:
+            assert len(t.paper_rationale) > 20
+
+    def test_option_techniques_subset(self):
+        assert set(OPTION_TECHNIQUES) <= set(ALL_TECHNIQUES)
+
+
+class TestAutotuner:
+    @pytest.fixture(scope="class")
+    def vecop(self):
+        return create("vecop", scale=0.05)
+
+    def test_sweep_evaluates_all_candidates_plus_naive_baseline(self, vecop):
+        result = sweep(vecop)
+        assert len(result.trials) == len(list(vecop.tuning_space())) + 1
+        assert result.best is not None
+
+    def test_sweep_can_exclude_naive(self, vecop):
+        result = sweep(vecop, include_naive=False)
+        assert len(result.trials) == len(list(vecop.tuning_space()))
+        assert all(t.options.any_enabled for t in result.trials)
+
+    def test_best_is_fastest_feasible(self, vecop):
+        result = sweep(vecop)
+        best = result.best
+        for trial in result.trials:
+            if trial.feasible:
+                assert best.seconds <= trial.seconds
+
+    def test_tune_returns_options_and_local(self, vecop):
+        options, local = tune(vecop)
+        assert isinstance(options, CompileOptions)
+        assert options.any_enabled  # the tuned pick beats naive
+        assert local in (32, 64, 128, 256)
+
+    def test_vectorization_wins_for_streaming(self, vecop):
+        options, _ = tune(vecop)
+        # the paper's headline for vecop: vector loads are everything
+        assert options.vector_width > 1 or options.vector_loads
+
+    def test_infeasible_candidates_recorded_for_dp(self):
+        from repro.benchmarks import Precision
+
+        bench = create("2dcon", precision=Precision.DOUBLE, scale=0.02)
+        result = sweep(bench)
+        assert result.n_infeasible > 0  # wide f64 configs exhaust registers
+        assert result.best is not None  # but something survives

@@ -1,0 +1,139 @@
+"""Unit tests for register allocation and the compile pipeline."""
+
+import pytest
+
+from repro.compiler import (
+    CompileOptions,
+    FULL_OCCUPANCY_REGISTERS,
+    HARD_REGISTER_LIMIT,
+    MAX_THREADS_PER_CORE,
+    SPILL_THRESHOLD,
+    compile_kernel,
+    estimate_registers,
+    format_report,
+)
+from repro.compiler.regalloc import _threads_for_registers
+from repro.errors import (
+    CompilerInternalError,
+    IRError,
+    RegisterAllocationError,
+)
+from repro.ir import F32, F64, KernelBuilder, MemSpace, OpKind, Scaling, analyze
+from repro.ocl.driver import Fp64RngCompilerBug
+
+
+def kernel(dtype=F32, live=8.0, with_loop=False, trip=32.0):
+    b = KernelBuilder("k")
+    b.buffer("x", dtype)
+    if with_loop:
+        with b.loop(trip=trip, scaling=Scaling.PER_ITEM):
+            b.load(dtype, param="x")
+            b.arith(OpKind.FMA, dtype)
+    else:
+        b.load(dtype, param="x")
+        b.arith(OpKind.FMA, dtype)
+    b.store(dtype, param="x")
+    return b.build(base_live_values=live)
+
+
+class TestThreadsForRegisters:
+    def test_full_occupancy_at_or_below_4(self):
+        assert _threads_for_registers(1) == MAX_THREADS_PER_CORE
+        assert _threads_for_registers(FULL_OCCUPANCY_REGISTERS) == MAX_THREADS_PER_CORE
+
+    def test_halves_per_doubling(self):
+        assert _threads_for_registers(8) == 128
+        assert _threads_for_registers(16) == 64
+        assert _threads_for_registers(32) == 32
+
+    def test_floor(self):
+        assert _threads_for_registers(10_000) == 8
+
+
+class TestEstimateRegisters:
+    def test_scalar_f32_packs_four_per_register(self):
+        live, regs = estimate_registers(kernel(live=8.0))
+        assert live == 8.0
+        assert regs == 2  # 8 values x 32 bits / 128
+
+    def test_vector_width_multiplies(self):
+        compiled = compile_kernel(kernel(live=8.0), CompileOptions(vector_width=4))
+        assert compiled.registers.registers_128 == 8
+
+    def test_f64_doubles(self):
+        _, regs32 = estimate_registers(kernel(F32, live=8.0))
+        _, regs64 = estimate_registers(kernel(F64, live=8.0))
+        assert regs64 == 2 * regs32
+
+    def test_unroll_increases_live_values(self):
+        base = compile_kernel(kernel(with_loop=True), CompileOptions())
+        unrolled = compile_kernel(kernel(with_loop=True), CompileOptions(unroll=4))
+        assert unrolled.registers.registers_128 > base.registers.registers_128
+
+
+class TestSpillsAndFailure:
+    def test_spill_inserts_memory_traffic(self):
+        compiled = compile_kernel(
+            kernel(live=12.0, with_loop=True), CompileOptions(vector_width=8)
+        )
+        rep = compiled.registers
+        assert rep.spills
+        assert rep.spill_accesses_per_item > 0
+        # spill code shows up as extra global accesses in the mix
+        base = compile_kernel(kernel(live=4.0, with_loop=True), CompileOptions(vector_width=8))
+        assert compiled.mix.mem_issues() > base.mix.mem_issues()
+
+    def test_hard_limit_raises(self):
+        with pytest.raises(RegisterAllocationError) as ei:
+            compile_kernel(kernel(F64, live=16.0), CompileOptions(vector_width=16, unroll=4))
+        assert ei.value.registers_required > HARD_REGISTER_LIMIT
+
+    def test_spill_threshold_boundary(self):
+        # exactly at the threshold: no spills
+        compiled = compile_kernel(kernel(live=float(SPILL_THRESHOLD * 4)), CompileOptions())
+        assert not compiled.registers.spills
+
+
+class TestPipeline:
+    def test_naive_compile_roundtrip(self):
+        compiled = compile_kernel(kernel())
+        assert compiled.options.describe() == "naive"
+        assert compiled.kernel.name == "k"
+        assert compiled.source_kernel is not compiled.kernel or True
+        assert compiled.mix.arith_issues() > 0
+
+    def test_pass_log_recorded(self):
+        compiled = compile_kernel(kernel(), CompileOptions(vector_width=4, qualifiers=True))
+        assert any("vectorize" in line for line in compiled.log)
+        assert any("qualifiers" in line for line in compiled.log)
+
+    def test_invalid_ir_rejected(self):
+        from repro.ir.nodes import Block, Kernel
+
+        bad = Kernel(name="", params=(), body=Block())
+        with pytest.raises(IRError):
+            compile_kernel(bad)
+
+    def test_quirk_fires_for_fp64_rng(self):
+        b = KernelBuilder("amcd_like")
+        b.buffer("x", F64)
+        with b.call("lcg_rand"):
+            b.arith(OpKind.MUL, F64, vectorizable=False)
+        k = b.build()
+        with pytest.raises(CompilerInternalError, match="did not terminate"):
+            compile_kernel(k, quirks=(Fp64RngCompilerBug(),))
+
+    def test_quirk_spares_fp32(self):
+        b = KernelBuilder("amcd_like")
+        b.buffer("x", F32)
+        with b.call("lcg_rand"):
+            b.arith(OpKind.MUL, F32, vectorizable=False)
+        compiled = compile_kernel(b.build(), quirks=(Fp64RngCompilerBug(),))
+        assert compiled.name == "amcd_like"
+
+    def test_format_report_mentions_key_stats(self):
+        compiled = compile_kernel(kernel(), CompileOptions(vector_width=4))
+        text = format_report(compiled)
+        assert "registers" in text
+        assert "vec4" in text
+        assert "occupancy" in text

@@ -1,0 +1,107 @@
+"""Tests for the campaign regression-comparison tool."""
+
+import pytest
+
+from repro.benchmarks import Precision, RunResult, Version
+from repro.experiments.regression import compare, format_regressions
+from repro.experiments.runner import ResultSet
+
+
+def make_result(bench, version, elapsed=1.0, power=3.0, ok=True):
+    if not ok:
+        return RunResult.failed(bench, version, Precision.SINGLE, "boom")
+    return RunResult(
+        benchmark=bench,
+        version=version,
+        precision=Precision.SINGLE,
+        elapsed_s=elapsed,
+        mean_power_w=power,
+        energy_j=elapsed * power,
+        verified=True,
+    )
+
+
+def grid(overrides=None):
+    overrides = overrides or {}
+    rs = ResultSet()
+    for bench in ("vecop", "dmmm"):
+        for version in (Version.SERIAL, Version.OPENCL_OPT):
+            kwargs = overrides.get((bench, version), {})
+            rs.add(make_result(bench, version, **kwargs))
+    return rs
+
+
+class TestCompare:
+    def test_identical_campaigns_are_clean(self):
+        report = compare(grid(), grid())
+        assert report.clean
+        assert report.regressions(0.01) == ()
+        assert report.worst().elapsed_rel == pytest.approx(0.0)
+
+    def test_detects_slowdown(self):
+        slow = grid({("dmmm", Version.OPENCL_OPT): {"elapsed": 1.2}})
+        report = compare(grid(), slow)
+        offenders = report.regressions(0.05)
+        assert len(offenders) == 1
+        assert offenders[0].key[0] == "dmmm"
+        assert offenders[0].elapsed_rel == pytest.approx(0.2)
+        assert offenders[0].energy_rel == pytest.approx(0.2)
+
+    def test_tolerance_filters(self):
+        slightly = grid({("vecop", Version.SERIAL): {"elapsed": 1.02}})
+        report = compare(grid(), slightly)
+        assert report.regressions(0.05) == ()
+        assert len(report.regressions(0.01)) == 1
+
+    def test_failure_status_change_flagged(self):
+        broken = grid()
+        broken.add(make_result("dmmm", Version.OPENCL_OPT, ok=False))
+        report = compare(grid(), broken)
+        assert not report.clean
+        assert ("dmmm", Version.OPENCL_OPT, Precision.SINGLE) in report.failure_changes
+
+    def test_missing_cells_flagged(self):
+        small = ResultSet()
+        small.add(make_result("vecop", Version.SERIAL))
+        report = compare(grid(), small)
+        assert len(report.missing_in_new) == 3
+        assert not report.clean
+
+    def test_both_failed_is_comparable_noop(self):
+        a, b = grid(), grid()
+        a.add(make_result("amcd", Version.OPENCL_OPT, ok=False))
+        b.add(make_result("amcd", Version.OPENCL_OPT, ok=False))
+        report = compare(a, b)
+        assert report.clean
+
+
+class TestFormatting:
+    def test_clean_report(self):
+        text = format_regressions(compare(grid(), grid()))
+        assert "within tolerance" in text
+
+    def test_offender_report(self):
+        slow = grid({("dmmm", Version.OPENCL_OPT): {"elapsed": 2.0}})
+        text = format_regressions(compare(grid(), slow))
+        assert "dmmm/OpenCL Opt/SP" in text
+        assert "+100" in text
+
+
+class TestRoundTripStability:
+    def test_json_roundtrip_compares_clean(self):
+        """A campaign serialized and reloaded must diff clean against
+        itself — the regression-baseline workflow."""
+        from repro.experiments.runner import run_grid
+
+        rs = run_grid(benchmarks=["vecop"], scale=0.02)
+        loaded = ResultSet.from_json(rs.to_json())
+        report = compare(rs, loaded)
+        assert report.clean
+        assert report.regressions(1e-9) == ()
+
+    def test_rerun_with_same_seed_compares_clean(self):
+        from repro.experiments.runner import run_grid
+
+        a = run_grid(benchmarks=["vecop"], scale=0.02, seed=5)
+        b = run_grid(benchmarks=["vecop"], scale=0.02, seed=5)
+        assert compare(a, b).regressions(1e-12) == ()
