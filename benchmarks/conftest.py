@@ -36,7 +36,7 @@ class RunCache:
     def run(self, name: str, version: Version, precision: Precision):
         key = (name, version, precision)
         if key not in self._results:
-            self._results[key] = run_version(self.bench(name, precision), version)
+            self._results[key] = run_version(self.bench(name, precision), version=version)
         return self._results[key]
 
     def ratios(self, name: str, version: Version, precision: Precision):

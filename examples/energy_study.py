@@ -28,7 +28,7 @@ def per_benchmark_energy() -> None:
         row = f"{name:7s} {serial.energy_j * 1e3:8.1f}mJ"
         ratios = {}
         for version in (Version.OPENMP, Version.OPENCL, Version.OPENCL_OPT):
-            r = run_version(bench, version)
+            r = run_version(bench, version=version)
             ratios[version] = r.relative_to(serial)[2] if r.ok else float("nan")
             row += f" {ratios[version]:8.2f}"
         winner = min(ratios, key=lambda v: ratios[v])
@@ -38,7 +38,7 @@ def per_benchmark_energy() -> None:
 def meter_methodology() -> None:
     print("\nYokogawa WT230 methodology (10 Hz, 0.1% accuracy):")
     bench = create("vecop", scale=0.25)
-    r = run_version(bench, Version.OPENCL_OPT)
+    r = run_version(bench, version=Version.OPENCL_OPT)
     print(f"  one timed iteration: {r.elapsed_s * 1e3:.2f} ms "
           "-> far below one 100 ms meter sample")
     # the runner repeats the region; show the effect explicitly
@@ -56,7 +56,7 @@ def power_vs_time_decomposition() -> None:
     bench = create("dmmm", scale=0.25)
     serial = run_cpu_version(bench, Version.SERIAL)
     for version in (Version.SERIAL, Version.OPENMP, Version.OPENCL, Version.OPENCL_OPT):
-        r = run_version(bench, version)
+        r = run_version(bench, version=version)
         s, p, e = r.relative_to(serial)
         print(f"  {version.value:11s} time x{1 / s:6.3f}   power x{p:5.2f}   "
               f"energy x{e:6.3f}")

@@ -45,13 +45,14 @@ def next_gen_speedups() -> None:
 def fixed_driver() -> None:
     print("\nthe promised driver fix: double-precision amcd")
     broken = run_version(
-        create("amcd", precision=Precision.DOUBLE, scale=SCALE), Version.OPENCL_OPT
+        create("amcd", precision=Precision.DOUBLE, scale=SCALE),
+        version=Version.OPENCL_OPT,
     )
     print(f"  2013 driver : {broken.failure}")
     fixed = run_fixed_driver_amcd(scale=SCALE)
     bench = create("amcd", precision=Precision.DOUBLE, scale=SCALE,
                    platform=fixed_driver_platform())
-    serial = run_version(bench, Version.SERIAL)
+    serial = run_version(bench, version=Version.SERIAL)
     speedup, _, energy = fixed.relative_to(serial)
     print(f"  fixed driver: compiles; {speedup:.2f}x speedup at "
           f"{energy:.2f} energy ({fixed.options.describe()})")

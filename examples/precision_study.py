@@ -29,7 +29,7 @@ def main() -> None:
         for precision in (Precision.SINGLE, Precision.DOUBLE):
             bench = create(name, precision=precision, scale=0.5)
             serial = run_cpu_version(bench, Version.SERIAL)
-            opt = run_version(bench, Version.OPENCL_OPT)
+            opt = run_version(bench, version=Version.OPENCL_OPT)
             if not opt.ok:
                 cells[precision] = None
                 note = "DP fails: ARM compiler defect (fp64 + RNG helper)"

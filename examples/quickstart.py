@@ -40,7 +40,7 @@ def main() -> None:
     print("\nversion        time        power     energy   vs Serial")
     serial = run_cpu_version(bench, Version.SERIAL)
     for version in Version:
-        r = run_version(bench, version)
+        r = run_version(bench, version=version)
         speedup, power, energy = r.relative_to(serial)
         tag = r.options.describe() if r.options else ""
         print(

@@ -45,7 +45,7 @@ def main() -> None:
         )
         ceiling = speedup_ceiling(ir, gpu, cpu)
         serial = run_cpu_version(bench, Version.SERIAL)
-        opt = run_version(bench, Version.OPENCL_OPT)
+        opt = run_version(bench, version=Version.OPENCL_OPT)
         measured = serial.elapsed_s / opt.elapsed_s if opt.ok else float("nan")
         rows.append((name, raw, cached, ceiling, measured))
 

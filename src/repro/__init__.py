@@ -20,15 +20,24 @@ architecture simulation:
 * :mod:`repro.benchmarks` — the nine HPC benchmarks in all four
   versions (Serial / OpenMP / OpenCL / OpenCL Opt), with real NumPy
   numerics validated against references;
-* :mod:`repro.experiments` — the harness regenerating every figure of
-  the paper's evaluation (Figures 2, 3 and 4, single and double
-  precision) plus the §V-D summary.
+* :mod:`repro.experiments` — the campaign engine (parallel grid
+  execution, content-addressed run cache, structured tracing) and the
+  harness regenerating every figure of the paper's evaluation
+  (Figures 2, 3 and 4, single and double precision) plus the §V-D
+  summary.
 
 Quick start::
 
     from repro import run_grid, figure2, format_figure
     results = run_grid(scale=0.25)          # small instance of the grid
     print(format_figure(figure2(results)))  # Figure 2(a)
+
+Campaigns (parallel execution + run cache)::
+
+    from repro import Campaign, CampaignSpec
+    campaign = Campaign(CampaignSpec(scale=0.25), cache_dir=".repro_cache")
+    results = campaign.run(jobs=4)          # same bytes as jobs=1
+    print(campaign.report.describe())       # cache hits, failures, wall
 """
 
 from .benchmarks import (
@@ -45,6 +54,9 @@ from .benchmarks import (
 from .calibration import ExynosPlatform, default_platform, validate_platform
 from .compiler import CompileOptions, CompiledKernel, compile_kernel
 from .experiments import (
+    Campaign,
+    CampaignReport,
+    CampaignSpec,
     ResultSet,
     figure2,
     figure3,
@@ -71,6 +83,9 @@ __all__ = [
     "CLBuildProgramFailure",
     "CLError",
     "CLOutOfResources",
+    "Campaign",
+    "CampaignReport",
+    "CampaignSpec",
     "CompileOptions",
     "CompiledKernel",
     "CompilerError",

@@ -25,16 +25,31 @@ def _precision(args) -> Precision:
 
 
 def cmd_figures(args) -> int:
-    from .experiments import all_figures, format_figure, format_summary, run_grid, summarize
+    from .experiments import (
+        Campaign,
+        CampaignSpec,
+        all_figures,
+        format_figure,
+        format_summary,
+        summarize,
+    )
 
     precisions = (
         (Precision.SINGLE,) if args.sp_only else (Precision.SINGLE, Precision.DOUBLE)
     )
-    results = run_grid(scale=args.scale, precisions=precisions)
+    spec = CampaignSpec(scale=args.scale, precisions=precisions)
+    campaign = Campaign(
+        spec,
+        cache_dir=None if args.no_cache else args.cache_dir,
+        trace=args.trace,
+    )
+    results = campaign.run(jobs=args.jobs)
     for series in all_figures(results, precisions):
         print(format_figure(series))
         print()
     print(format_summary(summarize(results)))
+    print()
+    print(campaign.report.describe())
     return 0
 
 
@@ -43,7 +58,7 @@ def cmd_run(args) -> int:
     print(f"{args.benchmark}: {bench.description}")
     baseline = None
     for version in Version:
-        r = run_version(bench, version)
+        r = run_version(bench, version=version)
         if not r.ok:
             print(f"  {version.value:11s}  FAILED: {r.failure}")
             continue
@@ -147,13 +162,20 @@ def cmd_whatif(args) -> int:
     if r.ok:
         bench = create("amcd", precision=Precision.DOUBLE, scale=args.scale,
                        platform=fixed_driver_platform())
-        serial = run_version(bench, Version.SERIAL)
+        serial = run_version(bench, version=Version.SERIAL)
         speedup, _, energy = r.relative_to(serial)
         print(f"  compiles and runs: speedup {speedup:.2f}x, energy {energy:.2f} "
               f"({r.options.describe()})")
     else:  # pragma: no cover - defensive
         print(f"  still failing: {r.failure}")
     return 0
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError("must be >= 1")
+    return value
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -169,6 +191,14 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("figures", help="regenerate Figures 2/3/4")
     p.add_argument("--scale", type=float, default=1.0)
     p.add_argument("--sp-only", action="store_true")
+    p.add_argument("--jobs", type=_positive_int, default=1,
+                   help="parallel worker processes (1 = in-process)")
+    p.add_argument("--cache-dir", default=".repro_cache", metavar="DIR",
+                   help="content-addressed run cache directory")
+    p.add_argument("--no-cache", action="store_true",
+                   help="disable the run cache")
+    p.add_argument("--trace", default=None, metavar="PATH",
+                   help="write per-run trace events to a JSONL file")
     p.set_defaults(func=cmd_figures)
 
     p = sub.add_parser("run", help="run one benchmark's four versions")

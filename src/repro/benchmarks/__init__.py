@@ -7,6 +7,8 @@ from .base import (
     Precision,
     RunResult,
     Version,
+    execute_run,
+    execute_runs,
     measure_trace,
     run_cpu_version,
     run_gpu_version,
@@ -41,6 +43,8 @@ __all__ = [
     "Version",
     "all_benchmarks",
     "create",
+    "execute_run",
+    "execute_runs",
     "measure_trace",
     "nbody_step",
     "run_cpu_version",

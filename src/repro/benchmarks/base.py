@@ -413,8 +413,12 @@ def run_gpu_version(
     )
 
 
-def run_version(bench: Benchmark, version: Version) -> RunResult:
-    """Run any of the four versions with its canonical configuration."""
+def run_version(bench: Benchmark, *, version: Version) -> RunResult:
+    """Run any of the four versions with its canonical configuration.
+
+    Keyword-only past the benchmark: ``run_version(bench,
+    version=Version.OPENCL)``.
+    """
     if version in (Version.SERIAL, Version.OPENMP):
         return run_cpu_version(bench, version)
     if version is Version.OPENCL:
@@ -433,3 +437,51 @@ def run_version(bench: Benchmark, version: Version) -> RunResult:
         )
     options, local_size = best
     return run_gpu_version(bench, options, local_size, Version.OPENCL_OPT)
+
+
+def execute_run(
+    benchmark: str,
+    *,
+    version: Version,
+    precision: Precision = Precision.SINGLE,
+    scale: float = 1.0,
+    seed: int = 1234,
+    platform: ExynosPlatform | None = None,
+) -> RunResult:
+    """Worker-safe run entry: one grid cell from plain parameters.
+
+    Builds a fresh benchmark instance and runs one version.  Everything
+    it takes and returns is picklable, and it lives at module level, so
+    a ``ProcessPoolExecutor`` worker can execute it by reference — this
+    is the unit of work the campaign engine
+    (:mod:`repro.experiments.engine`) fans out.  Because benchmarks
+    consume their RNG only during :meth:`Benchmark.setup`, the result is
+    identical to running the same version on a shared instance.
+    """
+    from .registry import create  # deferred: registry imports this module
+
+    bench = create(benchmark, precision=precision, scale=scale, seed=seed, platform=platform)
+    return run_version(bench, version=version)
+
+
+def execute_runs(
+    benchmark: str,
+    *,
+    versions: Iterable[Version],
+    precision: Precision = Precision.SINGLE,
+    scale: float = 1.0,
+    seed: int = 1234,
+    platform: ExynosPlatform | None = None,
+) -> tuple[RunResult, ...]:
+    """Worker-safe batch entry: several versions on one shared instance.
+
+    Problem setup is by far the most expensive part of a cell at paper
+    scale, and it is identical across the four versions — so workers run
+    whole version groups against a single benchmark instance, exactly
+    like the classic serial loop.  Results are returned in ``versions``
+    order.
+    """
+    from .registry import create  # deferred: registry imports this module
+
+    bench = create(benchmark, precision=precision, scale=scale, seed=seed, platform=platform)
+    return tuple(run_version(bench, version=version) for version in versions)

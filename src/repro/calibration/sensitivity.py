@@ -100,8 +100,8 @@ def probe_speedups(
     for name in benchmarks:
         bench = create(name, precision=Precision.SINGLE, scale=scale, seed=seed,
                        platform=platform)
-        serial = run_version(bench, Version.SERIAL)
-        opt = run_version(bench, Version.OPENCL_OPT)
+        serial = run_version(bench, version=Version.SERIAL)
+        opt = run_version(bench, version=Version.OPENCL_OPT)
         out[name] = serial.elapsed_s / opt.elapsed_s
     return out
 

@@ -59,7 +59,7 @@ def measure_arndale_node(
     board power during that run; memory = the board's 2 GB.
     """
     bench = create("dmmm", precision=precision, scale=scale, seed=seed, platform=platform)
-    result = run_version(bench, Version.OPENCL_OPT)
+    result = run_version(bench, version=Version.OPENCL_OPT)
     if not result.ok:
         raise RuntimeError(f"dmmm Opt failed: {result.failure}")
     flops = 2.0 * bench.n**3

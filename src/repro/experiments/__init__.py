@@ -1,5 +1,7 @@
-"""Experiment harness: grid runner, figure builders, reports."""
+"""Experiment harness: campaign engine, figure builders, reports."""
 
+from .cache import CacheStats, RunCache
+from .engine import Campaign, CampaignReport, CampaignSpec, RunTask
 from .figures import (
     BAR_VERSIONS,
     FigureSeries,
@@ -15,18 +17,29 @@ from .runner import ResultSet, run_grid
 from .sweep import SizeSweep, SweepPoint, format_sweep, run_size_sweep
 from .statistics import RepeatedStatistics, run_repeated
 from .summary import Summary, summarize
+from .trace import JsonlTraceSink, ListTraceSink, TraceEvent, TraceSink, read_trace
 
 __all__ = [
     "BAR_VERSIONS",
+    "CacheStats",
+    "Campaign",
+    "CampaignReport",
+    "CampaignSpec",
     "CellDelta",
+    "JsonlTraceSink",
+    "ListTraceSink",
     "RegressionReport",
     "FigureSeries",
     "Metric",
     "ResultSet",
+    "RunCache",
+    "RunTask",
     "SizeSweep",
     "SweepPoint",
     "RepeatedStatistics",
     "Summary",
+    "TraceEvent",
+    "TraceSink",
     "all_figures",
     "figure2",
     "figure3",
@@ -37,6 +50,7 @@ __all__ = [
     "format_figure",
     "format_summary",
     "format_sweep",
+    "read_trace",
     "run_grid",
     "run_repeated",
     "run_size_sweep",

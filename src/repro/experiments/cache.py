@@ -1,0 +1,138 @@
+"""Content-addressed on-disk cache of simulated runs.
+
+Every grid cell a :class:`~repro.experiments.engine.Campaign` executes
+is a pure function of ``(scale, seed, platform, benchmark, version,
+precision)`` — the simulation consumes its RNG only during problem
+setup, so re-running a cell always reproduces the same
+:class:`~repro.benchmarks.base.RunResult`.  The cache exploits that:
+each result is stored under a SHA-256 key derived from the campaign's
+*run fingerprint* (scale, seed, platform, library version — see
+:meth:`CampaignSpec.run_fingerprint
+<repro.experiments.engine.CampaignSpec.run_fingerprint>`) plus the cell
+coordinates, so **any** campaign with the same run parameters — the
+figure builders, ``examples/``, the pytest-benchmark harness, partial
+what-if grids — reuses previously computed runs regardless of which
+subset of the grid it asks for.
+
+Entries are one JSON file each under ``<root>/<key[:2]>/<key>.json``
+(git-friendly, rsync-able, trivially garbage-collected), written
+atomically via rename.  An entry whose embedded schema or key fields no
+longer match is *invalidated*: evicted, counted, and recomputed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import asdict, dataclass
+from pathlib import Path
+
+from ..benchmarks.base import Precision, RunResult, Version
+
+#: bump to orphan every existing entry (layout or semantics change)
+CACHE_SCHEMA = 1
+
+
+@dataclass
+class CacheStats:
+    """Hit / miss / invalidation accounting for one cache handle."""
+
+    hits: int = 0
+    misses: int = 0
+    invalidated: int = 0
+    writes: int = 0
+
+    def as_dict(self) -> dict:
+        return asdict(self)
+
+
+def run_key(run_fingerprint: str, benchmark: str, version: Version, precision: Precision) -> str:
+    """Content address of one grid cell: SHA-256 over fingerprint + cell."""
+    blob = json.dumps(
+        {
+            "fingerprint": run_fingerprint,
+            "benchmark": benchmark,
+            "version": version.value,
+            "precision": precision.value,
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+class RunCache:
+    """On-disk run store addressed by :func:`run_key` digests.
+
+    ``load`` counts exactly one of ``hits``/``misses`` per call (an
+    invalidated entry additionally bumps ``invalidated`` and is evicted
+    before the miss is reported); ``store`` bumps ``writes``.
+    """
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+        except FileExistsError:
+            raise NotADirectoryError(
+                f"run cache root {self.root} exists and is not a directory"
+            ) from None
+        self.stats = CacheStats()
+
+    def path_for(self, key: str) -> Path:
+        """Entry file for a digest (two-level fan-out, git style)."""
+        return self.root / key[:2] / f"{key}.json"
+
+    # ------------------------------------------------------------------
+    def load(self, key: str) -> RunResult | None:
+        """Return the cached run for ``key``, or ``None`` on miss."""
+        from .runner import run_from_row  # deferred: runner imports engine lazily
+
+        path = self.path_for(key)
+        try:
+            entry = json.loads(path.read_text())
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            self._invalidate(path)
+            return None
+        if (
+            not isinstance(entry, dict)
+            or entry.get("cache_schema") != CACHE_SCHEMA
+            or entry.get("key") != key
+            or "run" not in entry
+        ):
+            self._invalidate(path)
+            return None
+        try:
+            run = run_from_row(entry["run"])
+        except (KeyError, TypeError, ValueError):
+            self._invalidate(path)
+            return None
+        self.stats.hits += 1
+        return run
+
+    def store(self, key: str, run: RunResult) -> None:
+        """Persist one run under ``key`` (atomic write-then-rename)."""
+        from .runner import run_to_row
+
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        entry = {"cache_schema": CACHE_SCHEMA, "key": key, "run": run_to_row(run)}
+        # per-process staging name: concurrent campaigns may store the
+        # same cell; each stages privately and the rename is atomic
+        tmp = path.with_suffix(f".{os.getpid()}.tmp")
+        tmp.write_text(json.dumps(entry, indent=1, sort_keys=True))
+        os.replace(tmp, path)
+        self.stats.writes += 1
+
+    # ------------------------------------------------------------------
+    def _invalidate(self, path: Path) -> None:
+        """Evict a stale/corrupt entry; counts as invalidated *and* miss."""
+        try:
+            path.unlink()
+        except OSError:  # pragma: no cover - concurrent eviction
+            pass
+        self.stats.invalidated += 1
+        self.stats.misses += 1

@@ -1,0 +1,448 @@
+"""Campaign engine: plan, parallelize, cache and trace the grid.
+
+The reproduction's experiment grid (benchmark × version × precision)
+used to be a serial triple loop; this module turns it into a planned
+**campaign** of independent run tasks:
+
+* :class:`CampaignSpec` — a frozen, hashable description of the grid
+  and its run parameters (scale, seed, platform), with content
+  fingerprints for archiving and cache addressing;
+* :class:`Campaign` — plans the spec into :class:`RunTask` units and
+  executes them either in-process (``jobs=1``, bit-for-bit the classic
+  serial path, handy for determinism debugging) or on a
+  ``ProcessPoolExecutor`` (``jobs=N``), producing a
+  :class:`~repro.experiments.runner.ResultSet` whose ``to_json()`` is
+  byte-identical either way;
+* a content-addressed on-disk cache (:mod:`repro.experiments.cache`)
+  so figures, examples and benches reuse runs across invocations;
+* structured tracing (:mod:`repro.experiments.trace`) of every run's
+  queued/started/finished lifecycle;
+* :class:`CampaignReport` — the aggregate accounting (cache hits,
+  failures, wall time) of one ``Campaign.run()``.
+
+Every cell of the grid is a pure function of the spec (benchmarks
+consume their RNG only during setup), which is what makes both the
+process pool and the cache sound.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable
+
+from ..benchmarks.base import (
+    Benchmark,
+    Precision,
+    RunResult,
+    Version,
+    execute_run,
+    execute_runs,
+    run_version,
+)
+from ..benchmarks.registry import PAPER_ORDER, create
+from ..calibration.exynos5250 import ExynosPlatform, default_platform
+from .cache import RunCache, run_key
+from .runner import ResultSet
+from .trace import JsonlTraceSink, Tracer, TraceSink
+
+
+@dataclass(frozen=True)
+class RunTask:
+    """One independent unit of campaign work: a single grid cell.
+
+    Tasks are plain frozen dataclasses of primitives (plus the
+    picklable frozen platform), so they cross process boundaries and
+    hash into cache keys without ceremony.
+    """
+
+    benchmark: str
+    version: Version
+    precision: Precision
+    scale: float
+    seed: int
+    platform: ExynosPlatform | None = None
+
+    @property
+    def cell(self) -> tuple[str, Version, Precision]:
+        """The ResultSet key this task fills."""
+        return (self.benchmark, self.version, self.precision)
+
+    @property
+    def label(self) -> str:
+        """Human-readable id, matching the classic progress format."""
+        return f"{self.benchmark} [{self.precision.label}] {self.version.value}"
+
+    def execute(self) -> RunResult:
+        """Run this cell from scratch (fresh benchmark instance)."""
+        return execute_run(
+            self.benchmark,
+            version=self.version,
+            precision=self.precision,
+            scale=self.scale,
+            seed=self.seed,
+            platform=self.platform,
+        )
+
+
+def _execute_group(tasks: tuple[RunTask, ...]) -> tuple[RunResult, ...]:
+    """Pool entry for one (benchmark, precision) version group.
+
+    All tasks in a group share problem setup (the dominant cost at
+    paper scale), so a worker builds the benchmark once and runs every
+    requested version on it — the same cost profile as the serial loop.
+    """
+    first = tasks[0]
+    return execute_runs(
+        first.benchmark,
+        versions=tuple(t.version for t in tasks),
+        precision=first.precision,
+        scale=first.scale,
+        seed=first.seed,
+        platform=first.platform,
+    )
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """Frozen description of one experimental campaign.
+
+    ``benchmarks`` / ``versions`` / ``precisions`` span the grid;
+    ``scale`` / ``seed`` / ``platform`` parameterize every run.  Any
+    iterable is accepted and normalized to a tuple so equal specs
+    compare, hash and fingerprint identically.  ``platform=None`` means
+    the calibrated Exynos 5250 default.
+    """
+
+    benchmarks: tuple[str, ...] = PAPER_ORDER
+    versions: tuple[Version, ...] = tuple(Version)
+    precisions: tuple[Precision, ...] = (Precision.SINGLE,)
+    scale: float = 1.0
+    seed: int = 1234
+    platform: ExynosPlatform | None = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "benchmarks", tuple(self.benchmarks))
+        object.__setattr__(self, "versions", tuple(self.versions))
+        object.__setattr__(self, "precisions", tuple(self.precisions))
+        if self.scale <= 0:
+            raise ValueError("scale must be positive")
+
+    # ------------------------------------------------------------------
+    # planning
+    # ------------------------------------------------------------------
+    def tasks(self) -> tuple[RunTask, ...]:
+        """The grid as independent tasks, in canonical (classic) order:
+        benchmark-major, then precision, then version."""
+        return tuple(
+            RunTask(
+                benchmark=name,
+                version=version,
+                precision=precision,
+                scale=self.scale,
+                seed=self.seed,
+                platform=self.platform,
+            )
+            for name in self.benchmarks
+            for precision in self.precisions
+            for version in self.versions
+        )
+
+    @property
+    def size(self) -> int:
+        """Number of grid cells."""
+        return len(self.benchmarks) * len(self.versions) * len(self.precisions)
+
+    # ------------------------------------------------------------------
+    # fingerprints
+    # ------------------------------------------------------------------
+    def platform_fingerprint(self) -> str:
+        """Digest of the resolved platform's full calibrated constants."""
+        platform = self.platform or default_platform()
+        return hashlib.sha256(repr(platform).encode()).hexdigest()[:16]
+
+    def run_fingerprint(self) -> str:
+        """Digest of everything that determines a *single run's* result.
+
+        Deliberately excludes the grid axes: two campaigns over
+        different benchmark subsets share cache entries as long as
+        scale, seed, platform and library version agree.
+        """
+        from .. import __version__
+
+        blob = json.dumps(
+            {
+                "scale": self.scale,
+                "seed": self.seed,
+                "platform": self.platform_fingerprint(),
+                "repro": __version__,
+            },
+            sort_keys=True,
+        )
+        return hashlib.sha256(blob.encode()).hexdigest()[:16]
+
+    def fingerprint(self) -> str:
+        """Digest of the full campaign: run parameters plus grid axes.
+
+        This is the identity carried by ``ResultSet.to_json`` (schema 2)
+        and :class:`CampaignReport`.
+        """
+        blob = json.dumps(
+            {
+                "run": self.run_fingerprint(),
+                "benchmarks": list(self.benchmarks),
+                "versions": [v.value for v in self.versions],
+                "precisions": [p.value for p in self.precisions],
+            },
+            sort_keys=True,
+        )
+        return hashlib.sha256(blob.encode()).hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class CampaignReport:
+    """Aggregate accounting of one :meth:`Campaign.run` invocation."""
+
+    fingerprint: str
+    total_runs: int
+    executed: int
+    cache_hits: int
+    cache_misses: int
+    cache_invalidated: int
+    failed_runs: tuple[tuple[str, Version, Precision], ...]
+    jobs: int
+    wall_s: float
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of the grid served from cache (0.0 when empty)."""
+        return self.cache_hits / self.total_runs if self.total_runs else 0.0
+
+    def describe(self) -> str:
+        """Multi-line human-readable summary."""
+        lines = [
+            f"campaign {self.fingerprint}: {self.total_runs} runs "
+            f"({self.jobs} job{'s' if self.jobs != 1 else ''}, {self.wall_s:.1f}s wall)",
+            f"  cache: {self.cache_hits} hits / {self.cache_misses} misses"
+            f" / {self.cache_invalidated} invalidated"
+            f" ({self.hit_rate:.0%} hit rate)",
+            f"  executed: {self.executed}, failed: {len(self.failed_runs)}",
+        ]
+        for bench, version, precision in self.failed_runs:
+            lines.append(f"    FAILED {bench} [{precision.label}] {version.value}")
+        return "\n".join(lines)
+
+
+class Campaign:
+    """Plans a :class:`CampaignSpec` and executes it.
+
+    ``cache_dir`` enables the content-addressed run cache (``None``
+    disables it); ``trace`` accepts a :class:`TraceSink` or a JSONL
+    path; ``progress`` is the classic per-run callback and receives
+    ``"<bench> [<SP|DP>] <Version>"`` before each non-cached run is
+    dispatched.
+
+    Usage::
+
+        spec = CampaignSpec(scale=0.5)
+        campaign = Campaign(spec, cache_dir="~/.cache/repro-runs")
+        results = campaign.run(jobs=4)
+        print(campaign.report.describe())
+    """
+
+    def __init__(
+        self,
+        spec: CampaignSpec,
+        *,
+        cache_dir: str | Path | None = None,
+        trace: TraceSink | str | Path | None = None,
+        progress: Callable[[str], None] | None = None,
+    ) -> None:
+        self.spec = spec
+        self.cache = RunCache(Path(cache_dir).expanduser()) if cache_dir is not None else None
+        self._trace = trace
+        self.progress = progress
+        #: populated by :meth:`run`
+        self.report: CampaignReport | None = None
+
+    # ------------------------------------------------------------------
+    def plan(self) -> tuple[RunTask, ...]:
+        """The spec's grid as independent, schedulable tasks."""
+        return self.spec.tasks()
+
+    # ------------------------------------------------------------------
+    def run(self, *, jobs: int = 1) -> ResultSet:
+        """Execute the campaign and return its :class:`ResultSet`.
+
+        ``jobs=1`` runs every task in-process in canonical order (the
+        exact classic serial path); ``jobs>1`` fans uncached tasks out
+        to a process pool.  Both paths produce a ``ResultSet`` whose
+        ``to_json()`` is byte-identical, because every cell is a pure
+        function of the spec.
+        """
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        sink, owns_sink = self._resolve_sink()
+        tracer = Tracer(sink)
+        t0 = time.monotonic()
+        tasks = self.plan()
+        fingerprint = self.spec.fingerprint()
+        tracer.emit(
+            "campaign_started",
+            detail={
+                "fingerprint": fingerprint,
+                "runs": len(tasks),
+                "jobs": jobs,
+                "cache": str(self.cache.root) if self.cache else "off",
+            },
+        )
+        try:
+            results, hits = self._gather(tasks, jobs, tracer)
+            out = ResultSet(fingerprint=fingerprint)
+            for task in tasks:
+                out.add(results[task.cell])
+            stats = self.cache.stats if self.cache else None
+            self.report = CampaignReport(
+                fingerprint=fingerprint,
+                total_runs=len(tasks),
+                executed=len(tasks) - hits,
+                cache_hits=stats.hits if stats else 0,
+                cache_misses=stats.misses if stats else 0,
+                cache_invalidated=stats.invalidated if stats else 0,
+                failed_runs=tuple(t.cell for t in tasks if not results[t.cell].ok),
+                jobs=jobs,
+                wall_s=time.monotonic() - t0,
+            )
+            tracer.emit(
+                "campaign_finished",
+                detail={
+                    "fingerprint": fingerprint,
+                    "executed": self.report.executed,
+                    "cache_hits": self.report.cache_hits,
+                    "failed": len(self.report.failed_runs),
+                    "wall_s": round(self.report.wall_s, 3),
+                },
+            )
+            return out
+        finally:
+            if owns_sink:
+                sink.close()
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _resolve_sink(self) -> tuple[TraceSink, bool]:
+        if self._trace is None:
+            return TraceSink(), False
+        if isinstance(self._trace, (str, Path)):
+            return JsonlTraceSink(self._trace), True
+        return self._trace, False
+
+    def _task_fields(self, task: RunTask) -> dict:
+        return {
+            "benchmark": task.benchmark,
+            "version": task.version.value,
+            "precision": task.precision.value,
+        }
+
+    def _gather(
+        self, tasks: tuple[RunTask, ...], jobs: int, tracer: Tracer
+    ) -> tuple[dict, int]:
+        """Resolve every task via cache or execution; returns results and
+        the number of cache hits."""
+        run_fp = self.spec.run_fingerprint()
+        results: dict[tuple, RunResult] = {}
+        pending: list[tuple[RunTask, str | None]] = []
+        hits = 0
+        for task in tasks:
+            tracer.emit("queued", **self._task_fields(task))
+            key = None
+            if self.cache is not None:
+                key = run_key(run_fp, task.benchmark, task.version, task.precision)
+                cached = self.cache.load(key)
+                if cached is not None:
+                    hits += 1
+                    results[task.cell] = cached
+                    tracer.emit(
+                        "finished",
+                        cache="hit",
+                        elapsed_s=cached.elapsed_s,
+                        energy_j=cached.energy_j,
+                        ok=cached.ok,
+                        **self._task_fields(task),
+                    )
+                    continue
+            pending.append((task, key))
+
+        # Work is scheduled as (benchmark, precision) version groups:
+        # problem setup dominates a cell's cost at paper scale and is
+        # shared by all versions, so a group is the natural unit both
+        # in-process and on the pool.  Dict preserves plan order.
+        groups: dict[tuple[str, Precision], list[tuple[RunTask, str | None]]] = {}
+        for task, key in pending:
+            groups.setdefault((task.benchmark, task.precision), []).append((task, key))
+
+        if jobs == 1 or len(groups) <= 1:
+            # In-process path: one shared benchmark instance per group,
+            # exactly like the classic serial loop — the RNG is consumed
+            # only during setup, so this is observably identical to
+            # running each cell on a fresh instance.
+            benches: dict[tuple[str, Precision], Benchmark] = {}
+            for task, key in pending:
+                self._dispatch(task, tracer)
+                bkey = (task.benchmark, task.precision)
+                if bkey not in benches:
+                    benches[bkey] = create(
+                        task.benchmark,
+                        precision=task.precision,
+                        scale=task.scale,
+                        seed=task.seed,
+                        platform=task.platform,
+                    )
+                self._finish(
+                    task, key, run_version(benches[bkey], version=task.version), results, tracer
+                )
+        else:
+            with ProcessPoolExecutor(max_workers=min(jobs, len(groups))) as pool:
+                futures = {}
+                for group in groups.values():
+                    for task, _ in group:
+                        self._dispatch(task, tracer)
+                    futures[pool.submit(_execute_group, tuple(t for t, _ in group))] = group
+                while futures:
+                    done, _ = wait(futures, return_when=FIRST_COMPLETED)
+                    for future in done:
+                        group = futures.pop(future)
+                        for (task, key), run in zip(group, future.result()):
+                            self._finish(task, key, run, results, tracer)
+        return results, hits
+
+    def _dispatch(self, task: RunTask, tracer: Tracer) -> None:
+        if self.progress is not None:
+            self.progress(task.label)
+        tracer.emit("started", **self._task_fields(task))
+
+    def _finish(
+        self,
+        task: RunTask,
+        key: str | None,
+        run: RunResult,
+        results: dict,
+        tracer: Tracer,
+    ) -> None:
+        results[task.cell] = run
+        if self.cache is not None and key is not None:
+            self.cache.store(key, run)
+        tracer.emit(
+            "finished",
+            cache="miss" if self.cache is not None else "off",
+            elapsed_s=run.elapsed_s,
+            energy_j=run.energy_j,
+            ok=run.ok,
+            detail={"failure": run.failure} if run.failure else None,
+            **self._task_fields(task),
+        )

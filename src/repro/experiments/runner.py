@@ -1,27 +1,98 @@
-"""Grid runner: benchmark × version × precision → ResultSet.
+"""Grid results and the classic ``run_grid`` entry point.
 
-This is the reproduction's "run all the experiments" entry point; the
-figure builders and the pytest-benchmark harness all consume the
-:class:`ResultSet` it produces.
+:class:`ResultSet` holds the runs of one experimental campaign; the
+figure builders and the pytest-benchmark harness all consume it.  The
+actual grid execution lives in :mod:`repro.experiments.engine` —
+``run_grid`` here is a thin compatibility shim over
+:class:`~repro.experiments.engine.Campaign` that keeps the historic
+one-call interface (and gains ``jobs=``, ``cache_dir=`` and ``trace=``
+knobs for free).
+
+Serialization: ``to_json`` emits schema 2 (adds the campaign's spec
+``fingerprint``); ``from_json`` still accepts schema-1 archives.  The
+save → load → save cycle is idempotent: loaded runs carry their
+compile-options label in ``diagnostics["options_label"]`` and
+``to_json`` falls back to it when the structured options are absent.
 """
 
 from __future__ import annotations
 
+import json
+import math
 from dataclasses import dataclass, field
 from typing import Callable, Iterable
 
-from ..benchmarks.base import Benchmark, Precision, RunResult, Version, run_version
-from ..benchmarks.registry import PAPER_ORDER, create
+from ..benchmarks.base import Precision, RunResult, Version
+from ..benchmarks.registry import PAPER_ORDER
 from ..calibration.exynos5250 import ExynosPlatform
 
 Key = tuple[str, Version, Precision]
 
+#: serialization schema emitted by :meth:`ResultSet.to_json`
+RESULTSET_SCHEMA = 2
+#: schemas :meth:`ResultSet.from_json` understands
+ACCEPTED_SCHEMAS = (1, 2)
+
+
+# ---------------------------------------------------------------------------
+# per-run row (de)serialization — shared by ResultSet JSON and the run cache
+# ---------------------------------------------------------------------------
+
+
+def run_to_row(run: RunResult) -> dict:
+    """One run as a plain JSON-able dict (options as describe() label)."""
+    if run.options is not None:
+        options_label = run.options.describe()
+    else:
+        options_label = run.diagnostics.get("options_label")
+    return {
+        "benchmark": run.benchmark,
+        "version": run.version.value,
+        "precision": run.precision.value,
+        "elapsed_s": run.elapsed_s,
+        "mean_power_w": run.mean_power_w,
+        "energy_j": run.energy_j,
+        "verified": run.verified,
+        "options": options_label,
+        "local_size": run.local_size,
+        "failure": run.failure,
+    }
+
+
+def run_from_row(row: dict) -> RunResult:
+    """Rebuild a run from :func:`run_to_row` output.
+
+    Structured options are not reconstructed (only their label was
+    stored, kept in ``diagnostics["options_label"]``); ratio
+    computations and figure building work as usual.
+    """
+    return RunResult(
+        benchmark=row["benchmark"],
+        version=Version(row["version"]),
+        precision=Precision(row["precision"]),
+        elapsed_s=row["elapsed_s"] if row["elapsed_s"] is not None else math.nan,
+        mean_power_w=row["mean_power_w"] if row["mean_power_w"] is not None else math.nan,
+        energy_j=row["energy_j"] if row["energy_j"] is not None else math.nan,
+        verified=row["verified"],
+        options=None,
+        local_size=row["local_size"],
+        failure=row["failure"],
+        diagnostics={"options_label": row["options"]},
+    )
+
 
 @dataclass
 class ResultSet:
-    """All runs of one experimental campaign."""
+    """All runs of one experimental campaign.
+
+    ``fingerprint`` identifies the producing campaign's spec (see
+    :meth:`CampaignSpec.fingerprint
+    <repro.experiments.engine.CampaignSpec.fingerprint>`); it is ``None``
+    for hand-assembled sets and schema-1 archives.
+    """
 
     results: dict[Key, RunResult] = field(default_factory=dict)
+    fingerprint: str | None = None
 
     def add(self, result: RunResult) -> None:
         self.results[(result.benchmark, result.version, result.precision)] = result
@@ -38,6 +109,45 @@ class ResultSet:
             if any(k[0] == name for k in self.results):
                 seen.append(name)
         return seen
+
+    # ------------------------------------------------------------------
+    # composition (partial campaigns)
+    # ------------------------------------------------------------------
+    def merge(self, other: "ResultSet") -> "ResultSet":
+        """Union of two campaigns as a new set; ``other`` wins on clashes.
+
+        The merged fingerprint survives only when both inputs carry the
+        same one (merging different campaigns yields a hybrid with no
+        single spec identity).
+        """
+        merged = dict(self.results)
+        merged.update(other.results)
+        fingerprint = self.fingerprint if self.fingerprint == other.fingerprint else None
+        return ResultSet(results=merged, fingerprint=fingerprint)
+
+    def filter(
+        self,
+        *,
+        benchmarks: Iterable[str] | None = None,
+        versions: Iterable[Version] | None = None,
+        precisions: Iterable[Precision] | None = None,
+    ) -> "ResultSet":
+        """Sub-campaign restricted to the given axes (``None`` = keep all).
+
+        The fingerprint is preserved as provenance of the source
+        campaign.
+        """
+        keep_b = None if benchmarks is None else set(benchmarks)
+        keep_v = None if versions is None else set(versions)
+        keep_p = None if precisions is None else set(precisions)
+        kept = {
+            key: run
+            for key, run in self.results.items()
+            if (keep_b is None or key[0] in keep_b)
+            and (keep_v is None or key[1] in keep_v)
+            and (keep_p is None or key[2] in keep_p)
+        }
+        return ResultSet(results=kept, fingerprint=self.fingerprint)
 
     # ------------------------------------------------------------------
     def ratios(
@@ -59,81 +169,62 @@ class ResultSet:
     # ------------------------------------------------------------------
     def to_json(self) -> str:
         """Serialize the campaign to JSON (options as describe() strings)."""
-        import json
-
-        payload = []
-        for (bench, version, precision), run in sorted(
-            self.results.items(), key=lambda kv: (kv[0][0], kv[0][1].value, kv[0][2].value)
-        ):
-            payload.append(
-                {
-                    "benchmark": bench,
-                    "version": version.value,
-                    "precision": precision.value,
-                    "elapsed_s": run.elapsed_s,
-                    "mean_power_w": run.mean_power_w,
-                    "energy_j": run.energy_j,
-                    "verified": run.verified,
-                    "options": run.options.describe() if run.options else None,
-                    "local_size": run.local_size,
-                    "failure": run.failure,
-                }
+        payload = [
+            run_to_row(run)
+            for _, run in sorted(
+                self.results.items(), key=lambda kv: (kv[0][0], kv[0][1].value, kv[0][2].value)
             )
-        return json.dumps({"schema": 1, "runs": payload}, indent=2)
+        ]
+        return json.dumps(
+            {"schema": RESULTSET_SCHEMA, "fingerprint": self.fingerprint, "runs": payload},
+            indent=2,
+        )
 
     @classmethod
     def from_json(cls, text: str) -> "ResultSet":
-        """Load a campaign saved by :meth:`to_json`.
-
-        Options are not reconstructed (only their labels were stored);
-        ratio computations and figure building work as usual.
-        """
-        import json
-        import math
-
+        """Load a campaign saved by :meth:`to_json` (schema 1 or 2)."""
         data = json.loads(text)
-        if data.get("schema") != 1:
+        if data.get("schema") not in ACCEPTED_SCHEMAS:
             raise ValueError(f"unknown ResultSet schema {data.get('schema')!r}")
-        out = cls()
+        out = cls(fingerprint=data.get("fingerprint"))
         for row in data["runs"]:
-            run = RunResult(
-                benchmark=row["benchmark"],
-                version=Version(row["version"]),
-                precision=Precision(row["precision"]),
-                elapsed_s=row["elapsed_s"] if row["elapsed_s"] is not None else math.nan,
-                mean_power_w=row["mean_power_w"] if row["mean_power_w"] is not None else math.nan,
-                energy_j=row["energy_j"] if row["energy_j"] is not None else math.nan,
-                verified=row["verified"],
-                options=None,
-                local_size=row["local_size"],
-                failure=row["failure"],
-                diagnostics={"options_label": row["options"]},
-            )
-            out.add(run)
+            out.add(run_from_row(row))
         return out
 
 
 def run_grid(
     benchmarks: Iterable[str] = PAPER_ORDER,
+    *,
     versions: Iterable[Version] = tuple(Version),
     precisions: Iterable[Precision] = (Precision.SINGLE,),
     scale: float = 1.0,
     seed: int = 1234,
     platform: ExynosPlatform | None = None,
     progress: Callable[[str], None] | None = None,
+    jobs: int = 1,
+    cache_dir: str | None = None,
+    trace=None,
 ) -> ResultSet:
     """Run the full campaign and collect results.
 
-    ``scale`` shrinks every problem size proportionally (the shape of
-    the results is scale-robust above the overhead floor; the default
-    tests run at reduced scale for speed).
+    Compatibility shim over :class:`~repro.experiments.engine.Campaign`:
+    builds a :class:`~repro.experiments.engine.CampaignSpec` from the
+    arguments and executes it.  ``scale`` shrinks every problem size
+    proportionally (the shape of the results is scale-robust above the
+    overhead floor; the default tests run at reduced scale for speed).
+    ``jobs`` parallelizes across processes, ``cache_dir`` enables the
+    content-addressed run cache, and ``trace`` accepts a
+    :class:`~repro.experiments.trace.TraceSink` or JSONL path.
     """
-    out = ResultSet()
-    for name in benchmarks:
-        for precision in precisions:
-            bench = create(name, precision=precision, scale=scale, seed=seed, platform=platform)
-            for version in versions:
-                if progress is not None:
-                    progress(f"{name} [{precision.label}] {version.value}")
-                out.add(run_version(bench, version))
-    return out
+    from .engine import Campaign, CampaignSpec  # deferred: engine imports us
+
+    spec = CampaignSpec(
+        benchmarks=tuple(benchmarks),
+        versions=tuple(versions),
+        precisions=tuple(precisions),
+        scale=scale,
+        seed=seed,
+        platform=platform,
+    )
+    campaign = Campaign(spec, cache_dir=cache_dir, trace=trace, progress=progress)
+    return campaign.run(jobs=jobs)

@@ -77,7 +77,7 @@ def run_repeated(
     try:
         for i in range(repeats):
             bench.seed = base_seed + 1000 * i  # meter noise seed
-            result: RunResult = run_version(bench, version)
+            result: RunResult = run_version(bench, version=version)
             if not result.ok:
                 raise RuntimeError(
                     f"{bench.name} {version.value} failed: {result.failure}"

@@ -64,8 +64,8 @@ def run_size_sweep(
     points = []
     for scale in sorted(scales):
         bench = create(benchmark, precision=precision, scale=scale, seed=seed)
-        serial = run_version(bench, Version.SERIAL)
-        opt = run_version(bench, Version.OPENCL_OPT)
+        serial = run_version(bench, version=Version.SERIAL)
+        opt = run_version(bench, version=Version.OPENCL_OPT)
         if not opt.ok:
             continue
         _, _, energy = opt.relative_to(serial)

@@ -1,0 +1,130 @@
+"""Structured run tracing for campaigns.
+
+A :class:`Campaign` (see :mod:`repro.experiments.engine`) emits one
+:class:`TraceEvent` per state transition of every run in the grid —
+``queued`` when the campaign is planned, ``started`` when the run is
+dispatched (in-process or to a worker), ``finished`` when its
+:class:`~repro.benchmarks.base.RunResult` lands — plus a pair of
+``campaign_started`` / ``campaign_finished`` envelope events.  Events
+flow into a :class:`TraceSink`; the stock sinks are
+:class:`JsonlTraceSink` (one JSON object per line, the format consumed
+by external dashboards) and :class:`ListTraceSink` (in-memory, used by
+tests and interactive inspection).
+
+Timestamps are seconds since the campaign started (``t_s``), measured
+with a monotonic clock: they order events and measure queue latency but
+deliberately carry no wall-clock epoch, so traces of identical
+campaigns diff cleanly.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import IO
+
+#: event names in lifecycle order (per run)
+RUN_EVENTS = ("queued", "started", "finished")
+#: campaign-level envelope events
+CAMPAIGN_EVENTS = ("campaign_started", "campaign_finished")
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One structured trace record.
+
+    ``benchmark`` / ``version`` / ``precision`` identify the run for
+    per-run events and are ``None`` on campaign-level events.  ``cache``
+    is ``"hit"``, ``"miss"`` or ``"off"`` on ``finished`` events.
+    ``elapsed_s`` / ``energy_j`` / ``ok`` mirror the run's result;
+    ``detail`` carries event-specific extras (grid size, hit counters,
+    failure text ...).
+    """
+
+    event: str
+    t_s: float
+    benchmark: str | None = None
+    version: str | None = None
+    precision: str | None = None
+    cache: str | None = None
+    elapsed_s: float | None = None
+    energy_j: float | None = None
+    ok: bool | None = None
+    detail: dict | None = None
+
+    def to_dict(self) -> dict:
+        """Dense dict form (``None`` fields dropped) for JSONL."""
+        return {k: v for k, v in asdict(self).items() if v is not None}
+
+
+class TraceSink:
+    """Receiver of :class:`TraceEvent` records (base: discards them)."""
+
+    def emit(self, event: TraceEvent) -> None:
+        """Record one event."""
+
+    def close(self) -> None:
+        """Flush and release any underlying resources."""
+
+    def __enter__(self) -> "TraceSink":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class ListTraceSink(TraceSink):
+    """Keep events in memory (``sink.events``) — tests, notebooks."""
+
+    def __init__(self) -> None:
+        self.events: list[TraceEvent] = []
+
+    def emit(self, event: TraceEvent) -> None:
+        self.events.append(event)
+
+
+class JsonlTraceSink(TraceSink):
+    """Append events to a JSON-lines file, one object per line.
+
+    The file is line-buffered through an explicit ``flush`` per event so
+    a live campaign can be followed with ``tail -f``.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh: IO[str] | None = self.path.open("a")
+
+    def emit(self, event: TraceEvent) -> None:
+        if self._fh is None:  # pragma: no cover - defensive
+            raise ValueError(f"trace sink {self.path} is closed")
+        self._fh.write(json.dumps(event.to_dict(), sort_keys=True) + "\n")
+        self._fh.flush()
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+
+class Tracer:
+    """Stamps events with campaign-relative monotonic timestamps."""
+
+    def __init__(self, sink: TraceSink | None) -> None:
+        self.sink = sink or TraceSink()
+        self._t0 = time.monotonic()
+
+    def emit(self, event: str, **fields) -> None:
+        """Build and emit one event ``t_s`` seconds into the campaign."""
+        self.sink.emit(TraceEvent(event=event, t_s=time.monotonic() - self._t0, **fields))
+
+
+def read_trace(path: str | Path) -> list[TraceEvent]:
+    """Load a JSONL trace file back into :class:`TraceEvent` records."""
+    events = []
+    for line in Path(path).read_text().splitlines():
+        if line.strip():
+            events.append(TraceEvent(**json.loads(line)))
+    return events

@@ -105,8 +105,8 @@ def compare_platforms(
             benchmark, precision=precision, scale=scale, seed=seed, platform=platform
         )
         if serial_seconds is None:
-            serial_seconds = run_version(bench, Version.SERIAL).elapsed_s
-        runs[name] = run_version(bench, Version.OPENCL_OPT)
+            serial_seconds = run_version(bench, version=Version.SERIAL).elapsed_s
+        runs[name] = run_version(bench, version=Version.OPENCL_OPT)
     return PlatformComparison(
         benchmark=benchmark,
         precision=precision,
@@ -123,4 +123,4 @@ def run_fixed_driver_amcd(
         "amcd", precision=precision, scale=scale, seed=seed,
         platform=fixed_driver_platform(),
     )
-    return run_version(bench, Version.OPENCL_OPT)
+    return run_version(bench, version=Version.OPENCL_OPT)

@@ -25,24 +25,24 @@ class TestAmcdCompilerBug:
 
     def test_dp_amcd_opencl_version_reports_failure(self):
         bench = create("amcd", precision=Precision.DOUBLE, scale=SCALE)
-        r = run_version(bench, Version.OPENCL)
+        r = run_version(bench, version=Version.OPENCL)
         assert not r.ok
         assert "CL_BUILD_PROGRAM_FAILURE" in r.failure
 
     def test_dp_amcd_opt_version_reports_failure(self):
         bench = create("amcd", precision=Precision.DOUBLE, scale=SCALE)
-        r = run_version(bench, Version.OPENCL_OPT)
+        r = run_version(bench, version=Version.OPENCL_OPT)
         assert not r.ok
 
     def test_sp_amcd_unaffected(self):
         bench = create("amcd", precision=Precision.SINGLE, scale=SCALE)
-        r = run_version(bench, Version.OPENCL)
+        r = run_version(bench, version=Version.OPENCL)
         assert r.ok and r.verified
 
     def test_dp_amcd_cpu_versions_fine(self):
         bench = create("amcd", precision=Precision.DOUBLE, scale=SCALE)
-        assert run_version(bench, Version.SERIAL).ok
-        assert run_version(bench, Version.OPENMP).ok
+        assert run_version(bench, version=Version.SERIAL).ok
+        assert run_version(bench, version=Version.OPENMP).ok
 
 
 class TestRegisterExhaustion:
@@ -70,8 +70,8 @@ class TestRegisterExhaustion:
     def test_opt_gap_collapses_in_dp(self):
         """The §V-A discussion: DP Opt ~ DP OpenCL for nbody."""
         bench = create("nbody", precision=Precision.DOUBLE, scale=0.25)
-        naive = run_version(bench, Version.OPENCL)
-        opt = run_version(bench, Version.OPENCL_OPT)
+        naive = run_version(bench, version=Version.OPENCL)
+        opt = run_version(bench, version=Version.OPENCL_OPT)
         assert naive.ok and opt.ok
         assert opt.elapsed_s <= naive.elapsed_s
         # the gap is small: the best feasible config is near-naive

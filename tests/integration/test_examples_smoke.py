@@ -46,10 +46,27 @@ def test_paper_figures_small_grid(capsys, monkeypatch, tmp_path):
     assert "Known deviations" in out_path.read_text()
 
 
+def test_parallel_campaign_small_grid(capsys, monkeypatch):
+    monkeypatch.setattr(
+        sys,
+        "argv",
+        ["parallel_campaign.py", "--scale", "0.05", "--jobs", "2",
+         "--benchmarks", "vecop", "red"],
+    )
+    with pytest.raises(SystemExit) as exit_info:
+        runpy.run_path(str(EXAMPLES / "parallel_campaign.py"), run_name="__main__")
+    assert exit_info.value.code == 0
+    out = capsys.readouterr().out
+    assert "byte-identical: True" in out
+    assert "100% hit rate" in out
+    assert "trace:" in out
+
+
 def test_all_examples_are_tested_or_listed():
     """Every example file is either smoke-tested here or known-slow."""
     known_slow = {
         "paper_figures.py",       # tested above at reduced scale
+        "parallel_campaign.py",   # tested above at reduced scale
         "optimization_walkthrough.py",
         "autotune_example.py",
         "energy_study.py",

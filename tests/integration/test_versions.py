@@ -16,7 +16,7 @@ def results():
     out = {}
     for name in ("vecop", "spmv", "hist", "red", "dmmm"):
         bench = create(name, scale=SCALE)
-        out[name] = {v: run_version(bench, v) for v in Version}
+        out[name] = {v: run_version(bench, version=v) for v in Version}
     return out
 
 

@@ -38,7 +38,7 @@ class TestWhatIfPlatforms:
         assert r.ok and r.verified
         # ... while the shipping driver still fails
         broken = create("amcd", precision=Precision.DOUBLE, scale=0.1)
-        assert not run_version(broken, Version.OPENCL_OPT).ok
+        assert not run_version(broken, version=Version.OPENCL_OPT).ok
 
     def test_fixed_driver_platform_only_changes_quirks(self):
         base = default_platform()

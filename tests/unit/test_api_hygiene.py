@@ -75,3 +75,24 @@ def test_top_level_all_resolves_and_is_sorted_sanely():
     assert len(names) == len(set(names))
     for name in names:
         assert hasattr(repro, name)
+
+
+def test_campaign_api_exported():
+    for name in ("Campaign", "CampaignSpec", "CampaignReport"):
+        assert name in repro.__all__
+        assert hasattr(repro, name)
+        assert name in repro.experiments.__all__
+
+
+@pytest.mark.parametrize("func_name", ["run_grid", "run_version"])
+def test_grid_entry_points_keyword_only_past_first(func_name):
+    """The redesigned run APIs take only their subject positionally."""
+    func = getattr(repro, func_name)
+    params = list(inspect.signature(func).parameters.values())
+    assert params[0].kind in (
+        params[0].POSITIONAL_ONLY, params[0].POSITIONAL_OR_KEYWORD,
+    )
+    for param in params[1:]:
+        assert param.kind is param.KEYWORD_ONLY, (
+            f"{func_name}({param.name}=...) must be keyword-only"
+        )

@@ -1,0 +1,247 @@
+"""Tests for the campaign engine: specs, parallel execution, cache, trace."""
+
+import json
+
+import pytest
+
+from repro.benchmarks import Precision, Version, execute_run
+from repro.experiments import (
+    Campaign,
+    CampaignSpec,
+    ListTraceSink,
+    ResultSet,
+    RunCache,
+    read_trace,
+    run_grid,
+)
+from repro.experiments.cache import run_key
+
+SMALL = dict(benchmarks=("vecop",), scale=0.02)
+TWO_VERSIONS = (Version.SERIAL, Version.OPENCL)
+
+
+class TestCampaignSpec:
+    def test_normalizes_iterables(self):
+        spec = CampaignSpec(benchmarks=["vecop"], versions=[Version.SERIAL],
+                            precisions=[Precision.SINGLE])
+        assert spec.benchmarks == ("vecop",)
+        assert spec == CampaignSpec(benchmarks=("vecop",), versions=(Version.SERIAL,),
+                                    precisions=(Precision.SINGLE,))
+
+    def test_tasks_in_classic_order(self):
+        spec = CampaignSpec(benchmarks=("vecop", "red"), versions=TWO_VERSIONS,
+                            precisions=(Precision.SINGLE, Precision.DOUBLE))
+        labels = [t.label for t in spec.tasks()]
+        assert labels[:4] == ["vecop [SP] Serial", "vecop [SP] OpenCL",
+                              "vecop [DP] Serial", "vecop [DP] OpenCL"]
+        assert len(labels) == spec.size == 8
+
+    def test_fingerprint_changes_with_spec(self):
+        a = CampaignSpec(**SMALL)
+        assert a.fingerprint() == CampaignSpec(**SMALL).fingerprint()
+        assert a.fingerprint() != CampaignSpec(benchmarks=("vecop",), scale=0.04).fingerprint()
+        assert a.fingerprint() != CampaignSpec(benchmarks=("vecop",), scale=0.02,
+                                               seed=7).fingerprint()
+
+    def test_run_fingerprint_ignores_grid_axes(self):
+        """Different grids share cache entries (same run parameters)."""
+        a = CampaignSpec(benchmarks=("vecop",), scale=0.02)
+        b = CampaignSpec(benchmarks=("vecop", "red"), versions=TWO_VERSIONS, scale=0.02)
+        assert a.run_fingerprint() == b.run_fingerprint()
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_rejects_bad_scale(self):
+        with pytest.raises(ValueError):
+            CampaignSpec(scale=0.0)
+
+
+class TestParallelEquivalence:
+    def test_jobs4_byte_identical_to_jobs1(self):
+        spec = CampaignSpec(**SMALL)
+        serial = Campaign(spec).run(jobs=1)
+        parallel = Campaign(spec).run(jobs=4)
+        assert parallel.to_json() == serial.to_json()
+
+    def test_failed_runs_cross_the_pool(self):
+        """The DP amcd driver failure must survive worker pickling."""
+        spec = CampaignSpec(benchmarks=("amcd",), versions=(Version.OPENCL,),
+                            precisions=(Precision.DOUBLE,), scale=0.05)
+        # force the pool even for a single pending task
+        serial = Campaign(spec).run(jobs=1)
+        rs = run_grid(["amcd"], versions=(Version.SERIAL, Version.OPENCL),
+                      precisions=(Precision.DOUBLE,), scale=0.05, jobs=2)
+        run = rs.get("amcd", Version.OPENCL, Precision.DOUBLE)
+        assert not run.ok and run.failure
+        assert run.failure == serial.get("amcd", Version.OPENCL, Precision.DOUBLE).failure
+
+    def test_rejects_bad_jobs(self):
+        with pytest.raises(ValueError):
+            Campaign(CampaignSpec(**SMALL)).run(jobs=0)
+
+
+class TestRunCacheEngine:
+    def test_second_run_is_all_hits_and_identical(self, tmp_path):
+        spec = CampaignSpec(**SMALL)
+        cold = Campaign(spec, cache_dir=tmp_path)
+        fresh = cold.run(jobs=1)
+        assert cold.report.cache_hits == 0
+        assert cold.report.cache_misses == spec.size
+        warm = Campaign(spec, cache_dir=tmp_path)
+        cached = warm.run(jobs=1)
+        assert warm.report.cache_hits == spec.size
+        assert warm.report.executed == 0
+        assert warm.report.hit_rate == 1.0
+        assert cached.to_json() == fresh.to_json()
+
+    def test_partial_grid_reuses_entries(self, tmp_path):
+        """A wider campaign hits the cells a narrower one computed."""
+        narrow = CampaignSpec(benchmarks=("vecop",), versions=TWO_VERSIONS, scale=0.02)
+        Campaign(narrow, cache_dir=tmp_path).run()
+        wide = Campaign(
+            CampaignSpec(benchmarks=("vecop", "red"), versions=TWO_VERSIONS, scale=0.02),
+            cache_dir=tmp_path,
+        )
+        wide.run()
+        assert wide.report.cache_hits == narrow.size
+
+    def test_spec_change_invalidates_addressing(self, tmp_path):
+        spec = CampaignSpec(**SMALL)
+        Campaign(spec, cache_dir=tmp_path).run()
+        changed = Campaign(CampaignSpec(benchmarks=("vecop",), scale=0.02, seed=99),
+                           cache_dir=tmp_path)
+        changed.run()
+        assert changed.report.cache_hits == 0
+        assert changed.report.cache_misses == spec.size
+
+    def test_corrupt_entry_is_invalidated_and_recomputed(self, tmp_path):
+        spec = CampaignSpec(benchmarks=("vecop",), versions=(Version.SERIAL,), scale=0.02)
+        Campaign(spec, cache_dir=tmp_path).run()
+        (entry,) = [p for p in tmp_path.rglob("*.json")]
+        entry.write_text("{ not json")
+        again = Campaign(spec, cache_dir=tmp_path)
+        rs = again.run()
+        assert again.report.cache_invalidated == 1
+        assert again.report.cache_hits == 0
+        assert rs.get("vecop", Version.SERIAL, Precision.SINGLE).ok
+        # the eviction rewrote a good entry: third run hits
+        third = Campaign(spec, cache_dir=tmp_path)
+        third.run()
+        assert third.report.cache_hits == 1
+
+    def test_key_is_content_addressed(self):
+        a = run_key("fp", "vecop", Version.SERIAL, Precision.SINGLE)
+        assert a == run_key("fp", "vecop", Version.SERIAL, Precision.SINGLE)
+        assert a != run_key("fp2", "vecop", Version.SERIAL, Precision.SINGLE)
+        assert a != run_key("fp", "vecop", Version.OPENCL, Precision.SINGLE)
+        assert len(a) == 64 and all(c in "0123456789abcdef" for c in a)
+
+    def test_stats_accounting(self, tmp_path):
+        cache = RunCache(tmp_path)
+        assert cache.load("0" * 64) is None
+        assert cache.stats.misses == 1 and cache.stats.hits == 0
+
+
+class TestTracing:
+    def test_jsonl_schema_and_lifecycle(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        spec = CampaignSpec(benchmarks=("vecop",), versions=TWO_VERSIONS, scale=0.02)
+        Campaign(spec, cache_dir=tmp_path / "cache", trace=path).run()
+        lines = [json.loads(l) for l in path.read_text().splitlines()]
+        assert lines[0]["event"] == "campaign_started"
+        assert lines[-1]["event"] == "campaign_finished"
+        assert lines[-1]["detail"]["executed"] == 2
+        per_run = [l for l in lines if l["event"] in ("queued", "started", "finished")]
+        assert len(per_run) == 3 * spec.size
+        for line in per_run:
+            assert {"event", "t_s", "benchmark", "version", "precision"} <= set(line)
+        finished = [l for l in per_run if l["event"] == "finished"]
+        for line in finished:
+            assert line["cache"] == "miss"
+            assert line["ok"] is True
+            assert line["elapsed_s"] > 0
+
+    def test_cache_hits_traced(self, tmp_path):
+        spec = CampaignSpec(**SMALL)
+        Campaign(spec, cache_dir=tmp_path / "cache").run()
+        sink = ListTraceSink()
+        Campaign(spec, cache_dir=tmp_path / "cache", trace=sink).run()
+        finished = [e for e in sink.events if e.event == "finished"]
+        assert [e.cache for e in finished] == ["hit"] * spec.size
+
+    def test_read_trace_roundtrip(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        spec = CampaignSpec(benchmarks=("vecop",), versions=(Version.SERIAL,), scale=0.02)
+        Campaign(spec, trace=path).run()
+        events = read_trace(path)
+        assert [e.event for e in events] == [
+            "campaign_started", "queued", "started", "finished", "campaign_finished",
+        ]
+        assert events[3].cache == "off"  # no cache configured
+
+
+class TestResultSetComposition:
+    def _grid(self, benchmarks, versions=TWO_VERSIONS):
+        return run_grid(benchmarks, versions=versions, scale=0.02)
+
+    def test_merge_composes_partial_campaigns(self):
+        a = self._grid(["vecop"])
+        b = self._grid(["red"])
+        merged = a.merge(b)
+        assert set(merged.results) == set(a.results) | set(b.results)
+        assert merged.fingerprint is None  # different specs
+        same = a.merge(self._grid(["vecop"]))
+        assert same.fingerprint == a.fingerprint
+
+    def test_merge_other_wins(self):
+        a = self._grid(["vecop"])
+        b = self._grid(["vecop"])
+        merged = a.merge(b)
+        assert merged.results[("vecop", Version.SERIAL, Precision.SINGLE)] is b.results[
+            ("vecop", Version.SERIAL, Precision.SINGLE)
+        ]
+
+    def test_filter_restricts_axes(self):
+        rs = self._grid(["vecop", "red"])
+        only_vecop = rs.filter(benchmarks=["vecop"])
+        assert only_vecop.benchmarks() == ["vecop"]
+        assert only_vecop.fingerprint == rs.fingerprint  # provenance kept
+        serial_only = rs.filter(versions=[Version.SERIAL])
+        assert all(k[1] is Version.SERIAL for k in serial_only.results)
+        assert rs.filter(precisions=[Precision.DOUBLE]).results == {}
+
+    def test_schema2_carries_fingerprint(self):
+        rs = self._grid(["vecop"])
+        data = json.loads(rs.to_json())
+        assert data["schema"] == 2
+        assert data["fingerprint"] == rs.fingerprint
+        assert ResultSet.from_json(rs.to_json()).fingerprint == rs.fingerprint
+
+    def test_schema1_still_accepted(self):
+        rs = self._grid(["vecop"])
+        data = json.loads(rs.to_json())
+        data["schema"] = 1
+        del data["fingerprint"]
+        loaded = ResultSet.from_json(json.dumps(data))
+        assert loaded.fingerprint is None
+        assert set(loaded.results) == set(rs.results)
+
+
+class TestWorkerEntry:
+    def test_execute_run_matches_run_version(self):
+        direct = execute_run("vecop", version=Version.SERIAL, scale=0.02)
+        via_grid = run_grid(["vecop"], versions=(Version.SERIAL,), scale=0.02)
+        assert direct == via_grid.get("vecop", Version.SERIAL, Precision.SINGLE)
+
+
+class TestRunGridShim:
+    def test_progress_and_cache_flags(self, tmp_path):
+        seen = []
+        rs = run_grid(["vecop"], versions=(Version.SERIAL,), scale=0.02,
+                      progress=seen.append, cache_dir=tmp_path, jobs=1)
+        assert seen == ["vecop [SP] Serial"]
+        assert rs.fingerprint
+        # warm: progress not called for cached cells
+        seen.clear()
+        run_grid(["vecop"], versions=(Version.SERIAL,), scale=0.02,
+                 progress=seen.append, cache_dir=tmp_path)
+        assert seen == []

@@ -105,3 +105,15 @@ class TestResultSetSerialization:
         loaded = ResultSet.from_json(grid.to_json())
         run = loaded.get("vecop", Version.OPENCL_OPT, Precision.SINGLE)
         assert run.diagnostics["options_label"]
+
+    def test_save_load_save_is_idempotent(self, grid):
+        """A loaded-then-saved campaign keeps its bytes — in particular
+        the options label, which only exists structurally on live runs."""
+        first = grid.to_json()
+        second = ResultSet.from_json(first).to_json()
+        assert second == first
+        import json
+
+        row = next(r for r in json.loads(second)["runs"]
+                   if r["version"] == Version.OPENCL_OPT.value)
+        assert row["options"]  # label survived the round trip

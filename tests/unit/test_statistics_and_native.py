@@ -28,7 +28,7 @@ class TestRepeatedStatistics:
     def test_mean_matches_single_run(self, stats):
         from repro.benchmarks import run_version
 
-        single = run_version(create("vecop", scale=0.05), Version.OPENCL_OPT)
+        single = run_version(create("vecop", scale=0.05), version=Version.OPENCL_OPT)
         assert stats.mean_elapsed_s == pytest.approx(single.elapsed_s)
         assert stats.mean_power_w == pytest.approx(single.mean_power_w, rel=0.01)
 
