@@ -1,0 +1,104 @@
+"""Hot-path fast lane: wall-clock trajectory of the memoized engine.
+
+Times the two workloads the fast lane was built for — the full
+single-precision campaign grid and the tuner sweeps — with a cold
+memo lane every round (``perf.reset()`` in the setup hook), so the
+numbers measure real first-run work, not residual cache warmth.  The
+memo-disabled twins of each bench give the in-tree speedup directly;
+the committed ``BENCH_hotpath.json`` at the repo root pins the
+trajectory (see EXPERIMENTS.md for the recorded history).
+
+Regenerate with::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_perf_hotpath.py \
+        --benchmark-only --benchmark-json=BENCH_hotpath.json
+"""
+
+import os
+import time
+
+from repro import PAPER_ORDER, Precision, perf
+from repro.experiments.runner import run_grid
+from repro.optimizations.autotune import sweep
+
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+
+def _grid():
+    return run_grid(scale=SCALE)
+
+
+def _sweeps(strategy):
+    return [
+        sweep(create_bench(name), strategy=strategy) for name in PAPER_ORDER
+    ]
+
+
+def create_bench(name):
+    from repro import create
+
+    return create(name, precision=Precision.SINGLE, scale=SCALE)
+
+
+def test_run_grid_fast_lane(benchmark):
+    """Full SP grid, jobs=1, no run cache, cold memo lane every round."""
+    results = benchmark.pedantic(_grid, setup=perf.reset, rounds=3, iterations=1)
+    counters = perf.counters()
+    benchmark.extra_info["scale"] = SCALE
+    benchmark.extra_info["memo_hits"] = sum(c["hits"] for c in counters.values())
+    benchmark.extra_info["memo_misses"] = sum(c["misses"] for c in counters.values())
+    assert all(r.verified for r in results.results.values() if r.ok)
+
+
+def test_run_grid_memo_disabled(benchmark):
+    """The same grid on the unmemoized path (the seed's cost profile)."""
+
+    def plain():
+        with perf.disabled():
+            return run_grid(scale=SCALE)
+
+    results = benchmark.pedantic(plain, rounds=3, iterations=1)
+    benchmark.extra_info["scale"] = SCALE
+    assert all(r.verified for r in results.results.values() if r.ok)
+
+
+def test_tuner_sweep_pruned(benchmark):
+    """All nine SP tuning spaces under the default pruned strategy."""
+    results = benchmark.pedantic(
+        lambda: _sweeps("pruned"), setup=perf.reset, rounds=3, iterations=1
+    )
+    benchmark.extra_info["n_skipped"] = sum(r.n_skipped for r in results)
+    benchmark.extra_info["n_evaluated"] = sum(r.n_evaluated for r in results)
+
+
+def test_tuner_sweep_exhaustive(benchmark):
+    """The same sweeps pricing every candidate (the seed's strategy)."""
+    results = benchmark.pedantic(
+        lambda: _sweeps("exhaustive"), setup=perf.reset, rounds=3, iterations=1
+    )
+    benchmark.extra_info["n_evaluated"] = sum(r.n_evaluated for r in results)
+
+
+def test_fast_lane_transparency(benchmark):
+    """The memoized and unmemoized grids serialize byte-identically;
+    records the measured in-tree speedup alongside the timings."""
+
+    def compare():
+        perf.reset()
+        t0 = time.perf_counter()
+        fast = run_grid(scale=SCALE)
+        fast_s = time.perf_counter() - t0
+        perf.reset()
+        with perf.disabled():
+            t0 = time.perf_counter()
+            plain = run_grid(scale=SCALE)
+            plain_s = time.perf_counter() - t0
+        return fast.to_json(), plain.to_json(), fast_s, plain_s
+
+    fast_json, plain_json, fast_s, plain_s = benchmark.pedantic(
+        compare, rounds=1, iterations=1
+    )
+    assert fast_json == plain_json
+    benchmark.extra_info["fast_s"] = round(fast_s, 3)
+    benchmark.extra_info["disabled_s"] = round(plain_s, 3)
+    benchmark.extra_info["in_tree_speedup"] = round(plain_s / fast_s, 2)

@@ -23,11 +23,12 @@ def show(name: str, precision: Precision) -> None:
     result = sweep(bench)
     feasible = [t for t in result.trials if t.feasible]
     print(f"\n=== {name} [{precision.label}]: "
-          f"{len(result.trials)} candidates, {result.n_infeasible} infeasible ===")
+          f"{len(result.trials)} candidates, {result.n_infeasible} infeasible, "
+          f"{result.n_skipped} pruned by bound ===")
     for trial in sorted(feasible, key=lambda t: t.seconds)[:5]:
         local = "driver" if trial.local_size is None else f"L={trial.local_size}"
         print(f"  {trial.seconds * 1e3:8.3f} ms  {trial.options.describe():24s} {local}")
-    dead = [t for t in result.trials if not t.feasible]
+    dead = [t for t in result.trials if t.error is not None]
     for trial in dead[:3]:
         print(f"   FAILED   {trial.options.describe():24s} -> {trial.error[:60]}...")
     best = result.best

@@ -119,7 +119,7 @@ class Amcd(SingleKernelMixin, Benchmark):
 
     def verify(self, result: np.ndarray) -> bool:
         # trajectories are deterministic: require exact agreement
-        return bool(np.array_equal(result, self.reference_result()))
+        return self._verify_against_reference(result, exact=True)
 
     def run_numpy(self) -> np.ndarray:
         return simulate_chains(

@@ -57,8 +57,8 @@ class Dmmm(SingleKernelMixin, Benchmark):
 
     def verify(self, result: np.ndarray) -> bool:
         rtol = 2e-3 if self.ftype == np.float32 else 1e-9
-        atol = rtol * np.sqrt(self.n)
-        return bool(np.allclose(result, self.reference_result(), rtol=rtol, atol=atol))
+        atol = float(rtol * np.sqrt(self.n))
+        return self._verify_against_reference(result, rtol=rtol, atol=atol)
 
     def run_numpy(self) -> np.ndarray:
         return self.A @ self.B

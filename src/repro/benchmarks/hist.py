@@ -30,8 +30,9 @@ from ..ir.nodes import AccessPattern, Kernel as IrKernel, MemSpace, OpKind, Scal
 from ..memory.cache import StreamSpec
 from ..ocl.program import KernelSpec, Program
 from ..workload import WorkloadTraits
+from .. import perf
 from .base import Benchmark
-from .common import alloc_mapped, launch, read_mapped
+from .common import alloc_mapped, exec_memo_tag, launch, read_mapped
 
 
 class Histogram(Benchmark):
@@ -65,7 +66,7 @@ class Histogram(Benchmark):
         return np.bincount(idx, minlength=self.BUCKETS).astype(np.uint32)
 
     def verify(self, result: np.ndarray) -> bool:
-        return bool(np.array_equal(result, self.reference_result()))
+        return self._verify_against_reference(result, exact=True)
 
     def run_numpy(self) -> np.ndarray:
         idx = np.minimum((self.values * self.BUCKETS).astype(np.int64), self.BUCKETS - 1)
@@ -170,10 +171,14 @@ class Histogram(Benchmark):
     # ------------------------------------------------------------------
     def gpu_setup(self, ctx, queue, options: CompileOptions) -> dict:
         main_ir = self.kernel_ir(options)
-        specs = [KernelSpec(ir=main_ir, func=self._main_func(), traits=self.gpu_traits(options))]
+        main_func = perf.memoized_kernel_func(exec_memo_tag(self, main_ir.name), self._main_func())
+        specs = [KernelSpec(ir=main_ir, func=main_func, traits=self.gpu_traits(options))]
         if options.any_enabled:
+            merge_func = perf.memoized_kernel_func(
+                exec_memo_tag(self, "hist_merge"), self._merge_func()
+            )
             specs.append(
-                KernelSpec(ir=self._merge_ir(), func=self._merge_func(), traits=self._merge_traits())
+                KernelSpec(ir=self._merge_ir(), func=merge_func, traits=self._merge_traits())
             )
         program = Program(ctx, specs).build(options)
         buffers = {

@@ -72,7 +72,7 @@ class SpMV(SingleKernelMixin, Benchmark):
 
     def verify(self, result: np.ndarray) -> bool:
         rtol = 1e-3 if self.ftype == np.float32 else 1e-8
-        return bool(np.allclose(result, self.reference_result(), rtol=rtol, atol=rtol))
+        return self._verify_against_reference(result, rtol=rtol, atol=rtol)
 
     def run_numpy(self) -> np.ndarray:
         return self.matrix @ self.x

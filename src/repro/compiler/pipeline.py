@@ -15,6 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Protocol, Sequence
 
+from .. import perf
 from ..ir.analysis import InstructionMix, analyze
 from ..ir.nodes import Kernel
 from ..ir.validate import validate
@@ -78,6 +79,21 @@ def compile_kernel(
             (the runtime reports this as ``CL_OUT_OF_RESOURCES``).
     """
     options = options or CompileOptions()
+    if passes is not None:
+        # A custom pass list is not content-hashable; always compile fresh.
+        return _compile_uncached(kernel, options, quirks, passes)
+    key = (kernel, options, tuple(quirks))
+    return perf.cache("compile").get_or_compute(
+        key, lambda: _compile_uncached(kernel, options, quirks, None)
+    )
+
+
+def _compile_uncached(
+    kernel: Kernel,
+    options: CompileOptions,
+    quirks: Sequence[DriverQuirk],
+    passes: list[KernelPass] | None,
+) -> CompiledKernel:
     validate(kernel)
 
     for quirk in quirks:

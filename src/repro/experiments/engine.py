@@ -35,6 +35,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable
 
+from .. import perf
 from ..benchmarks.base import (
     Benchmark,
     Precision,
@@ -216,6 +217,9 @@ class CampaignReport:
     failed_runs: tuple[tuple[str, Version, Precision], ...]
     jobs: int
     wall_s: float
+    #: per-cache memo counter deltas (:func:`repro.perf.counters_delta`)
+    #: accumulated over the campaign; ``None`` for pre-fast-lane reports
+    perf: dict | None = None
 
     @property
     def hit_rate(self) -> float:
@@ -232,6 +236,12 @@ class CampaignReport:
             f" ({self.hit_rate:.0%} hit rate)",
             f"  executed: {self.executed}, failed: {len(self.failed_runs)}",
         ]
+        if self.perf:
+            memo = ", ".join(
+                f"{name} {stats.get('hits', 0)}/{stats.get('misses', 0)}"
+                for name, stats in sorted(self.perf.items())
+            )
+            lines.append(f"  memo (hits/misses): {memo}")
         for bench, version, precision in self.failed_runs:
             lines.append(f"    FAILED {bench} [{precision.label}] {version.value}")
         return "\n".join(lines)
@@ -300,12 +310,14 @@ class Campaign:
                 "cache": str(self.cache.root) if self.cache else "off",
             },
         )
+        perf_before = perf.counters()
         try:
             results, hits = self._gather(tasks, jobs, tracer)
             out = ResultSet(fingerprint=fingerprint)
             for task in tasks:
                 out.add(results[task.cell])
             stats = self.cache.stats if self.cache else None
+            perf_delta = perf.counters_delta(perf_before, perf.counters())
             self.report = CampaignReport(
                 fingerprint=fingerprint,
                 total_runs=len(tasks),
@@ -316,6 +328,7 @@ class Campaign:
                 failed_runs=tuple(t.cell for t in tasks if not results[t.cell].ok),
                 jobs=jobs,
                 wall_s=time.monotonic() - t0,
+                perf=perf_delta or None,
             )
             tracer.emit(
                 "campaign_finished",
@@ -325,6 +338,7 @@ class Campaign:
                     "cache_hits": self.report.cache_hits,
                     "failed": len(self.report.failed_runs),
                     "wall_s": round(self.report.wall_s, 3),
+                    "perf": perf_delta or None,
                 },
             )
             return out
@@ -403,8 +417,15 @@ class Campaign:
                         seed=task.seed,
                         platform=task.platform,
                     )
+                before = perf.counters()
+                run = run_version(benches[bkey], version=task.version)
                 self._finish(
-                    task, key, run_version(benches[bkey], version=task.version), results, tracer
+                    task,
+                    key,
+                    run,
+                    results,
+                    tracer,
+                    perf_delta=perf.counters_delta(before, perf.counters()),
                 )
         else:
             with ProcessPoolExecutor(max_workers=min(jobs, len(groups))) as pool:
@@ -433,16 +454,22 @@ class Campaign:
         run: RunResult,
         results: dict,
         tracer: Tracer,
+        perf_delta: dict | None = None,
     ) -> None:
         results[task.cell] = run
         if self.cache is not None and key is not None:
             self.cache.store(key, run)
+        detail: dict = {}
+        if run.failure:
+            detail["failure"] = run.failure
+        if perf_delta:
+            detail["perf"] = perf_delta
         tracer.emit(
             "finished",
             cache="miss" if self.cache is not None else "off",
             elapsed_s=run.elapsed_s,
             energy_j=run.energy_j,
             ok=run.ok,
-            detail={"failure": run.failure} if run.failure else None,
+            detail=detail or None,
             **self._task_fields(task),
         )

@@ -154,10 +154,11 @@ class ResultSet:
         self, benchmark: str, version: Version, precision: Precision
     ) -> tuple[float, float, float] | None:
         """(speedup, power ratio, energy ratio) vs Serial, or None if the
-        run failed (e.g. the DP amcd compile failure)."""
+        run failed (e.g. the DP amcd compile failure) or the Serial
+        baseline is absent (e.g. dropped by :meth:`filter`)."""
         run = self.get(benchmark, version, precision)
-        base = self.get(benchmark, Version.SERIAL, precision)
-        if not run.ok:
+        base = self.results.get((benchmark, Version.SERIAL, precision))
+        if base is None or not run.ok:
             return None
         return run.relative_to(base)
 

@@ -22,6 +22,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+from .. import perf
 from ..compiler.pipeline import CompiledKernel
 from ..ir.analysis import InstructionMix
 from ..ir.dtypes import scalar_bits
@@ -146,7 +147,44 @@ def time_launch(
     caches: CacheHierarchy,
     concurrent_agents: int = 1,
 ) -> GpuLaunchTiming:
-    """Price one NDRange launch of ``n_items`` work-items."""
+    """Price one NDRange launch of ``n_items`` work-items.
+
+    Pure in all arguments (the mutable model objects are keyed by their
+    frozen configs), so results are memoized content-addressed: the
+    autotuner prices each distinct (kernel, options, local size) point
+    once per process.
+    """
+    key = perf.content_key(
+        (
+            compiled,
+            n_items,
+            local_size,
+            traits,
+            config,
+            dram.config,
+            caches.l1.config,
+            caches.l2.config,
+            concurrent_agents,
+        )
+    )
+    return perf.cache("gpu_timing").get_or_compute(
+        key,
+        lambda: _time_launch_uncached(
+            compiled, n_items, local_size, traits, config, dram, caches, concurrent_agents
+        ),
+    )
+
+
+def _time_launch_uncached(
+    compiled: CompiledKernel,
+    n_items: int,
+    local_size: int,
+    traits: WorkloadTraits,
+    config: MaliConfig,
+    dram: DramModel,
+    caches: CacheHierarchy,
+    concurrent_agents: int = 1,
+) -> GpuLaunchTiming:
     if n_items < 1:
         raise ValueError(f"n_items must be >= 1, got {n_items}")
     mix = compiled.mix
@@ -209,3 +247,37 @@ def time_launch(
         dram_bytes=dram_bytes,
         bottleneck=bottleneck,
     )
+
+
+def roofline_floor_seconds(
+    compiled: CompiledKernel,
+    n_items: int,
+    traits: WorkloadTraits,
+    config: MaliConfig,
+    dram: DramModel,
+    caches: CacheHierarchy,
+) -> float:
+    """Optimistic lower bound on ``time_launch(...).seconds``.
+
+    The best case for any launch of this compiled kernel: perfect latency
+    hiding (occupancy = 1), full access-width efficiency, no imbalance,
+    no overlap leak, and zero barrier/schedule/launch overheads — just
+    ``max(arith, ls, dram)``.  Every penalty ``time_launch`` applies is a
+    multiplier ≥ 1 or an additive term ≥ 0 on top of these components,
+    so the bound holds for every local size; the pruned tuner strategy
+    uses it to discard candidates that cannot beat the incumbent.
+    """
+    if n_items < 1:
+        raise ValueError(f"n_items must be >= 1, got {n_items}")
+    totals = compiled.mix.scaled(float(n_items))
+    clock = config.clock_hz
+    n_cores = config.shader_cores
+    arith_s = (
+        _arith_cycles(totals, config, compiled.options.native_math)
+        / (n_cores * config.arith_pipes_per_core)
+        / clock
+    )
+    ls_s = _ls_cycles(totals, config) / (n_cores * config.ls_pipes_per_core) / clock
+    traffic = caches.dram_traffic(list(traits.streams))
+    dram_s = dram.transfer_seconds("gpu", traffic) if sum(traffic.values()) > 0 else 0.0
+    return max(arith_s, ls_s, dram_s)
