@@ -9,6 +9,7 @@ Commands:
 * ``roofline``  — place every benchmark on the device rooflines
 * ``describe``  — print the simulated platform inventory
 * ``whatif``    — next-generation-hardware and fixed-driver studies
+* ``cache``     — inspect or clear the run cache and persistent perf tier
 """
 
 from __future__ import annotations
@@ -41,6 +42,7 @@ def cmd_figures(args) -> int:
     campaign = Campaign(
         spec,
         cache_dir=None if args.no_cache else args.cache_dir,
+        perf_dir=None if args.no_cache else _perf_dir(args),
         trace=args.trace,
     )
     results = campaign.run(jobs=args.jobs)
@@ -171,6 +173,82 @@ def cmd_whatif(args) -> int:
     return 0
 
 
+def _perf_dir(args) -> str | None:
+    """Resolve the persistent perf-tier root from CLI arguments.
+
+    Defaults to ``<cache-dir>/perf`` so one ``--cache-dir`` governs
+    both on-disk caches; ``--perf-dir`` overrides the location.
+    """
+    from pathlib import Path
+
+    if getattr(args, "perf_dir", None):
+        return args.perf_dir
+    return str(Path(args.cache_dir) / "perf")
+
+
+def cmd_cache(args) -> int:
+    import json as _json
+
+    from . import perf
+    from .experiments.cache import RunCache
+    from .perf.persist import PersistentStore
+
+    run_cache = RunCache(args.cache_dir)
+    store = PersistentStore(_perf_dir(args))
+
+    if args.action == "path":
+        payload = {"run_cache": str(run_cache.root), "perf_tier": str(store.root)}
+        if args.json:
+            print(_json.dumps(payload, indent=2, sort_keys=True))
+        else:
+            print(f"run cache: {payload['run_cache']}")
+            print(f"perf tier: {payload['perf_tier']}")
+        return 0
+
+    if args.action == "clear":
+        removed_runs = run_cache.clear()
+        removed_perf = store.clear()
+        payload = {"run_cache_removed": removed_runs, "perf_tier_removed": removed_perf}
+        if args.json:
+            print(_json.dumps(payload, indent=2, sort_keys=True))
+        else:
+            print(f"run cache: removed {removed_runs} entries")
+            print(f"perf tier: removed {removed_perf} entries")
+        return 0
+
+    # stats
+    payload = {
+        "run_cache": {
+            "path": str(run_cache.root),
+            "entries": run_cache.entry_count(),
+            "size_bytes": run_cache.size_bytes(),
+        },
+        "perf_tier": {
+            "path": str(store.root),
+            "namespace": store.namespace,
+            "entries": store.entries(),
+            "size_bytes": store.size_bytes(),
+            "stale_namespaces": store.stale_namespaces(),
+            "persisted_caches": sorted(perf.PERSISTED_CACHES),
+        },
+    }
+    if args.json:
+        print(_json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    rc = payload["run_cache"]
+    print(f"run cache: {rc['path']}")
+    print(f"  entries: {rc['entries']}, size: {rc['size_bytes']} bytes")
+    pt = payload["perf_tier"]
+    print(f"perf tier: {pt['path']} (namespace {pt['namespace']})")
+    total = sum(pt["entries"].values())
+    per_cache = ", ".join(f"{name} {n}" for name, n in pt["entries"].items()) or "none"
+    print(f"  entries: {total} ({per_cache}), size: {pt['size_bytes']} bytes")
+    if pt["stale_namespaces"]:
+        print(f"  stale namespaces: {', '.join(pt['stale_namespaces'])} "
+              f"(run `repro cache clear` to reclaim)")
+    return 0
+
+
 def _positive_int(text: str) -> int:
     value = int(text)
     if value < 1:
@@ -196,7 +274,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cache-dir", default=".repro_cache", metavar="DIR",
                    help="content-addressed run cache directory")
     p.add_argument("--no-cache", action="store_true",
-                   help="disable the run cache")
+                   help="disable the run cache and the persistent perf tier")
+    p.add_argument("--perf-dir", default=None, metavar="DIR",
+                   help="persistent perf-cache tier root "
+                        "(default: <cache-dir>/perf)")
     p.add_argument("--trace", default=None, metavar="PATH",
                    help="write per-run trace events to a JSONL file")
     p.set_defaults(func=cmd_figures)
@@ -225,6 +306,19 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("whatif", help="future hardware / fixed driver studies")
     common(p, benchmark=True)
     p.set_defaults(func=cmd_whatif)
+
+    p = sub.add_parser("cache", help="inspect or clear the on-disk caches")
+    p.add_argument("action", choices=("stats", "clear", "path"),
+                   help="stats: entry counts and sizes; clear: delete every "
+                        "entry of both caches; path: print the cache roots")
+    p.add_argument("--cache-dir", default=".repro_cache", metavar="DIR",
+                   help="content-addressed run cache directory")
+    p.add_argument("--perf-dir", default=None, metavar="DIR",
+                   help="persistent perf-cache tier root "
+                        "(default: <cache-dir>/perf)")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable JSON output")
+    p.set_defaults(func=cmd_cache)
     return parser
 
 

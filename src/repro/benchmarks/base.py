@@ -28,7 +28,7 @@ import abc
 import enum
 import math
 from dataclasses import dataclass, field
-from typing import Any, ClassVar, Iterable
+from typing import Any, Callable, ClassVar, Iterable
 
 import numpy as np
 
@@ -296,19 +296,22 @@ class Benchmark(abc.ABC):
                 for local in (32, 64, 128, 256):
                     yield options, local
 
-    def estimate_iteration_seconds(self, options: CompileOptions, local_size: int | None) -> float:
-        """Model-predicted time of one timed iteration (autotuner probe).
+    def iteration_pricer(self, options: CompileOptions) -> Callable[[int | None], float]:
+        """One-options-point pricing handle for the autotuner.
 
-        Compiles and prices the kernel without executing any functional
-        NumPy code, so the tuner can sweep dozens of candidates cheaply.
-        Raises the same compiler/CL errors as a real build+launch, which
-        is how infeasible candidates (e.g. register-file exhaustion) are
-        discarded — the mechanism behind the paper's double-precision
-        Opt results.  Multi-kernel benchmarks override this to sum their
-        stages.
+        Compiles the kernel once and builds one
+        :class:`~repro.mali.timing.LaunchPricer`; the returned callable
+        prices a single local size through the pricer's shared
+        vectorized tables, so sweeping every surviving local size of an
+        options group costs one table build instead of one full model
+        walk per candidate.  Raises the same compiler/CL errors as a
+        real build+launch (register-file exhaustion and friends), which
+        is how infeasible candidates are discarded — the mechanism
+        behind the paper's double-precision Opt results.  Multi-kernel
+        benchmarks override this to combine their stages.
         """
         from ..compiler.pipeline import compile_kernel
-        from ..mali.timing import time_launch
+        from ..mali.timing import LaunchPricer
         from ..ocl.driver import default_quirks, driver_local_size
 
         quirks = (
@@ -317,22 +320,36 @@ class Benchmark(abc.ABC):
             else default_quirks()
         )
         compiled = compile_kernel(self.kernel_ir(options), options, quirks=quirks)
-        n_items = max(1, -(-self.elements() // compiled.elems_per_item))
-        local = local_size or driver_local_size(
-            n_items, self.platform.mali.max_work_group_size
-        )
-        n_items = -(-n_items // local) * local
+        base_items = max(1, -(-self.elements() // compiled.elems_per_item))
         traits = self.gpu_traits(options)
-        timing = time_launch(
+        pricer = LaunchPricer(
             compiled,
-            n_items,
-            local,
             traits,
             self.platform.mali,
             self.platform.dram_model(),
             self.platform.gpu_caches(),
         )
-        return timing.seconds * traits.launches
+
+        def estimate(local_size: int | None) -> float:
+            local = local_size or driver_local_size(
+                base_items, self.platform.mali.max_work_group_size
+            )
+            n_items = -(-base_items // local) * local
+            return pricer.price(n_items, local).seconds * traits.launches
+
+        return estimate
+
+    def estimate_iteration_seconds(self, options: CompileOptions, local_size: int | None) -> float:
+        """Model-predicted time of one timed iteration (autotuner probe).
+
+        Compiles and prices the kernel without executing any functional
+        NumPy code, so the tuner can sweep dozens of candidates cheaply.
+        One-shot convenience over :meth:`iteration_pricer` — both the
+        exhaustive and the pruned tuner strategies price through the
+        same pricer code path, which is what makes their selections
+        provably identical.
+        """
+        return self.iteration_pricer(options)(local_size)
 
     # ------------------------------------------------------------------
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

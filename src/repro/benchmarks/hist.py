@@ -244,24 +244,35 @@ class Histogram(Benchmark):
             elements=self.BUCKETS,
         )
 
-    def estimate_iteration_seconds(self, options: CompileOptions, local_size: int | None) -> float:
-        seconds = self._estimate_one(self.kernel_ir(options), options, local_size, self.n, self.gpu_traits(options))
-        seconds += self._fill_seconds(self.BUCKETS * 4)
+    def iteration_pricer(self, options: CompileOptions):
+        """Main + (optional) merge kernel pricer, compiled once each."""
+        main = self._pricer_one(self.kernel_ir(options), options, self.n, self.gpu_traits(options))
+        fill_main = self._fill_seconds(self.BUCKETS * 4)
+        merge = None
+        fill_merge = 0.0
         if options.any_enabled:
-            seconds += self._estimate_one(
-                self._merge_ir(), options, min(local_size or 64, self.BUCKETS), self.BUCKETS, self._merge_traits()
-            )
-            seconds += self._fill_seconds(self.PRIVATE_COPIES * self.BUCKETS * 4)
-        return seconds
+            merge = self._pricer_one(self._merge_ir(), options, self.BUCKETS, self._merge_traits())
+            fill_merge = self._fill_seconds(self.PRIVATE_COPIES * self.BUCKETS * 4)
+
+        def estimate(local_size: int | None) -> float:
+            seconds = main(local_size)
+            seconds += fill_main
+            if merge is not None:
+                seconds += merge(min(local_size or 64, self.BUCKETS))
+                seconds += fill_merge
+            return seconds
+
+        return estimate
 
     def _fill_seconds(self, nbytes: int) -> float:
         """Cost of the clEnqueueFillBuffer zeroing in the timed region."""
         bw = self.platform.dram.gpu_cap * self.platform.dram.efficiency.unit
         return max(nbytes / bw, 2e-6)
 
-    def _estimate_one(self, ir, options, local_size, n_elements, traits) -> float:
+    def _pricer_one(self, ir, options, n_elements, traits):
+        """One-kernel pricing callable (compiles and builds tables once)."""
         from ..compiler.pipeline import compile_kernel
-        from ..mali.timing import time_launch
+        from ..mali.timing import LaunchPricer
         from ..ocl.driver import default_quirks, driver_local_size
 
         quirks = (
@@ -270,15 +281,19 @@ class Histogram(Benchmark):
             else default_quirks()
         )
         compiled = compile_kernel(ir, options, quirks=quirks)
-        n_items = max(1, -(-n_elements // compiled.elems_per_item))
-        local = local_size or driver_local_size(n_items, self.platform.mali.max_work_group_size)
-        local = min(local, self.platform.mali.max_work_group_size)
-        n_items = -(-n_items // local) * local
-        timing = time_launch(
-            compiled, n_items, local, traits,
+        base_items = max(1, -(-n_elements // compiled.elems_per_item))
+        pricer = LaunchPricer(
+            compiled, traits,
             self.platform.mali, self.platform.dram_model(), self.platform.gpu_caches(),
         )
-        return timing.seconds
+
+        def one(local_size) -> float:
+            local = local_size or driver_local_size(base_items, self.platform.mali.max_work_group_size)
+            local = min(local, self.platform.mali.max_work_group_size)
+            n_items = -(-base_items // local) * local
+            return pricer.price(n_items, local).seconds
+
+        return one
 
     def tuning_space(self):
         for width in (1, 4, 8):

@@ -229,9 +229,10 @@ class Reduction(Benchmark):
             elements=self.STAGE1_ITEMS,
         )
 
-    def estimate_iteration_seconds(self, options: CompileOptions, local_size: int | None) -> float:
+    def iteration_pricer(self, options: CompileOptions):
+        """Two-stage pricer: both stages compiled once per options point."""
         from ..compiler.pipeline import compile_kernel
-        from ..mali.timing import time_launch
+        from ..mali.timing import LaunchPricer
         from ..ocl.driver import default_quirks, driver_local_size
 
         mali = self.platform.mali
@@ -244,14 +245,17 @@ class Reduction(Benchmark):
             else default_quirks()
         )
         c1 = compile_kernel(self.kernel_ir(options), options, quirks=quirks)
-        local = local_size or driver_local_size(self.STAGE1_ITEMS, mali.max_work_group_size)
-        t1 = time_launch(c1, self.STAGE1_ITEMS, local, self.gpu_traits(options), mali, dram, caches)
-
+        p1 = LaunchPricer(c1, self.gpu_traits(options), mali, dram, caches)
         c2 = compile_kernel(self._stage2_ir(self.STAGE1_ITEMS), options, quirks=quirks)
-        t2 = time_launch(
-            c2, self.STAGE2_LOCAL, self.STAGE2_LOCAL, self._stage2_traits(), mali, dram, caches
-        )
-        return t1.seconds + t2.seconds
+        p2 = LaunchPricer(c2, self._stage2_traits(), mali, dram, caches)
+
+        def estimate(local_size: int | None) -> float:
+            local = local_size or driver_local_size(self.STAGE1_ITEMS, mali.max_work_group_size)
+            t1 = p1.price(self.STAGE1_ITEMS, local)
+            t2 = p2.price(self.STAGE2_LOCAL, self.STAGE2_LOCAL)
+            return t1.seconds + t2.seconds
+
+        return estimate
 
     def tuning_space(self):
         for width in (1, 2, 4, 8, 16):

@@ -128,6 +128,28 @@ class RunCache:
         self.stats.writes += 1
 
     # ------------------------------------------------------------------
+    # maintenance / introspection (the ``repro cache`` CLI)
+    # ------------------------------------------------------------------
+    def entry_count(self) -> int:
+        """Number of cached runs on disk."""
+        return sum(1 for _ in self.root.rglob("*.json"))
+
+    def size_bytes(self) -> int:
+        """Total bytes of every entry (and stray temp file) in the root."""
+        return sum(p.stat().st_size for p in self.root.rglob("*") if p.is_file())
+
+    def clear(self) -> int:
+        """Delete every cached run; returns the number removed."""
+        removed = 0
+        for path in list(self.root.rglob("*.json")):
+            try:
+                path.unlink()
+            except OSError:  # pragma: no cover - concurrent eviction
+                continue
+            removed += 1
+        return removed
+
+    # ------------------------------------------------------------------
     def _invalidate(self, path: Path) -> None:
         """Evict a stale/corrupt entry; counts as invalidated *and* miss."""
         try:

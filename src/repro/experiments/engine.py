@@ -42,7 +42,6 @@ from ..benchmarks.base import (
     RunResult,
     Version,
     execute_run,
-    execute_runs,
     run_version,
 )
 from ..benchmarks.registry import PAPER_ORDER, create
@@ -90,22 +89,55 @@ class RunTask:
         )
 
 
-def _execute_group(tasks: tuple[RunTask, ...]) -> tuple[RunResult, ...]:
-    """Pool entry for one (benchmark, precision) version group.
+def _worker_init(perf_dir: str | None) -> None:
+    """Pool initializer: attach the persistent perf tier in the worker.
 
-    All tasks in a group share problem setup (the dominant cost at
-    paper scale), so a worker builds the benchmark once and runs every
-    requested version on it — the same cost profile as the serial loop.
+    Explicit (rather than relying on fork inheritance) so the spawn
+    start method gets the same two-tier lane, and harmlessly redundant
+    under fork.
     """
-    first = tasks[0]
-    return execute_runs(
-        first.benchmark,
-        versions=tuple(t.version for t in tasks),
-        precision=first.precision,
-        scale=first.scale,
-        seed=first.seed,
-        platform=first.platform,
-    )
+    if perf_dir is not None:
+        perf.configure(persist_dir=perf_dir)
+
+
+def _execute_family(
+    groups: tuple[tuple[RunTask, ...], ...],
+) -> tuple[tuple[tuple[RunResult, dict], ...], dict]:
+    """Pool entry for one benchmark *family* (all its pending groups).
+
+    Cache-affinity scheduling: every pending (precision) version-group
+    of one benchmark runs sequentially in the same worker, so the
+    in-process memo lane prices a single kernel family per worker —
+    compile/analysis/timing entries are shared across the family's
+    precisions instead of being rebuilt cold in whichever worker a
+    group happened to land on.  Within a group all versions share one
+    benchmark instance (setup dominates a cell at paper scale), exactly
+    like the classic serial loop.
+
+    Returns each group's ``(run, per-run perf delta)`` pairs plus the
+    family-level perf delta (which also covers setup/verification work
+    outside the per-run windows), so the parent can fold worker cache
+    activity into :attr:`CampaignReport.perf` and the trace.
+    """
+    family_before = perf.counters()
+    out: list[tuple[tuple[RunResult, dict], ...]] = []
+    for tasks in groups:
+        first = tasks[0]
+        bench = create(
+            first.benchmark,
+            precision=first.precision,
+            scale=first.scale,
+            seed=first.seed,
+            platform=first.platform,
+        )
+        runs: list[tuple[RunResult, dict]] = []
+        for task in tasks:
+            before = perf.counters()
+            run = run_version(bench, version=task.version)
+            runs.append((run, perf.counters_delta(before, perf.counters())))
+        out.append(tuple(runs))
+    family_delta = perf.counters_delta(family_before, perf.counters())
+    return tuple(out), family_delta
 
 
 @dataclass(frozen=True)
@@ -242,6 +274,13 @@ class CampaignReport:
                 for name, stats in sorted(self.perf.items())
             )
             lines.append(f"  memo (hits/misses): {memo}")
+            disk = ", ".join(
+                f"{name} {stats.get('disk_hits', 0)}/{stats.get('disk_misses', 0)}"
+                for name, stats in sorted(self.perf.items())
+                if any(key.startswith("disk_") for key in stats)
+            )
+            if disk:
+                lines.append(f"  disk tier (hits/misses): {disk}")
         for bench, version, precision in self.failed_runs:
             lines.append(f"    FAILED {bench} [{precision.label}] {version.value}")
         return "\n".join(lines)
@@ -251,7 +290,11 @@ class Campaign:
     """Plans a :class:`CampaignSpec` and executes it.
 
     ``cache_dir`` enables the content-addressed run cache (``None``
-    disables it); ``trace`` accepts a :class:`TraceSink` or a JSONL
+    disables it); ``perf_dir`` attaches the persistent perf-cache tier
+    (:class:`repro.perf.PersistentStore`) for the duration of
+    :meth:`run` — in this process *and* in every pool worker, which is
+    what lets ``jobs=N`` workers share compile/pricing state through
+    the filesystem; ``trace`` accepts a :class:`TraceSink` or a JSONL
     path; ``progress`` is the classic per-run callback and receives
     ``"<bench> [<SP|DP>] <Version>"`` before each non-cached run is
     dispatched.
@@ -269,11 +312,13 @@ class Campaign:
         spec: CampaignSpec,
         *,
         cache_dir: str | Path | None = None,
+        perf_dir: str | Path | None = None,
         trace: TraceSink | str | Path | None = None,
         progress: Callable[[str], None] | None = None,
     ) -> None:
         self.spec = spec
         self.cache = RunCache(Path(cache_dir).expanduser()) if cache_dir is not None else None
+        self.perf_dir = Path(perf_dir).expanduser() if perf_dir is not None else None
         self._trace = trace
         self.progress = progress
         #: populated by :meth:`run`
@@ -308,16 +353,24 @@ class Campaign:
                 "runs": len(tasks),
                 "jobs": jobs,
                 "cache": str(self.cache.root) if self.cache else "off",
+                "perf_cache": str(self.perf_dir) if self.perf_dir else "off",
             },
         )
+        prior_store = perf.persistent_store()
+        if self.perf_dir is not None:
+            perf.configure(persist_dir=self.perf_dir)
         perf_before = perf.counters()
+        self._worker_deltas: list[dict] = []
         try:
             results, hits = self._gather(tasks, jobs, tracer)
             out = ResultSet(fingerprint=fingerprint)
             for task in tasks:
                 out.add(results[task.cell])
             stats = self.cache.stats if self.cache else None
-            perf_delta = perf.counters_delta(perf_before, perf.counters())
+            perf_delta = perf.counters_merge(
+                perf.counters_delta(perf_before, perf.counters()),
+                *self._worker_deltas,
+            )
             self.report = CampaignReport(
                 fingerprint=fingerprint,
                 total_runs=len(tasks),
@@ -343,6 +396,8 @@ class Campaign:
             )
             return out
         finally:
+            if self.perf_dir is not None:
+                perf.configure(persist_dir=prior_store)
             if owns_sink:
                 sink.close()
 
@@ -395,12 +450,20 @@ class Campaign:
         # Work is scheduled as (benchmark, precision) version groups:
         # problem setup dominates a cell's cost at paper scale and is
         # shared by all versions, so a group is the natural unit both
-        # in-process and on the pool.  Dict preserves plan order.
+        # in-process and on the pool.  On the pool, groups are further
+        # bundled into per-benchmark *families* (cache-affinity
+        # scheduling): both precisions of a benchmark price largely the
+        # same kernel space, so keeping a family on one worker keeps its
+        # in-process memo hit rate high even before the persistent tier
+        # warms.  Dicts preserve plan order.
         groups: dict[tuple[str, Precision], list[tuple[RunTask, str | None]]] = {}
         for task, key in pending:
             groups.setdefault((task.benchmark, task.precision), []).append((task, key))
+        families: dict[str, list[list[tuple[RunTask, str | None]]]] = {}
+        for (benchmark, _), group in groups.items():
+            families.setdefault(benchmark, []).append(group)
 
-        if jobs == 1 or len(groups) <= 1:
+        if jobs == 1 or len(families) <= 1:
             # In-process path: one shared benchmark instance per group,
             # exactly like the classic serial loop — the RNG is consumed
             # only during setup, so this is observably identical to
@@ -428,18 +491,30 @@ class Campaign:
                     perf_delta=perf.counters_delta(before, perf.counters()),
                 )
         else:
-            with ProcessPoolExecutor(max_workers=min(jobs, len(groups))) as pool:
+            perf_dir = str(self.perf_dir) if self.perf_dir is not None else None
+            with ProcessPoolExecutor(
+                max_workers=min(jobs, len(families)),
+                initializer=_worker_init,
+                initargs=(perf_dir,),
+            ) as pool:
                 futures = {}
-                for group in groups.values():
-                    for task, _ in group:
-                        self._dispatch(task, tracer)
-                    futures[pool.submit(_execute_group, tuple(t for t, _ in group))] = group
+                for family in families.values():
+                    for group in family:
+                        for task, _ in group:
+                            self._dispatch(task, tracer)
+                    payload = tuple(tuple(t for t, _ in group) for group in family)
+                    futures[pool.submit(_execute_family, payload)] = family
                 while futures:
                     done, _ = wait(futures, return_when=FIRST_COMPLETED)
                     for future in done:
-                        group = futures.pop(future)
-                        for (task, key), run in zip(group, future.result()):
-                            self._finish(task, key, run, results, tracer)
+                        family = futures.pop(future)
+                        group_runs, family_delta = future.result()
+                        self._worker_deltas.append(family_delta)
+                        for group, runs in zip(family, group_runs):
+                            for (task, key), (run, delta) in zip(group, runs):
+                                self._finish(
+                                    task, key, run, results, tracer, perf_delta=delta
+                                )
         return results, hits
 
     def _dispatch(self, task: RunTask, tracer: Tracer) -> None:

@@ -40,18 +40,28 @@ ACCEPTED_SCHEMAS = (1, 2)
 
 
 def run_to_row(run: RunResult) -> dict:
-    """One run as a plain JSON-able dict (options as describe() label)."""
+    """One run as a plain JSON-able dict (options as describe() label).
+
+    A failed run carries NaN measurements; those serialize as ``null``
+    (bare ``NaN`` is not JSON — ``json.dumps`` emits it anyway, and
+    strict parsers reject the file).  :func:`run_from_row` already maps
+    ``null`` back to NaN, so the round trip is unchanged.
+    """
     if run.options is not None:
         options_label = run.options.describe()
     else:
         options_label = run.diagnostics.get("options_label")
+
+    def _finite(value: float) -> float | None:
+        return None if math.isnan(value) else value
+
     return {
         "benchmark": run.benchmark,
         "version": run.version.value,
         "precision": run.precision.value,
-        "elapsed_s": run.elapsed_s,
-        "mean_power_w": run.mean_power_w,
-        "energy_j": run.energy_j,
+        "elapsed_s": _finite(run.elapsed_s),
+        "mean_power_w": _finite(run.mean_power_w),
+        "energy_j": _finite(run.energy_j),
         "verified": run.verified,
         "options": options_label,
         "local_size": run.local_size,
@@ -204,6 +214,7 @@ def run_grid(
     progress: Callable[[str], None] | None = None,
     jobs: int = 1,
     cache_dir: str | None = None,
+    perf_dir: str | None = None,
     trace=None,
 ) -> ResultSet:
     """Run the full campaign and collect results.
@@ -214,7 +225,8 @@ def run_grid(
     proportionally (the shape of the results is scale-robust above the
     overhead floor; the default tests run at reduced scale for speed).
     ``jobs`` parallelizes across processes, ``cache_dir`` enables the
-    content-addressed run cache, and ``trace`` accepts a
+    content-addressed run cache, ``perf_dir`` attaches the persistent
+    perf-cache tier (shared by all workers), and ``trace`` accepts a
     :class:`~repro.experiments.trace.TraceSink` or JSONL path.
     """
     from .engine import Campaign, CampaignSpec  # deferred: engine imports us
@@ -227,5 +239,7 @@ def run_grid(
         seed=seed,
         platform=platform,
     )
-    campaign = Campaign(spec, cache_dir=cache_dir, trace=trace, progress=progress)
+    campaign = Campaign(
+        spec, cache_dir=cache_dir, perf_dir=perf_dir, trace=trace, progress=progress
+    )
     return campaign.run(jobs=jobs)

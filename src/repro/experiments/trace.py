@@ -40,7 +40,12 @@ class TraceEvent:
     is ``"hit"``, ``"miss"`` or ``"off"`` on ``finished`` events.
     ``elapsed_s`` / ``energy_j`` / ``ok`` mirror the run's result;
     ``detail`` carries event-specific extras (grid size, hit counters,
-    failure text ...).
+    failure text ...).  ``detail["perf"]`` on ``finished`` /
+    ``campaign_finished`` events is the memo-counter delta of the run
+    (or campaign) window — per cache ``hits``/``misses``/``evictions``,
+    plus ``disk_hits``/``disk_misses``/``disk_writes``/
+    ``disk_invalidated`` when the persistent tier is attached; for
+    pool runs it is measured inside the worker process.
     """
 
     event: str

@@ -152,27 +152,297 @@ def time_launch(
     Pure in all arguments (the mutable model objects are keyed by their
     frozen configs), so results are memoized content-addressed: the
     autotuner prices each distinct (kernel, options, local size) point
-    once per process.
+    once per process — and, with a persistent tier attached, once per
+    campaign.  One-shot callers go through a throwaway
+    :class:`LaunchPricer`; sweeps that price many ``(n_items,
+    local_size)`` candidates of the same kernel should hold one pricer
+    and amortize its vectorized tables.
     """
-    key = perf.content_key(
-        (
-            compiled,
-            n_items,
-            local_size,
-            traits,
-            config,
-            dram.config,
-            caches.l1.config,
-            caches.l2.config,
-            concurrent_agents,
+    return LaunchPricer(
+        compiled, traits, config, dram, caches, concurrent_agents=concurrent_agents
+    ).price(n_items, local_size)
+
+
+class _MixTables:
+    """Vectorized per-entry (count, cost) columns of one kernel's mix.
+
+    Built once per :class:`LaunchPricer`; every column preserves the
+    source dict's iteration order so sequential summation over the
+    elementwise products reproduces the scalar accumulation loops of
+    ``_arith_cycles`` / ``_ls_cycles`` / ``_access_width_efficiency``
+    bit for bit.
+    """
+
+    __slots__ = (
+        "arith_counts",
+        "arith_costs",
+        "ls_counts",
+        "ls_costs",
+        "glb_counts",
+        "glb_bytes",
+        "glb_bits",
+        "traffic",
+        "dram_bytes",
+        "transfer_s",
+    )
+
+    def __init__(
+        self,
+        compiled: CompiledKernel,
+        traits: WorkloadTraits,
+        config: MaliConfig,
+        dram: DramModel,
+        caches: CacheHierarchy,
+        concurrent_agents: int,
+    ) -> None:
+        import numpy as np
+
+        from ..ir.dtypes import DType
+
+        mix = compiled.mix
+        native_math = compiled.options.native_math
+        arith_counts: list[float] = []
+        arith_costs: list[float] = []
+        for (op, base, width, accumulates), count in mix.arith.items():
+            arith_counts.append(count)
+            arith_costs.append(
+                config.arith_issue_cost(
+                    op, base, width, scalar_bits(base), native_math=native_math
+                )
+            )
+        ls_counts: list[float] = []
+        ls_costs: list[float] = []
+        for (kind, space, pattern, base, width, sequential, aligned), count in mix.mem.items():
+            if space == MemSpace.PRIVATE:
+                continue
+            cost = config.ls_issue_cost(width, scalar_bits(base))
+            if width > 1 and not aligned:
+                cost *= 2.0
+            if space == MemSpace.CONSTANT:
+                cost *= config.uniform_load_cost_factor
+            ls_counts.append(count)
+            ls_costs.append(cost)
+        for (op, base, space), count in mix.atomics.items():
+            ls_counts.append(count)
+            ls_costs.append(
+                config.atomic_local_cycles
+                if space == MemSpace.LOCAL
+                else config.atomic_cycles
+            )
+        glb_counts: list[float] = []
+        glb_bytes: list[float] = []
+        glb_bits: list[float] = []
+        for (kind, space, pattern, base, width, sequential, aligned), count in mix.mem.items():
+            if space != MemSpace.GLOBAL:
+                continue
+            glb_counts.append(count)
+            glb_bytes.append(float(DType(base, width).bytes))
+            glb_bits.append(
+                float(config.lane_bits)
+                if sequential
+                else float(min(width * scalar_bits(base), config.lane_bits))
+            )
+        self.arith_counts = np.asarray(arith_counts, dtype=np.float64)
+        self.arith_costs = np.asarray(arith_costs, dtype=np.float64)
+        self.ls_counts = np.asarray(ls_counts, dtype=np.float64)
+        self.ls_costs = np.asarray(ls_costs, dtype=np.float64)
+        self.glb_counts = np.asarray(glb_counts, dtype=np.float64)
+        self.glb_bytes = np.asarray(glb_bytes, dtype=np.float64)
+        self.glb_bits = np.asarray(glb_bits, dtype=np.float64)
+        self.traffic = caches.dram_traffic(list(traits.streams))
+        self.dram_bytes = sum(self.traffic.values())
+        self.transfer_s = (
+            dram.transfer_seconds("gpu", self.traffic, concurrent_agents=concurrent_agents)
+            if self.dram_bytes > 0
+            else 0.0
         )
-    )
-    return perf.cache("gpu_timing").get_or_compute(
-        key,
-        lambda: _time_launch_uncached(
-            compiled, n_items, local_size, traits, config, dram, caches, concurrent_agents
-        ),
-    )
+
+
+class LaunchPricer:
+    """Batched launch pricing of one compiled kernel across candidates.
+
+    The autotuner sweeps many ``(n_items, local_size)`` points of the
+    same compiled kernel; the scalar path re-walks every
+    :class:`~repro.ir.analysis.InstructionMix` dict and re-derives the
+    DRAM traffic for each one.  A pricer hoists everything that does not
+    depend on the candidate — the memo-key prefix, the per-entry
+    (count, cost) columns, the cache-hierarchy traffic and its base
+    transfer time — and prices each candidate with one vectorized pass
+    plus a handful of scalar ops.  Cycle totals and the access-width
+    efficiency depend on ``n_items`` only, so they are computed once per
+    distinct item count (candidates sharing a rounded NDRange share the
+    slice).
+
+    Bitwise contract: elementwise numpy products over float64 columns
+    are IEEE-identical to the scalar ``(count*n) * cost`` expressions,
+    and every reduction is a sequential Python accumulation in source
+    dict order — *not* ``np.sum``, whose pairwise summation reorders the
+    additions — so ``price()`` returns exactly what the scalar reference
+    ``_time_launch_uncached`` returns (asserted over the full grid in
+    ``tests/unit/test_perf_persist.py``).  Both feed the same
+    ``gpu_timing`` memo, so sweeps and one-shot calls share entries.
+    """
+
+    def __init__(
+        self,
+        compiled: CompiledKernel,
+        traits: WorkloadTraits,
+        config: MaliConfig,
+        dram: DramModel,
+        caches: CacheHierarchy,
+        concurrent_agents: int = 1,
+    ) -> None:
+        self.compiled = compiled
+        self.traits = traits
+        self.config = config
+        self.dram = dram
+        self.caches = caches
+        self.concurrent_agents = concurrent_agents
+        # hoisted memo-key prefix: content_key of a tuple is the tuple of
+        # element content_keys, so assembling per-candidate keys from the
+        # fixed parts yields keys equal to time_launch's historical ones
+        # (same memo slots, same disk digests)
+        self._fixed = (
+            perf.content_key(compiled),
+            perf.content_key(traits),
+            perf.content_key(config),
+            perf.content_key(dram.config),
+            perf.content_key(caches.l1.config),
+            perf.content_key(caches.l2.config),
+        )
+        self._memo = perf.cache("gpu_timing")
+        self._tables: _MixTables | None = None
+        self._slices: dict[int, tuple[float, float, float]] = {}
+
+    def key(self, n_items: int, local_size: int) -> tuple:
+        """The ``gpu_timing`` memo key for one candidate."""
+        f = self._fixed
+        return (f[0], n_items, local_size, f[1], f[2], f[3], f[4], f[5], self.concurrent_agents)
+
+    def price(self, n_items: int, local_size: int) -> GpuLaunchTiming:
+        """Memoized candidate price (both tiers; computes on full miss)."""
+        if not perf.is_enabled():
+            return _time_launch_uncached(
+                self.compiled,
+                n_items,
+                local_size,
+                self.traits,
+                self.config,
+                self.dram,
+                self.caches,
+                self.concurrent_agents,
+            )
+        return self._memo.get_or_compute(
+            self.key(n_items, local_size), lambda: self._compute(n_items, local_size)
+        )
+
+    # ------------------------------------------------------------------
+    def _slice(self, n_items: int) -> tuple[float, float, float]:
+        """(raw arith cycles, raw LS cycles, access efficiency) at one
+        item count — the only mix-dependent quantities of a candidate."""
+        found = self._slices.get(n_items)
+        if found is not None:
+            return found
+        t = self._tables
+        if t is None:
+            t = self._tables = _MixTables(
+                self.compiled,
+                self.traits,
+                self.config,
+                self.dram,
+                self.caches,
+                self.concurrent_agents,
+            )
+        n = float(n_items)
+        config = self.config
+        mix = self.compiled.mix
+        arith = 0.0
+        for term in ((t.arith_counts * n) * t.arith_costs).tolist():
+            arith += term
+        arith += (mix.loop_headers * n) * config.loop_header_cost
+        arith += (mix.branches * n) * config.branch_cost
+        arith += (mix.calls * n) * config.call_cost
+        ls = 0.0
+        for term in ((t.ls_counts * n) * t.ls_costs).tolist():
+            ls += term
+        if t.glb_counts.size:
+            nbytes = (t.glb_counts * n) * t.glb_bytes
+            total_bytes = 0.0
+            for b in nbytes.tolist():
+                total_bytes += b
+            weighted_bits = 0.0
+            for w in (nbytes * t.glb_bits).tolist():
+                weighted_bits += w
+        else:
+            total_bytes = 0.0
+            weighted_bits = 0.0
+        if total_bytes <= 0.0:
+            access_eff = 1.0
+        else:
+            mean_bits = weighted_bits / total_bytes
+            frac = min(max((mean_bits - 32.0) / (config.lane_bits - 32.0), 0.0), 1.0)
+            low = config.scalar_access_dram_efficiency
+            access_eff = low + (1.0 - low) * frac
+        result = (arith, ls, access_eff)
+        self._slices[n_items] = result
+        return result
+
+    def _compute(self, n_items: int, local_size: int) -> GpuLaunchTiming:
+        """Uncached vectorized price (the scalar model, batched)."""
+        if n_items < 1:
+            raise ValueError(f"n_items must be >= 1, got {n_items}")
+        arith_raw, ls_raw, access_eff = self._slice(n_items)
+        t = self._tables
+        config = self.config
+        mix = self.compiled.mix
+        n = float(n_items)
+
+        occ = derive_occupancy(self.compiled.registers.threads_per_core, local_size)
+        dist, imbalance = distribute(n_items, local_size, config, self.traits.imbalance_cv)
+
+        clock = config.clock_hz
+        n_cores = config.shader_cores
+
+        arith_cycles = arith_raw / (n_cores * config.arith_pipes_per_core)
+        ls_cycles = ls_raw / (n_cores * config.ls_pipes_per_core)
+        arith_s = arith_cycles / clock / occ.hiding
+        ls_s = ls_cycles / clock / occ.hiding
+
+        dram_s = (
+            t.transfer_s / occ.bandwidth_hiding / access_eff if t.dram_bytes > 0 else 0.0
+        )
+
+        atomic_s = (
+            (mix.atomic_contention_weight * n) * config.atomic_cycles
+            + (mix.atomic_contention_weight_local * n) * config.atomic_local_cycles / n_cores
+        ) / clock
+
+        barrier_instances = (mix.barriers * n) / max(local_size, 1)
+        barrier_s = barrier_instances * config.barrier_cycles / clock / n_cores
+
+        components = {"arith": arith_s, "ls": ls_s, "dram": dram_s, "atomic": atomic_s}
+        bottleneck = max(components, key=components.get)
+        peak = components[bottleneck]
+        leak = config.overlap_leak * (sum(components.values()) - peak)
+        parallel_s = (peak + leak) * imbalance + barrier_s
+
+        total = parallel_s + dist.schedule_seconds + config.launch_overhead_s
+
+        return GpuLaunchTiming(
+            seconds=total,
+            arith_seconds=arith_s,
+            ls_seconds=ls_s,
+            dram_seconds=dram_s,
+            atomic_seconds=atomic_s,
+            barrier_seconds=barrier_s,
+            schedule_seconds=dist.schedule_seconds,
+            launch_overhead_seconds=config.launch_overhead_s,
+            imbalance_factor=imbalance,
+            occupancy=occ,
+            distribution=dist,
+            dram_bytes=t.dram_bytes,
+            bottleneck=bottleneck,
+        )
 
 
 def _time_launch_uncached(

@@ -173,6 +173,13 @@ def _sweep_pruned(bench, candidates) -> tuple[TuneTrial, ...]:
 
     # Phase 2: evaluate in ascending-bound order; a candidate whose best
     # case exceeds the incumbent's measured time cannot win (nor tie).
+    # Pricing is batched per options group: the first surviving candidate
+    # of a group builds its iteration_pricer (compile + vectorized mix
+    # tables, once), and every later local size of the group prices
+    # through the same tables.  A pricer that fails to build (a stage-2
+    # kernel can exhaust registers on its own) condemns its candidates
+    # with the same error estimate_iteration_seconds would have raised.
+    pricers: dict[CompileOptions, tuple[object, object]] = {}
     incumbent = math.inf
     for index in sorted(floors, key=lambda i: (floors[i], i)):
         options, local_size = candidates[index]
@@ -181,8 +188,21 @@ def _sweep_pruned(bench, candidates) -> tuple[TuneTrial, ...]:
                 options=options, local_size=local_size, seconds=None, skipped=True
             )
             continue
+        entry = pricers.get(options)
+        if entry is None:
+            try:
+                entry = (bench.iteration_pricer(options), None)
+            except (CompilerError, CLError) as exc:
+                entry = (None, exc)
+            pricers[options] = entry
+        estimate, error = entry
+        if estimate is None:
+            trials[index] = TuneTrial(
+                options=options, local_size=local_size, seconds=None, error=str(error)
+            )
+            continue
         try:
-            seconds = bench.estimate_iteration_seconds(options, local_size)
+            seconds = estimate(local_size)
         except (CompilerError, CLError) as exc:
             trials[index] = TuneTrial(
                 options=options, local_size=local_size, seconds=None, error=str(exc)

@@ -24,6 +24,18 @@ Every cache is an LRU with hit/miss/evict counters; the campaign engine
 snapshots :func:`counters` around each run and threads the deltas into
 :class:`~repro.experiments.engine.CampaignReport` and the JSONL trace.
 
+Since PR 3 the content-keyed caches are **two-tier**: below the
+in-process LRU sits an optional disk-backed
+:class:`~repro.perf.persist.PersistentStore`
+(``configure(persist_dir=...)``), so campaign workers share warm state
+through the filesystem and a fresh process starts hot.  Only the
+caches whose keys are content-addressed persist (``compile``,
+``analysis``, ``gpu_timing``, ``cpu_timing``, ``gpu_exec``); the
+per-instance ``functional`` memo stays in-process.  Disk activity is
+accounted per cache as ``disk_hits`` / ``disk_misses`` /
+``disk_writes`` / ``disk_invalidated`` keys in the same
+:func:`counters` snapshot.
+
 All cached functions are pure: a key is built only from frozen,
 content-hashable inputs (kernel IR trees, options, calibrated configs)
 or from content digests of NumPy arrays, so a cache hit returns exactly
@@ -46,36 +58,67 @@ from typing import Any, Callable, Iterator
 import numpy as np
 
 from ..errors import ReproError
+from .persist import MISS as _MISS
+from .persist import PersistentStore, TierStats
 
 __all__ = [
     "CacheStats",
     "MemoCache",
+    "PERSISTED_CACHES",
+    "PersistentStore",
+    "TierStats",
     "cache",
     "caches",
     "configure",
     "content_key",
     "counters",
     "counters_delta",
+    "counters_merge",
     "digest",
     "disabled",
     "instance_memo",
     "is_enabled",
     "memoized_kernel_func",
+    "persistent_store",
     "reset",
 ]
 
 #: default LRU capacity per cache (entries, not bytes)
 DEFAULT_MAXSIZE = 512
 
+#: caches whose keys are content-addressed and therefore valid across
+#: processes — the only ones the persistent tier may back
+PERSISTED_CACHES = frozenset({"compile", "analysis", "gpu_timing", "cpu_timing", "gpu_exec"})
+
 _ENABLED = True
 
-_MISS = object()
+_STORE: PersistentStore | None = None
+
+_UNSET = object()
 
 
-def configure(*, enabled: bool) -> None:
-    """Switch the whole fast lane on or off (process-wide)."""
-    global _ENABLED
-    _ENABLED = bool(enabled)
+def configure(*, enabled: bool | None = None, persist_dir=_UNSET) -> None:
+    """Adjust the fast lane process-wide.
+
+    ``enabled`` switches both tiers on or off; ``persist_dir`` attaches
+    the disk tier at the given root — a path, an existing
+    :class:`PersistentStore` (so a caller can save and restore the
+    attached store object, counters included), or ``None`` to detach.
+    Omitted arguments leave the corresponding setting untouched.
+    """
+    global _ENABLED, _STORE
+    if enabled is not None:
+        _ENABLED = bool(enabled)
+    if persist_dir is not _UNSET:
+        if persist_dir is None or isinstance(persist_dir, PersistentStore):
+            _STORE = persist_dir
+        else:
+            _STORE = PersistentStore(persist_dir)
+
+
+def persistent_store() -> PersistentStore | None:
+    """The attached disk tier, or ``None`` when running memory-only."""
+    return _STORE
 
 
 def is_enabled() -> bool:
@@ -122,11 +165,16 @@ class MemoCache:
     Values are stored as-is (cached functions return immutable/frozen
     objects); :class:`ReproError` exceptions are cached too, so an
     infeasible compile is rejected instantly on every re-attempt.
+
+    A cache created with ``persist=True`` additionally consults the
+    attached :class:`PersistentStore` (if any) on an in-memory miss and
+    writes every fresh compute — positive or negative — through to it.
     """
 
-    def __init__(self, name: str, maxsize: int = DEFAULT_MAXSIZE):
+    def __init__(self, name: str, maxsize: int = DEFAULT_MAXSIZE, persist: bool = False):
         self.name = name
         self.maxsize = maxsize
+        self.persist = persist
         self.stats = CacheStats()
         self._data: OrderedDict[Any, Any] = OrderedDict()
 
@@ -166,12 +214,25 @@ class MemoCache:
             if isinstance(entry, _CachedError):
                 raise entry.error
             return entry
+        store = _STORE if self.persist else None
+        if store is not None:
+            entry = store.load(self.name, key)
+            if entry is not _MISS:
+                self.put(key, entry)
+                if isinstance(entry, _CachedError):
+                    raise entry.error
+                return entry
         try:
             value = compute()
         except ReproError as exc:
-            self.put(key, _CachedError(exc))
+            cached = _CachedError(exc)
+            self.put(key, cached)
+            if store is not None:
+                store.store(self.name, key, cached)
             raise
         self.put(key, value)
+        if store is not None:
+            store.store(self.name, key, value)
         return value
 
     def clear(self) -> None:
@@ -184,10 +245,17 @@ _REGISTRY: dict[str, MemoCache] = {}
 
 
 def cache(name: str, maxsize: int = DEFAULT_MAXSIZE) -> MemoCache:
-    """The process-wide cache registered under ``name`` (created lazily)."""
+    """The process-wide cache registered under ``name`` (created lazily).
+
+    Caches named in :data:`PERSISTED_CACHES` are two-tier: they consult
+    and fill the attached :class:`PersistentStore` whenever one is
+    configured.
+    """
     found = _REGISTRY.get(name)
     if found is None:
-        found = _REGISTRY[name] = MemoCache(name, maxsize=maxsize)
+        found = _REGISTRY[name] = MemoCache(
+            name, maxsize=maxsize, persist=name in PERSISTED_CACHES
+        )
     return found
 
 
@@ -197,8 +265,22 @@ def caches() -> dict[str, MemoCache]:
 
 
 def counters() -> dict[str, dict[str, int]]:
-    """Snapshot of every cache's counters (stable, JSON-able)."""
-    return {name: c.stats.as_dict() for name, c in sorted(_REGISTRY.items())}
+    """Snapshot of every cache's counters (stable, JSON-able).
+
+    With a persistent tier attached, each persisted cache's dict gains
+    ``disk_hits`` / ``disk_misses`` / ``disk_writes`` /
+    ``disk_invalidated`` keys alongside the in-memory trio — one
+    snapshot, two tiers, so every existing consumer of the PR-2 shape
+    (report deltas, traces) carries the disk breakdown for free.
+    """
+    out: dict[str, dict[str, int]] = {}
+    for name, c in sorted(_REGISTRY.items()):
+        stats = c.stats.as_dict()
+        if c.persist and _STORE is not None:
+            for key, value in _STORE.tier_stats(name).as_dict().items():
+                stats[f"disk_{key}"] = value
+        out[name] = stats
+    return out
 
 
 def counters_delta(
@@ -218,10 +300,33 @@ def counters_delta(
     return delta
 
 
+def counters_merge(*deltas: dict[str, dict[str, int]]) -> dict[str, dict[str, int]]:
+    """Sum per-cache counter deltas from several windows (or processes).
+
+    The campaign engine uses this to fold worker-process deltas into
+    one campaign-level accounting; caches that end up all-zero are
+    dropped, mirroring :func:`counters_delta`.
+    """
+    merged: dict[str, dict[str, int]] = {}
+    for delta in deltas:
+        for name, stats in delta.items():
+            into = merged.setdefault(name, {})
+            for key, value in stats.items():
+                into[key] = into.get(key, 0) + value
+    return {name: stats for name, stats in merged.items() if any(stats.values())}
+
+
 def reset() -> None:
-    """Clear every cache and zero every counter (a cold fast lane)."""
+    """Clear every cache and zero every counter (a cold fast lane).
+
+    The persistent tier's *counters* are zeroed too, but its on-disk
+    entries survive — dropping those is an explicit
+    :meth:`PersistentStore.clear` (the ``repro cache clear`` CLI).
+    """
     for c in _REGISTRY.values():
         c.clear()
+    if _STORE is not None:
+        _STORE.reset_stats()
 
 
 # ---------------------------------------------------------------------------
@@ -316,6 +421,10 @@ def memoized_kernel_func(tag: Any, func: Callable[..., None]) -> Callable[..., N
         scalars = tuple(repr(a) for a in args if not isinstance(a, np.ndarray))
         key = (tag, pre, scalars)
         entry = exec_cache.get(key)
+        if entry is _MISS and _STORE is not None and exec_cache.persist:
+            entry = _STORE.load(exec_cache.name, key)
+            if entry is not _MISS:
+                exec_cache.put(key, entry)
         if entry is not _MISS:
             for index, data in entry:
                 arrays[index][...] = data
@@ -325,5 +434,7 @@ def memoized_kernel_func(tag: Any, func: Callable[..., None]) -> Callable[..., N
             (i, arr.copy()) for i, arr in enumerate(arrays) if digest(arr) != pre[i]
         )
         exec_cache.put(key, changed)
+        if _STORE is not None and exec_cache.persist:
+            _STORE.store(exec_cache.name, key, changed)
 
     return wrapper

@@ -75,6 +75,43 @@ def test_pruning_actually_prunes():
     assert skipped > 0
 
 
+def test_equivalence_with_persistent_tier(tmp_path):
+    """The batched pricer writes and replays the disk tier without
+    perturbing selection: cold-tier and warm-tier sweeps both match
+    exhaustive search."""
+    perf.reset()
+    perf.configure(persist_dir=tmp_path)
+    try:
+        for name in ("vecop", "dmmm"):
+            assert_equivalent(create(name, precision=Precision.SINGLE, scale=0.25))
+        perf.reset()  # cold memory, warm disk: every price replays from disk
+        for name in ("vecop", "dmmm"):
+            assert_equivalent(create(name, precision=Precision.SINGLE, scale=0.25))
+    finally:
+        perf.reset()
+        perf.configure(persist_dir=None)
+
+
+def test_scalar_lane_selects_identically():
+    """With the memo lane disabled the tuner prices every candidate
+    through the scalar reference model; the batched vectorized path must
+    produce the same timings and pick the same winner."""
+    for name in ("vecop", "red"):
+        bench = create(name, precision=Precision.SINGLE, scale=0.1)
+        batched = sweep(bench, strategy="pruned")
+        with perf.disabled():
+            scalar = sweep(bench, strategy="pruned")
+        priced = lambda r: [
+            (t.options, t.local_size, t.seconds, t.error is not None)
+            for t in r.trials
+            if not t.skipped
+        ]
+        assert priced(scalar) == priced(batched)
+        assert scalar.best.options == batched.best.options
+        assert scalar.best.local_size == batched.best.local_size
+        assert scalar.best.seconds == batched.best.seconds
+
+
 @given(
     name=st.sampled_from(PAPER_ORDER),
     precision=st.sampled_from([Precision.SINGLE, Precision.DOUBLE]),

@@ -62,6 +62,30 @@ class TestParallelEquivalence:
         parallel = Campaign(spec).run(jobs=4)
         assert parallel.to_json() == serial.to_json()
 
+    def test_jobs4_with_perf_tier_byte_identical(self, tmp_path):
+        """Affinity-scheduled workers sharing a disk tier change nothing:
+        cold and warm pool runs both match the in-process grid."""
+        spec = CampaignSpec(benchmarks=("vecop", "red"), versions=TWO_VERSIONS,
+                            scale=0.02)
+        serial = Campaign(spec).run(jobs=1)
+        cold = Campaign(spec, perf_dir=tmp_path / "perf").run(jobs=4)
+        warm = Campaign(spec, perf_dir=tmp_path / "perf").run(jobs=4)
+        assert cold.to_json() == serial.to_json()
+        assert warm.to_json() == serial.to_json()
+
+    def test_pool_report_includes_worker_perf_deltas(self, tmp_path):
+        """Memo work done inside workers lands in CampaignReport.perf."""
+        from repro import perf
+
+        perf.reset()  # forked workers must start memory-cold
+        spec = CampaignSpec(benchmarks=("vecop", "red"), versions=TWO_VERSIONS,
+                            scale=0.02)
+        campaign = Campaign(spec, perf_dir=tmp_path / "perf")
+        campaign.run(jobs=2)
+        perf_delta = campaign.report.perf or {}
+        assert sum(s.get("misses", 0) for s in perf_delta.values()) > 0
+        assert sum(s.get("disk_writes", 0) for s in perf_delta.values()) > 0
+
     def test_failed_runs_cross_the_pool(self):
         """The DP amcd driver failure must survive worker pickling."""
         spec = CampaignSpec(benchmarks=("amcd",), versions=(Version.OPENCL,),

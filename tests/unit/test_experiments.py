@@ -162,6 +162,38 @@ class TestPaperData:
         assert HEADLINE_ENERGY.midpoint == 0.32
 
 
+class TestFailedRunSerialization:
+    def test_failed_run_serializes_nan_as_null(self):
+        """A failed run's NaN measurements must become JSON ``null`` —
+        bare ``NaN`` is not JSON and strict parsers reject the file."""
+        rs = ResultSet()
+        rs.add(synthetic_result("amcd", Version.OPENCL, Precision.DOUBLE, 0, 0, ok=False))
+        text = rs.to_json()
+        assert "NaN" not in text
+
+        import json
+
+        parsed = json.loads(text, parse_constant=lambda name: pytest.fail(
+            f"non-standard JSON constant {name!r} in ResultSet.to_json"
+        ))
+        row = parsed["runs"][0]
+        assert row["elapsed_s"] is None
+        assert row["mean_power_w"] is None
+        assert row["energy_j"] is None
+
+    def test_failed_run_roundtrips_to_nan(self):
+        rs = ResultSet()
+        rs.add(synthetic_result("amcd", Version.OPENCL, Precision.DOUBLE, 0, 0, ok=False))
+        back = ResultSet.from_json(rs.to_json())
+        run = next(iter(back.results.values()))
+        assert math.isnan(run.elapsed_s)
+        assert math.isnan(run.mean_power_w)
+        assert math.isnan(run.energy_j)
+        assert run.failure == "synthetic failure"
+        # save -> load -> save is still idempotent with the null mapping
+        assert back.to_json() == rs.to_json()
+
+
 class TestRunGridSmall:
     def test_grid_runs_subset(self):
         rs = run_grid(benchmarks=["vecop"], versions=(Version.SERIAL, Version.OPENCL),

@@ -1,0 +1,373 @@
+"""The persistent perf-cache tier: store mechanics, bitwise identity,
+corruption recovery, cross-process sharing, and the batched pricer.
+
+The correctness bar mirrors PR 2's: attaching, warming, or corrupting
+the disk tier must never change a single byte of ``ResultSet.to_json``
+output, and the vectorized :class:`~repro.mali.timing.LaunchPricer`
+must return bit-identical timings to the scalar reference model.
+"""
+
+import multiprocessing
+import pickle
+
+import pytest
+
+from repro import PAPER_ORDER, Precision, Version, create, perf
+from repro.errors import ReproError
+from repro.experiments.engine import Campaign, CampaignSpec
+from repro.experiments.runner import run_grid
+from repro.experiments.trace import ListTraceSink
+from repro.perf.persist import PERSIST_SCHEMA, MISS, PersistentStore, key_digest
+
+
+@pytest.fixture(autouse=True)
+def _cold_detached_lane():
+    """Tests start and end cold, enabled, and with no store attached."""
+    perf.reset()
+    perf.configure(enabled=True, persist_dir=None)
+    yield
+    perf.reset()
+    perf.configure(enabled=True, persist_dir=None)
+
+
+# ---------------------------------------------------------------------------
+# PersistentStore mechanics
+# ---------------------------------------------------------------------------
+
+
+class TestStoreMechanics:
+    def test_roundtrip_and_miss(self, tmp_path):
+        store = PersistentStore(tmp_path)
+        assert store.load("compile", ("k", 1)) is MISS
+        store.store("compile", ("k", 1), {"value": 42})
+        assert store.load("compile", ("k", 1)) == {"value": 42}
+        stats = store.tier_stats("compile")
+        assert stats.misses == 1
+        assert stats.writes == 1
+        assert stats.hits == 1
+
+    def test_distinct_caches_do_not_collide(self, tmp_path):
+        store = PersistentStore(tmp_path)
+        store.store("compile", ("k",), "a")
+        assert store.load("analysis", ("k",)) is MISS
+
+    def test_corrupt_entry_is_invalidated_and_healed(self, tmp_path):
+        store = PersistentStore(tmp_path)
+        store.store("compile", ("k",), "good")
+        path = store.path_for("compile", key_digest(("k",)))
+        path.write_bytes(b"not a pickle")
+        assert store.load("compile", ("k",)) is MISS
+        assert store.tier_stats("compile").invalidated == 1
+        assert not path.exists()  # evicted
+        store.store("compile", ("k",), "good")  # recompute heals the tier
+        assert store.load("compile", ("k",)) == "good"
+
+    def test_truncated_entry_is_invalidated(self, tmp_path):
+        store = PersistentStore(tmp_path)
+        store.store("compile", ("k",), list(range(1000)))
+        path = store.path_for("compile", key_digest(("k",)))
+        path.write_bytes(path.read_bytes()[:20])  # partial write
+        assert store.load("compile", ("k",)) is MISS
+        assert store.tier_stats("compile").invalidated == 1
+
+    def test_foreign_schema_is_invalidated(self, tmp_path):
+        store = PersistentStore(tmp_path)
+        digest = key_digest(("k",))
+        path = store.path_for("compile", digest)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        entry = {"schema": PERSIST_SCHEMA + 1, "cache": "compile", "key": digest, "value": 1}
+        path.write_bytes(pickle.dumps(entry))
+        assert store.load("compile", ("k",)) is MISS
+        assert store.tier_stats("compile").invalidated == 1
+
+    def test_version_bump_orphans_namespace(self, tmp_path):
+        store = PersistentStore(tmp_path)
+        store.store("compile", ("k",), "old")
+        (tmp_path / "v0-stale").mkdir()
+        fresh = PersistentStore(tmp_path)
+        assert fresh.stale_namespaces() == ["v0-stale"]
+        assert fresh.load("compile", ("k",)) == "old"  # same namespace survives
+
+    def test_clear_removes_all_namespaces(self, tmp_path):
+        store = PersistentStore(tmp_path)
+        store.store("compile", ("k",), "x")
+        (tmp_path / "v0-stale" / "compile").mkdir(parents=True)
+        (tmp_path / "v0-stale" / "compile" / "aa.pkl").write_bytes(b"x")
+        assert store.clear() == 2
+        assert store.entries() == {}
+        assert store.stale_namespaces() == []
+
+    def test_store_failure_degrades_to_cold(self, tmp_path):
+        """A write that cannot land (unpicklable value) is swallowed."""
+        store = PersistentStore(tmp_path)
+        store.store("compile", ("k",), lambda: None)  # unpicklable
+        assert store.tier_stats("compile").writes == 0
+        assert store.load("compile", ("k",)) is MISS
+
+
+# ---------------------------------------------------------------------------
+# two-tier MemoCache integration
+# ---------------------------------------------------------------------------
+
+
+class TestTwoTierIntegration:
+    def test_persisted_caches_whitelist(self):
+        for name in perf.PERSISTED_CACHES:
+            assert perf.cache(name).persist
+        assert not perf.cache("functional").persist
+
+    def test_disk_hit_after_memory_reset(self, tmp_path):
+        perf.configure(persist_dir=tmp_path)
+        calls = []
+        c = perf.cache("gpu_timing")
+        assert c.get_or_compute(("k",), lambda: calls.append(1) or 42) == 42
+        perf.reset()  # cold memory, warm disk
+        assert c.get_or_compute(("k",), lambda: calls.append(1) or 42) == 42
+        assert calls == [1]
+        assert perf.counters()["gpu_timing"]["disk_hits"] == 1
+
+    def test_negative_entry_survives_processes_worth_of_state(self, tmp_path):
+        perf.configure(persist_dir=tmp_path)
+        c = perf.cache("compile")
+        calls = []
+
+        def boom():
+            calls.append(1)
+            raise ReproError("register exhaustion")
+
+        with pytest.raises(ReproError):
+            c.get_or_compute(("bad",), boom)
+        perf.reset()  # simulates a fresh process sharing the directory
+        with pytest.raises(ReproError, match="register exhaustion"):
+            c.get_or_compute(("bad",), boom)
+        assert calls == [1]
+
+    def test_counter_shape_without_store_is_unchanged(self):
+        perf.cache("gpu_timing").get_or_compute(("k",), lambda: 1)
+        snap = perf.counters()["gpu_timing"]
+        assert set(snap) == {"hits", "misses", "evictions"}
+
+    def test_disk_counters_only_on_persisted_caches(self, tmp_path):
+        perf.configure(persist_dir=tmp_path)
+        perf.cache("gpu_timing").get_or_compute(("k",), lambda: 1)
+        perf.cache("functional").get_or_compute(("k",), lambda: 1)
+        snap = perf.counters()
+        assert "disk_misses" in snap["gpu_timing"]
+        assert set(snap["functional"]) == {"hits", "misses", "evictions"}
+
+    def test_reset_zeroes_disk_stats_but_keeps_entries(self, tmp_path):
+        perf.configure(persist_dir=tmp_path)
+        store = perf.persistent_store()
+        perf.cache("gpu_timing").get_or_compute(("k",), lambda: 1)
+        assert store.tier_stats("gpu_timing").writes == 1
+        perf.reset()
+        assert store.tier_stats("gpu_timing").writes == 0
+        assert store.entries() == {"gpu_timing": 1}
+
+    def test_counters_merge_sums_and_drops_zero(self):
+        merged = perf.counters_merge(
+            {"a": {"hits": 1, "disk_hits": 2}},
+            {"a": {"hits": 2, "misses": 1}, "b": {"hits": 0}},
+        )
+        assert merged == {"a": {"hits": 3, "disk_hits": 2, "misses": 1}}
+
+    def test_disabled_lane_bypasses_both_tiers(self, tmp_path):
+        perf.configure(persist_dir=tmp_path)
+        with perf.disabled():
+            assert perf.cache("gpu_timing").get_or_compute(("k",), lambda: 7) == 7
+        assert perf.persistent_store().entries() == {}
+
+
+# ---------------------------------------------------------------------------
+# bitwise identity of the grid across tier states
+# ---------------------------------------------------------------------------
+
+GRID_KW = dict(
+    scale=0.05,
+    precisions=(Precision.SINGLE, Precision.DOUBLE),
+)
+
+
+class TestBitwiseIdentity:
+    def test_disk_tier_hit_equals_cold_compute(self, tmp_path):
+        """Full grid, both precisions: no tier == cold tier == warm tier,
+        byte for byte — a disk hit returns exactly what a fresh compute
+        would have produced."""
+        perf.reset()
+        baseline = run_grid(**GRID_KW).to_json()
+
+        perf.reset()
+        cold = run_grid(perf_dir=str(tmp_path), **GRID_KW).to_json()
+
+        perf.reset()  # cold memory, warm disk: every entry replayed from disk
+        warm = run_grid(perf_dir=str(tmp_path), **GRID_KW).to_json()
+
+        assert cold == baseline
+        assert warm == baseline
+        # the warm pass actually exercised the disk tier
+        store = PersistentStore(tmp_path)
+        assert sum(store.entries().values()) > 0
+
+    def test_warm_pass_reports_disk_hits(self, tmp_path):
+        spec = CampaignSpec(benchmarks=("vecop",), scale=0.05)
+        Campaign(spec, perf_dir=tmp_path).run()
+        perf.reset()
+        campaign = Campaign(spec, perf_dir=tmp_path)
+        campaign.run()
+        report = campaign.report
+        disk_hits = sum(
+            stats.get("disk_hits", 0) for stats in (report.perf or {}).values()
+        )
+        assert disk_hits > 0
+        assert "disk tier (hits/misses):" in report.describe()
+
+    def test_store_detached_after_run(self, tmp_path):
+        spec = CampaignSpec(benchmarks=("vecop",), versions=(Version.SERIAL,), scale=0.02)
+        Campaign(spec, perf_dir=tmp_path).run()
+        assert perf.persistent_store() is None
+
+    def test_trace_carries_disk_counters(self, tmp_path):
+        sink = ListTraceSink()
+        spec = CampaignSpec(benchmarks=("vecop",), scale=0.05)
+        Campaign(spec, perf_dir=tmp_path / "perf").run()
+        perf.reset()
+        Campaign(spec, perf_dir=tmp_path / "perf", trace=sink).run()
+        finished = [e for e in sink.events if e.event == "campaign_finished"]
+        perf_delta = finished[0].detail["perf"]
+        assert sum(s.get("disk_hits", 0) for s in perf_delta.values()) > 0
+        started = [e for e in sink.events if e.event == "campaign_started"]
+        assert started[0].detail["perf_cache"] == str(tmp_path / "perf")
+
+    def test_corrupted_tier_never_breaks_results(self, tmp_path):
+        perf.reset()
+        baseline = run_grid(benchmarks=["vecop"], scale=0.05).to_json()
+        perf.reset()
+        run_grid(benchmarks=["vecop"], scale=0.05, perf_dir=str(tmp_path))
+        # vandalize every on-disk entry
+        store = PersistentStore(tmp_path)
+        for path in store.root.rglob("*.pkl"):
+            path.write_bytes(b"garbage")
+        perf.reset()
+        mangled = run_grid(benchmarks=["vecop"], scale=0.05, perf_dir=str(tmp_path)).to_json()
+        assert mangled == baseline
+
+
+# ---------------------------------------------------------------------------
+# concurrent writers
+# ---------------------------------------------------------------------------
+
+
+def _writer(root: str, worker: int, results) -> None:
+    store = PersistentStore(root)
+    for i in range(50):
+        key = ("shared", i % 10)
+        found = store.load("compile", key)
+        if found is MISS:
+            store.store("compile", key, {"key": i % 10, "payload": list(range(64))})
+    results.put(store.tier_stats("compile").invalidated)
+
+
+class TestConcurrentWriters:
+    def test_two_processes_share_one_store(self, tmp_path):
+        """Two processes hammering the same keys: no corruption, no
+        partial reads, and afterwards every entry loads cleanly."""
+        ctx = multiprocessing.get_context("spawn")
+        results = ctx.Queue()
+        procs = [
+            ctx.Process(target=_writer, args=(str(tmp_path), w, results))
+            for w in range(2)
+        ]
+        for p in procs:
+            p.start()
+        for p in procs:
+            p.join(timeout=120)
+            assert p.exitcode == 0
+        assert results.get() == 0  # neither writer saw a corrupt entry
+        assert results.get() == 0
+        store = PersistentStore(tmp_path)
+        assert store.entries() == {"compile": 10}
+        for i in range(10):
+            assert store.load("compile", ("shared", i)) == {
+                "key": i,
+                "payload": list(range(64)),
+            }
+
+
+# ---------------------------------------------------------------------------
+# the batched pricer is the scalar model, bit for bit
+# ---------------------------------------------------------------------------
+
+
+class TestLaunchPricerBitwise:
+    @pytest.mark.parametrize("name", PAPER_ORDER)
+    @pytest.mark.parametrize("precision", (Precision.SINGLE, Precision.DOUBLE))
+    def test_vectorized_equals_scalar_reference(self, name, precision):
+        from repro.compiler.pipeline import compile_kernel
+        from repro.mali.timing import LaunchPricer, _time_launch_uncached
+        from repro.ocl.driver import default_quirks, driver_local_size
+
+        bench = create(name, precision=precision, scale=0.05)
+        bench.setup()
+        quirks = (
+            bench.platform.driver_quirks
+            if bench.platform.driver_quirks is not None
+            else default_quirks()
+        )
+        checked = 0
+        for options, local in bench.tuning_space():
+            try:
+                compiled = compile_kernel(bench.kernel_ir(options), options, quirks=quirks)
+            except ReproError:
+                continue
+            base_items = max(1, -(-bench.elements() // compiled.elems_per_item))
+            local = local or driver_local_size(
+                base_items, bench.platform.mali.max_work_group_size
+            )
+            n_items = -(-base_items // local) * local
+            args = (
+                bench.gpu_traits(options),
+                bench.platform.mali,
+                bench.platform.dram_model(),
+                bench.platform.gpu_caches(),
+            )
+            pricer = LaunchPricer(compiled, *args)
+            got = pricer._compute(n_items, local)
+            ref = _time_launch_uncached(compiled, n_items, local, *args)
+            assert got == ref  # full dataclass equality: every float bitwise
+            # the pricer's memo key is the historical time_launch key, so
+            # both populate (and hit) the same memory/disk entries
+            expected_key = perf.content_key(
+                (
+                    compiled,
+                    n_items,
+                    local,
+                    args[0],
+                    args[1],
+                    args[2].config,
+                    args[3].l1.config,
+                    args[3].l2.config,
+                    1,
+                )
+            )
+            assert pricer.key(n_items, local) == expected_key
+            checked += 1
+        if checked == 0:  # DP amcd: every candidate hits the driver bug
+            pytest.skip(f"no feasible candidates for {name} [{precision.label}]")
+
+    def test_price_rejects_bad_n_items(self):
+        from repro.compiler.options import NAIVE
+        from repro.compiler.pipeline import compile_kernel
+        from repro.mali.timing import LaunchPricer
+
+        bench = create("vecop", scale=0.02)
+        bench.setup()
+        compiled = compile_kernel(bench.kernel_ir(NAIVE), NAIVE, quirks=())
+        pricer = LaunchPricer(
+            compiled,
+            bench.gpu_traits(NAIVE),
+            bench.platform.mali,
+            bench.platform.dram_model(),
+            bench.platform.gpu_caches(),
+        )
+        with pytest.raises(ValueError):
+            pricer.price(0, 32)
