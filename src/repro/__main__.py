@@ -44,6 +44,7 @@ def cmd_figures(args) -> int:
         cache_dir=None if args.no_cache else args.cache_dir,
         perf_dir=None if args.no_cache else _perf_dir(args),
         trace=args.trace,
+        retries=args.retries,
     )
     results = campaign.run(jobs=args.jobs)
     for series in all_figures(results, precisions):
@@ -280,6 +281,9 @@ def build_parser() -> argparse.ArgumentParser:
                         "(default: <cache-dir>/perf)")
     p.add_argument("--trace", default=None, metavar="PATH",
                    help="write per-run trace events to a JSONL file")
+    p.add_argument("--retries", type=int, default=2, metavar="N",
+                   help="times a cell whose pool worker died is retried "
+                        "before it is recorded as a crashed run")
     p.set_defaults(func=cmd_figures)
 
     p = sub.add_parser("run", help="run one benchmark's four versions")

@@ -93,11 +93,21 @@ class RunResult:
     options: CompileOptions | None = None
     local_size: int | None = None
     failure: str | None = None
+    #: ``None`` for successful and *modeled* failures (compile/launch
+    #: errors the simulation predicts, Fig. 2(b)'s missing bars);
+    #: ``"crash"`` when the experiment harness captured an unexpected
+    #: exception or a worker death — crashes are operational accidents,
+    #: not content-addressable facts, so the run cache refuses them.
+    failure_kind: str | None = None
     diagnostics: dict = field(default_factory=dict, compare=False, repr=False)
 
     @property
     def ok(self) -> bool:
         return self.failure is None
+
+    @property
+    def crashed(self) -> bool:
+        return self.failure_kind == "crash"
 
     def relative_to(self, baseline: "RunResult") -> tuple[float, float, float]:
         """(speedup, power ratio, energy ratio) against a baseline run."""
@@ -122,6 +132,34 @@ class RunResult:
             energy_j=float("nan"),
             verified=False,
             failure=reason,
+        )
+
+    @classmethod
+    def crash(
+        cls,
+        benchmark: str,
+        version: Version,
+        precision: Precision,
+        reason: str,
+        traceback_text: str | None = None,
+    ) -> "RunResult":
+        """A cell demoted to a result after an unexpected crash.
+
+        The full traceback lives in ``diagnostics`` (process-local, not
+        serialized) so the ``failure`` text stays deterministic across
+        the in-process and pool execution paths.
+        """
+        return cls(
+            benchmark=benchmark,
+            version=version,
+            precision=precision,
+            elapsed_s=float("nan"),
+            mean_power_w=float("nan"),
+            energy_j=float("nan"),
+            verified=False,
+            failure=reason,
+            failure_kind="crash",
+            diagnostics={"traceback": traceback_text} if traceback_text else {},
         )
 
 

@@ -25,6 +25,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import time
 from dataclasses import asdict, dataclass
 from pathlib import Path
 
@@ -32,6 +33,10 @@ from ..benchmarks.base import Precision, RunResult, Version
 
 #: bump to orphan every existing entry (layout or semantics change)
 CACHE_SCHEMA = 1
+
+#: age after which an unattributable ``*.tmp`` staging file is presumed
+#: orphaned (its writer died mid-``store``) and swept on cache open
+STALE_TMP_AGE_S = 3600.0
 
 
 @dataclass
@@ -78,6 +83,7 @@ class RunCache:
                 f"run cache root {self.root} exists and is not a directory"
             ) from None
         self.stats = CacheStats()
+        self._sweep_stale_tmp()
 
     def path_for(self, key: str) -> Path:
         """Entry file for a digest (two-level fan-out, git style)."""
@@ -110,6 +116,11 @@ class RunCache:
         except (KeyError, TypeError, ValueError):
             self._invalidate(path)
             return None
+        if run.failure_kind == "crash":
+            # crashes are never stored; an entry carrying one predates
+            # that rule (or was planted) and is not a fact — evict it
+            self._invalidate(path)
+            return None
         self.stats.hits += 1
         return run
 
@@ -131,15 +142,25 @@ class RunCache:
     # maintenance / introspection (the ``repro cache`` CLI)
     # ------------------------------------------------------------------
     def entry_count(self) -> int:
-        """Number of cached runs on disk."""
-        return sum(1 for _ in self.root.rglob("*.json"))
+        """Number of cached runs on disk (staging ``*.tmp`` files — from
+        writers that died mid-``store`` — are not entries)."""
+        return sum(
+            1
+            for p in self.root.rglob("*.json")
+            if p.is_file() and not p.name.endswith(".tmp")
+        )
 
     def size_bytes(self) -> int:
         """Total bytes of every entry (and stray temp file) in the root."""
         return sum(p.stat().st_size for p in self.root.rglob("*") if p.is_file())
 
     def clear(self) -> int:
-        """Delete every cached run; returns the number removed."""
+        """Delete every cached run; returns the number removed.
+
+        Stray ``*.tmp`` staging files are swept as well (a writer that
+        died mid-``store`` must not leave the root dirty forever) but do
+        not count toward the return value — they were never entries.
+        """
         removed = 0
         for path in list(self.root.rglob("*.json")):
             try:
@@ -147,9 +168,37 @@ class RunCache:
             except OSError:  # pragma: no cover - concurrent eviction
                 continue
             removed += 1
+        for tmp in list(self.root.rglob("*.tmp")):
+            try:
+                tmp.unlink()
+            except OSError:  # pragma: no cover - concurrent eviction
+                pass
         return removed
 
     # ------------------------------------------------------------------
+    def _sweep_stale_tmp(self) -> None:
+        """Age out staging files orphaned by writers that died mid-store.
+
+        Staging names embed the writer's pid (``<key>.<pid>.tmp``): a
+        file whose writer is no longer alive is certainly orphaned and
+        removed immediately; anything unattributable falls back to an
+        age check so a concurrent live campaign's staging is never
+        swept from under it.
+        """
+        now = time.time()
+        for tmp in list(self.root.rglob("*.tmp")):
+            parts = tmp.name.split(".")
+            pid_text = parts[-2] if len(parts) >= 3 else ""
+            try:
+                if pid_text.isdigit() and int(pid_text) > 0:
+                    if not _pid_alive(int(pid_text)):
+                        tmp.unlink()
+                    continue
+                if now - tmp.stat().st_mtime > STALE_TMP_AGE_S:
+                    tmp.unlink()
+            except OSError:  # pragma: no cover - concurrent sweep
+                continue
+
     def _invalidate(self, path: Path) -> None:
         """Evict a stale/corrupt entry; counts as invalidated *and* miss."""
         try:
@@ -158,3 +207,14 @@ class RunCache:
             pass
         self.stats.invalidated += 1
         self.stats.misses += 1
+
+
+def _pid_alive(pid: int) -> bool:
+    """Whether a process with this pid exists (signal-0 probe)."""
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except OSError:  # e.g. EPERM: exists but owned by someone else
+        return True
+    return True

@@ -18,11 +18,23 @@ used to be a serial triple loop; this module turns it into a planned
 * structured tracing (:mod:`repro.experiments.trace`) of every run's
   queued/started/finished lifecycle;
 * :class:`CampaignReport` — the aggregate accounting (cache hits,
-  failures, wall time) of one ``Campaign.run()``.
+  failures, crashes, retries, wall time) of one ``Campaign.run()``.
 
 Every cell of the grid is a pure function of the spec (benchmarks
 consume their RNG only during setup), which is what makes both the
 process pool and the cache sound.
+
+Execution is **crash-proof**: an unexpected exception inside a cell is
+captured as a failed :class:`RunResult` with ``failure_kind="crash"``
+instead of aborting the campaign, and a pool worker death
+(``BrokenProcessPool``) triggers a pool rebuild plus a retry ladder at
+progressively finer granularity — family, then version-group, then
+single task — until the faulty cell is isolated on a dedicated probe
+pool and, if it keeps killing workers, demoted to a crashed result
+while every other cell still completes.  Even a terminal error (e.g.
+``KeyboardInterrupt``) leaves behind a salvaged partial ``ResultSet``
+(:attr:`Campaign.salvage`), a fresh report, and a ``campaign_failed``
+trace event.
 """
 
 from __future__ import annotations
@@ -30,7 +42,14 @@ from __future__ import annotations
 import hashlib
 import json
 import time
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+import traceback
+from collections import deque
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    BrokenExecutor,
+    ProcessPoolExecutor,
+    wait,
+)
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable
@@ -46,6 +65,7 @@ from ..benchmarks.base import (
 )
 from ..benchmarks.registry import PAPER_ORDER, create
 from ..calibration.exynos5250 import ExynosPlatform, default_platform
+from . import faults
 from .cache import RunCache, run_key
 from .runner import ResultSet
 from .trace import JsonlTraceSink, Tracer, TraceSink
@@ -94,10 +114,57 @@ def _worker_init(perf_dir: str | None) -> None:
 
     Explicit (rather than relying on fork inheritance) so the spawn
     start method gets the same two-tier lane, and harmlessly redundant
-    under fork.
+    under fork.  Also marks the process as a worker so injected
+    ``mode="exit"`` faults (:mod:`repro.experiments.faults`) know they
+    may kill it.
     """
+    faults.mark_worker()
     if perf_dir is not None:
         perf.configure(persist_dir=perf_dir)
+
+
+def _crash_result(task: RunTask, exc: BaseException) -> RunResult:
+    """Demote a captured in-cell exception to a crashed run.
+
+    The ``failure`` text is built only from the exception's type and
+    message so it is byte-identical whether the exception was captured
+    in-process or inside a pool worker; the traceback travels in the
+    (unserialized) diagnostics and the trace event.
+    """
+    return RunResult.crash(
+        task.benchmark,
+        task.version,
+        task.precision,
+        reason=f"crash: {type(exc).__name__}: {exc}",
+        traceback_text="".join(traceback.format_exception(exc)),
+    )
+
+
+def _worker_loss_result(task: RunTask, exc: BaseException, attempts: int) -> RunResult:
+    """Demote a cell that keeps killing pool workers to a crashed run."""
+    return RunResult.crash(
+        task.benchmark,
+        task.version,
+        task.precision,
+        reason="crash: worker process died executing this cell",
+        traceback_text=f"{type(exc).__name__}: {exc} (after {attempts} attempts)",
+    )
+
+
+def _safe_run(bench: Benchmark, task: RunTask) -> RunResult:
+    """Execute one cell, capturing unexpected exceptions as crashes.
+
+    Modeled failures (compile/launch errors) are already returned as
+    failed results by ``run_version``; anything *raising* out of it is
+    an engine-level accident and must not poison the family/campaign.
+    ``BaseException`` (KeyboardInterrupt & co.) deliberately passes
+    through — that is a terminal error, handled by the salvage path.
+    """
+    try:
+        faults.maybe_crash(task.benchmark, task.version, task.precision)
+        return run_version(bench, version=task.version)
+    except Exception as exc:  # noqa: BLE001 — crash capture is the point
+        return _crash_result(task, exc)
 
 
 def _execute_family(
@@ -114,6 +181,11 @@ def _execute_family(
     benchmark instance (setup dominates a cell at paper scale), exactly
     like the classic serial loop.
 
+    Fault isolation: a cell whose execution raises — including a
+    failing benchmark ``setup`` — becomes a crashed :class:`RunResult`
+    for exactly the affected tasks; the rest of the family completes
+    normally.
+
     Returns each group's ``(run, per-run perf delta)`` pairs plus the
     family-level perf delta (which also covers setup/verification work
     outside the per-run windows), so the parent can fold worker cache
@@ -123,17 +195,25 @@ def _execute_family(
     out: list[tuple[tuple[RunResult, dict], ...]] = []
     for tasks in groups:
         first = tasks[0]
-        bench = create(
-            first.benchmark,
-            precision=first.precision,
-            scale=first.scale,
-            seed=first.seed,
-            platform=first.platform,
-        )
+        bench: Benchmark | None = None
+        bench_exc: Exception | None = None
+        try:
+            bench = create(
+                first.benchmark,
+                precision=first.precision,
+                scale=first.scale,
+                seed=first.seed,
+                platform=first.platform,
+            )
+        except Exception as exc:  # noqa: BLE001 — setup crash capture
+            bench_exc = exc
         runs: list[tuple[RunResult, dict]] = []
         for task in tasks:
             before = perf.counters()
-            run = run_version(bench, version=task.version)
+            if bench is not None:
+                run = _safe_run(bench, task)
+            else:
+                run = _crash_result(task, bench_exc)
             runs.append((run, perf.counters_delta(before, perf.counters())))
         out.append(tuple(runs))
     family_delta = perf.counters_delta(family_before, perf.counters())
@@ -238,7 +318,12 @@ class CampaignSpec:
 
 @dataclass(frozen=True)
 class CampaignReport:
-    """Aggregate accounting of one :meth:`Campaign.run` invocation."""
+    """Aggregate accounting of one :meth:`Campaign.run` invocation.
+
+    Always populated, even when the run ends in a terminal error: the
+    salvage path assembles a report over whatever completed, with
+    ``error`` naming the exception that stopped the campaign.
+    """
 
     fingerprint: str
     total_runs: int
@@ -252,6 +337,15 @@ class CampaignReport:
     #: per-cache memo counter deltas (:func:`repro.perf.counters_delta`)
     #: accumulated over the campaign; ``None`` for pre-fast-lane reports
     perf: dict | None = None
+    #: cells demoted to ``failure_kind="crash"`` results (a subset of
+    #: ``failed_runs``)
+    crashed_runs: tuple[tuple[str, Version, Precision], ...] = ()
+    #: work chunks resubmitted after a failure (splits, requeues, probes)
+    retries: int = 0
+    #: times the worker pool was rebuilt after a worker death
+    pool_restarts: int = 0
+    #: terminal error text when the campaign did not finish, else ``None``
+    error: str | None = None
 
     @property
     def hit_rate(self) -> float:
@@ -268,6 +362,13 @@ class CampaignReport:
             f" ({self.hit_rate:.0%} hit rate)",
             f"  executed: {self.executed}, failed: {len(self.failed_runs)}",
         ]
+        if self.crashed_runs or self.retries or self.pool_restarts:
+            lines.append(
+                f"  recovery: {len(self.crashed_runs)} crashed, "
+                f"{self.retries} retries, {self.pool_restarts} pool restarts"
+            )
+        if self.error:
+            lines.append(f"  TERMINATED: {self.error}")
         if self.perf:
             memo = ", ".join(
                 f"{name} {stats.get('hits', 0)}/{stats.get('misses', 0)}"
@@ -281,8 +382,10 @@ class CampaignReport:
             )
             if disk:
                 lines.append(f"  disk tier (hits/misses): {disk}")
+        crashed = set(self.crashed_runs)
         for bench, version, precision in self.failed_runs:
-            lines.append(f"    FAILED {bench} [{precision.label}] {version.value}")
+            tag = "CRASHED" if (bench, version, precision) in crashed else "FAILED"
+            lines.append(f"    {tag} {bench} [{precision.label}] {version.value}")
         return "\n".join(lines)
 
 
@@ -298,6 +401,12 @@ class Campaign:
     path; ``progress`` is the classic per-run callback and receives
     ``"<bench> [<SP|DP>] <Version>"`` before each non-cached run is
     dispatched.
+
+    ``retries`` bounds how often a cell whose pool worker died is
+    re-executed before it is demoted to a ``failure_kind="crash"``
+    result; ``retry_backoff_s`` > 0 sleeps ``backoff * 2**(attempt-1)``
+    seconds before each such retry (exponential backoff — useful when
+    worker deaths stem from transient memory pressure).
 
     Usage::
 
@@ -315,14 +424,25 @@ class Campaign:
         perf_dir: str | Path | None = None,
         trace: TraceSink | str | Path | None = None,
         progress: Callable[[str], None] | None = None,
+        retries: int = 2,
+        retry_backoff_s: float = 0.0,
     ) -> None:
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
+        if retry_backoff_s < 0:
+            raise ValueError("retry_backoff_s must be >= 0")
         self.spec = spec
         self.cache = RunCache(Path(cache_dir).expanduser()) if cache_dir is not None else None
         self.perf_dir = Path(perf_dir).expanduser() if perf_dir is not None else None
         self._trace = trace
         self.progress = progress
+        self.retries = retries
+        self.retry_backoff_s = retry_backoff_s
         #: populated by :meth:`run`
         self.report: CampaignReport | None = None
+        #: partial :class:`ResultSet` salvaged when :meth:`run` ended in
+        #: a terminal error (``None`` after a successful run)
+        self.salvage: ResultSet | None = None
 
     # ------------------------------------------------------------------
     def plan(self) -> tuple[RunTask, ...]:
@@ -338,7 +458,16 @@ class Campaign:
         to a process pool.  Both paths produce a ``ResultSet`` whose
         ``to_json()`` is byte-identical, because every cell is a pure
         function of the spec.
+
+        A terminal error (anything the recovery machinery does not
+        absorb — e.g. ``KeyboardInterrupt``) still leaves the campaign
+        accounted for: the completed cells are salvaged into
+        :attr:`salvage`, :attr:`report` is set fresh with the error
+        text, a ``campaign_failed`` trace event closes the trace, and
+        the error is re-raised.
         """
+        self.report = None
+        self.salvage = None
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
         sink, owns_sink = self._resolve_sink()
@@ -354,6 +483,7 @@ class Campaign:
                 "jobs": jobs,
                 "cache": str(self.cache.root) if self.cache else "off",
                 "perf_cache": str(self.perf_dir) if self.perf_dir else "off",
+                "retries": self.retries,
             },
         )
         prior_store = perf.persistent_store()
@@ -361,27 +491,17 @@ class Campaign:
             perf.configure(persist_dir=self.perf_dir)
         perf_before = perf.counters()
         self._worker_deltas: list[dict] = []
+        self._hits = 0
+        self._retries = 0
+        self._pool_restarts = 0
+        results: dict[tuple, RunResult] = {}
         try:
-            results, hits = self._gather(tasks, jobs, tracer)
+            self._gather(tasks, jobs, tracer, results)
             out = ResultSet(fingerprint=fingerprint)
             for task in tasks:
                 out.add(results[task.cell])
-            stats = self.cache.stats if self.cache else None
-            perf_delta = perf.counters_merge(
-                perf.counters_delta(perf_before, perf.counters()),
-                *self._worker_deltas,
-            )
-            self.report = CampaignReport(
-                fingerprint=fingerprint,
-                total_runs=len(tasks),
-                executed=len(tasks) - hits,
-                cache_hits=stats.hits if stats else 0,
-                cache_misses=stats.misses if stats else 0,
-                cache_invalidated=stats.invalidated if stats else 0,
-                failed_runs=tuple(t.cell for t in tasks if not results[t.cell].ok),
-                jobs=jobs,
-                wall_s=time.monotonic() - t0,
-                perf=perf_delta or None,
+            self.report = self._build_report(
+                fingerprint, tasks, results, jobs, t0, perf_before
             )
             tracer.emit(
                 "campaign_finished",
@@ -390,16 +510,79 @@ class Campaign:
                     "executed": self.report.executed,
                     "cache_hits": self.report.cache_hits,
                     "failed": len(self.report.failed_runs),
+                    "crashed": len(self.report.crashed_runs),
+                    "retries": self.report.retries,
+                    "pool_restarts": self.report.pool_restarts,
                     "wall_s": round(self.report.wall_s, 3),
-                    "perf": perf_delta or None,
+                    "perf": self.report.perf,
                 },
             )
             return out
+        except BaseException as exc:
+            # Salvage: the campaign did not finish, but everything that
+            # completed is kept and the trace never ends mid-story.
+            partial = ResultSet(fingerprint=fingerprint)
+            for task in tasks:
+                if task.cell in results:
+                    partial.add(results[task.cell])
+            self.salvage = partial
+            error = f"{type(exc).__name__}: {exc}"
+            self.report = self._build_report(
+                fingerprint, tasks, results, jobs, t0, perf_before, error=error
+            )
+            tracer.emit(
+                "campaign_failed",
+                detail={
+                    "fingerprint": fingerprint,
+                    "error": error,
+                    "completed": len(partial.results),
+                    "total": len(tasks),
+                    "crashed": len(self.report.crashed_runs),
+                    "retries": self.report.retries,
+                    "pool_restarts": self.report.pool_restarts,
+                    "wall_s": round(self.report.wall_s, 3),
+                },
+            )
+            raise
         finally:
             if self.perf_dir is not None:
                 perf.configure(persist_dir=prior_store)
             if owns_sink:
                 sink.close()
+
+    def _build_report(
+        self,
+        fingerprint: str,
+        tasks: tuple[RunTask, ...],
+        results: dict[tuple, RunResult],
+        jobs: int,
+        t0: float,
+        perf_before: dict,
+        error: str | None = None,
+    ) -> CampaignReport:
+        """Assemble the report over whatever ``results`` holds so far."""
+        stats = self.cache.stats if self.cache else None
+        perf_delta = perf.counters_merge(
+            perf.counters_delta(perf_before, perf.counters()),
+            *self._worker_deltas,
+        )
+        completed = [t for t in tasks if t.cell in results]
+        return CampaignReport(
+            fingerprint=fingerprint,
+            total_runs=len(tasks),
+            executed=len(completed) - self._hits,
+            cache_hits=stats.hits if stats else 0,
+            cache_misses=stats.misses if stats else 0,
+            cache_invalidated=stats.invalidated if stats else 0,
+            failed_runs=tuple(t.cell for t in completed if not results[t.cell].ok),
+            jobs=jobs,
+            wall_s=time.monotonic() - t0,
+            perf=perf_delta or None,
+            crashed_runs=tuple(t.cell for t in completed if results[t.cell].crashed),
+            retries=self._retries,
+            pool_restarts=self._pool_restarts,
+            error=error,
+        )
 
     # ------------------------------------------------------------------
     # internals
@@ -419,14 +602,20 @@ class Campaign:
         }
 
     def _gather(
-        self, tasks: tuple[RunTask, ...], jobs: int, tracer: Tracer
-    ) -> tuple[dict, int]:
-        """Resolve every task via cache or execution; returns results and
-        the number of cache hits."""
+        self,
+        tasks: tuple[RunTask, ...],
+        jobs: int,
+        tracer: Tracer,
+        results: dict[tuple, RunResult],
+    ) -> None:
+        """Resolve every task via cache or execution into ``results``.
+
+        ``results`` is filled progressively so the salvage path can
+        recover completed cells even when execution ends in a terminal
+        error; cache hits are counted into ``self._hits``.
+        """
         run_fp = self.spec.run_fingerprint()
-        results: dict[tuple, RunResult] = {}
         pending: list[tuple[RunTask, str | None]] = []
-        hits = 0
         for task in tasks:
             tracer.emit("queued", **self._task_fields(task))
             key = None
@@ -434,7 +623,7 @@ class Campaign:
                 key = run_key(run_fp, task.benchmark, task.version, task.precision)
                 cached = self.cache.load(key)
                 if cached is not None:
-                    hits += 1
+                    self._hits += 1
                     results[task.cell] = cached
                     tracer.emit(
                         "finished",
@@ -464,15 +653,28 @@ class Campaign:
             families.setdefault(benchmark, []).append(group)
 
         if jobs == 1 or len(families) <= 1:
-            # In-process path: one shared benchmark instance per group,
-            # exactly like the classic serial loop — the RNG is consumed
-            # only during setup, so this is observably identical to
-            # running each cell on a fresh instance.
-            benches: dict[tuple[str, Precision], Benchmark] = {}
-            for task, key in pending:
-                self._dispatch(task, tracer)
-                bkey = (task.benchmark, task.precision)
-                if bkey not in benches:
+            self._run_inline(pending, tracer, results)
+        else:
+            self._run_pool(families, jobs, tracer, results)
+
+    def _run_inline(
+        self,
+        pending: list[tuple[RunTask, str | None]],
+        tracer: Tracer,
+        results: dict[tuple, RunResult],
+    ) -> None:
+        """In-process path: one shared benchmark instance per group,
+        exactly like the classic serial loop — the RNG is consumed only
+        during setup, so this is observably identical to running each
+        cell on a fresh instance.  Cell crashes (including a failing
+        ``setup``) are captured per task, mirroring the pool path."""
+        benches: dict[tuple[str, Precision], Benchmark] = {}
+        bench_exc: dict[tuple[str, Precision], Exception] = {}
+        for task, key in pending:
+            self._dispatch(task, tracer)
+            bkey = (task.benchmark, task.precision)
+            if bkey not in benches and bkey not in bench_exc:
+                try:
                     benches[bkey] = create(
                         task.benchmark,
                         precision=task.precision,
@@ -480,42 +682,189 @@ class Campaign:
                         seed=task.seed,
                         platform=task.platform,
                     )
-                before = perf.counters()
-                run = run_version(benches[bkey], version=task.version)
-                self._finish(
-                    task,
-                    key,
-                    run,
-                    results,
-                    tracer,
-                    perf_delta=perf.counters_delta(before, perf.counters()),
-                )
-        else:
-            perf_dir = str(self.perf_dir) if self.perf_dir is not None else None
-            with ProcessPoolExecutor(
-                max_workers=min(jobs, len(families)),
-                initializer=_worker_init,
-                initargs=(perf_dir,),
-            ) as pool:
-                futures = {}
-                for family in families.values():
-                    for group in family:
-                        for task, _ in group:
-                            self._dispatch(task, tracer)
-                    payload = tuple(tuple(t for t, _ in group) for group in family)
-                    futures[pool.submit(_execute_family, payload)] = family
-                while futures:
-                    done, _ = wait(futures, return_when=FIRST_COMPLETED)
-                    for future in done:
-                        family = futures.pop(future)
-                        group_runs, family_delta = future.result()
-                        self._worker_deltas.append(family_delta)
-                        for group, runs in zip(family, group_runs):
-                            for (task, key), (run, delta) in zip(group, runs):
-                                self._finish(
-                                    task, key, run, results, tracer, perf_delta=delta
-                                )
-        return results, hits
+                except Exception as exc:  # noqa: BLE001 — setup crash capture
+                    bench_exc[bkey] = exc
+            before = perf.counters()
+            if bkey in benches:
+                run = _safe_run(benches[bkey], task)
+            else:
+                run = _crash_result(task, bench_exc[bkey])
+            self._finish(
+                task,
+                key,
+                run,
+                results,
+                tracer,
+                perf_delta=perf.counters_delta(before, perf.counters()),
+            )
+
+    # A pool *chunk* is a tuple of groups, each group a tuple of
+    # (task, cache key) pairs.  Chunks start as whole families; the
+    # retry ladder splits a failed chunk into its groups, a failed
+    # group into single tasks, so the faulty cell is isolated while its
+    # innocent neighbours are simply re-executed.
+    def _run_pool(
+        self,
+        families: dict[str, list[list[tuple[RunTask, str | None]]]],
+        jobs: int,
+        tracer: Tracer,
+        results: dict[tuple, RunResult],
+    ) -> None:
+        max_workers = min(jobs, len(families))
+        queue: deque = deque()
+        for family in families.values():
+            for group in family:
+                for task, _ in group:
+                    self._dispatch(task, tracer)
+            queue.append(tuple(tuple(group) for group in family))
+        failures: dict[tuple, int] = {}
+        pool = self._new_pool(max_workers)
+        futures: dict = {}
+        try:
+            while queue or futures:
+                while queue:
+                    chunk = queue.popleft()
+                    payload = tuple(tuple(t for t, _ in group) for group in chunk)
+                    try:
+                        futures[pool.submit(_execute_family, payload)] = chunk
+                    except BrokenExecutor as exc:  # died between batches
+                        pool = self._restart_pool(pool, max_workers, tracer, exc)
+                        futures[pool.submit(_execute_family, payload)] = chunk
+                done, _ = wait(futures, return_when=FIRST_COMPLETED)
+                broken: BaseException | None = None
+                for future in done:
+                    exc = self._resolve(
+                        future, futures.pop(future), failures, queue, tracer, results
+                    )
+                    if isinstance(exc, BrokenExecutor):
+                        broken = exc
+                if broken is not None:
+                    # The executor is dead and every outstanding future
+                    # resolves (exceptionally) right away: fold them all
+                    # into the retry queue, then rebuild the pool once.
+                    for future in list(futures):
+                        self._resolve(
+                            future, futures.pop(future), failures, queue, tracer, results
+                        )
+                    pool = self._restart_pool(pool, max_workers, tracer, broken)
+        finally:
+            pool.shutdown(wait=True, cancel_futures=True)
+
+    def _resolve(
+        self,
+        future,
+        chunk,
+        failures: dict[tuple, int],
+        queue: deque,
+        tracer: Tracer,
+        results: dict[tuple, RunResult],
+    ) -> BaseException | None:
+        """Harvest one finished future, or feed its chunk to the retry
+        ladder; returns the failure exception, if any."""
+        try:
+            group_runs, family_delta = future.result()
+        except Exception as exc:  # noqa: BLE001 — worker-death recovery
+            self._requeue(chunk, exc, failures, queue, tracer, results)
+            return exc
+        self._worker_deltas.append(family_delta)
+        for group, runs in zip(chunk, group_runs):
+            for (task, key), (run, delta) in zip(group, runs):
+                self._finish(task, key, run, results, tracer, perf_delta=delta)
+        return None
+
+    def _requeue(
+        self,
+        chunk,
+        exc: BaseException,
+        failures: dict[tuple, int],
+        queue: deque,
+        tracer: Tracer,
+        results: dict[tuple, RunResult],
+    ) -> None:
+        """Retry ladder: split a failed chunk finer, or judge the cell.
+
+        A pool break fails *every* in-flight future, so a chunk seen
+        here may be an innocent bystander of another chunk's worker
+        kill — which is why demotion is never decided from these
+        failures alone: once a single task exhausts ``retries`` it gets
+        one isolated run on a dedicated probe pool, where the verdict
+        is unambiguous.
+        """
+        self._retries += 1
+        for group in chunk:
+            for task, _ in group:
+                failures[task.cell] = failures.get(task.cell, 0) + 1
+        if len(chunk) > 1:  # family → its version groups
+            for group in chunk:
+                queue.append((group,))
+            return
+        group = chunk[0]
+        if len(group) > 1:  # version group → single tasks
+            for entry in group:
+                queue.append(((entry,),))
+            return
+        task, key = group[0]
+        attempts = failures[task.cell]
+        if attempts <= self.retries:
+            if self.retry_backoff_s > 0:
+                time.sleep(self.retry_backoff_s * (2 ** (attempts - 1)))
+            queue.append(chunk)
+            return
+        self._probe(task, key, failures, tracer, results)
+
+    def _probe(
+        self,
+        task: RunTask,
+        key: str | None,
+        failures: dict[tuple, int],
+        tracer: Tracer,
+        results: dict[tuple, RunResult],
+    ) -> None:
+        """Final verdict for a suspect cell: run it alone on a one-worker
+        pool.  If it kills that worker too it is certainly the culprit
+        and is demoted to a crashed result; an innocent collateral
+        victim of other cells' pool breaks simply completes here."""
+        probe = self._new_pool(1)
+        try:
+            future = probe.submit(_execute_family, ((task,),))
+            try:
+                group_runs, family_delta = future.result()
+            except Exception as exc:  # noqa: BLE001 — the verdict
+                failures[task.cell] += 1
+                run = _worker_loss_result(task, exc, failures[task.cell])
+                self._finish(task, key, run, results, tracer)
+                return
+            self._worker_deltas.append(family_delta)
+            ((run, delta),) = group_runs[0]
+            self._finish(task, key, run, results, tracer, perf_delta=delta)
+        finally:
+            probe.shutdown(wait=True, cancel_futures=True)
+
+    def _new_pool(self, max_workers: int) -> ProcessPoolExecutor:
+        perf_dir = str(self.perf_dir) if self.perf_dir is not None else None
+        return ProcessPoolExecutor(
+            max_workers=max_workers,
+            initializer=_worker_init,
+            initargs=(perf_dir,),
+        )
+
+    def _restart_pool(
+        self,
+        pool: ProcessPoolExecutor,
+        max_workers: int,
+        tracer: Tracer,
+        exc: BaseException,
+    ) -> ProcessPoolExecutor:
+        pool.shutdown(wait=False, cancel_futures=True)
+        self._pool_restarts += 1
+        tracer.emit(
+            "pool_restarted",
+            detail={
+                "error": f"{type(exc).__name__}: {exc}",
+                "restarts": self._pool_restarts,
+            },
+        )
+        return self._new_pool(max_workers)
 
     def _dispatch(self, task: RunTask, tracer: Tracer) -> None:
         if self.progress is not None:
@@ -532,8 +881,16 @@ class Campaign:
         perf_delta: dict | None = None,
     ) -> None:
         results[task.cell] = run
-        if self.cache is not None and key is not None:
+        # Crashes are operational accidents of *this* execution, not
+        # content-addressable facts about the spec (unlike modeled quirk
+        # failures) — never persist them to the run cache.
+        if self.cache is not None and key is not None and not run.crashed:
             self.cache.store(key, run)
+        if run.crashed:
+            crash_detail: dict = {"failure": run.failure}
+            if run.diagnostics.get("traceback"):
+                crash_detail["traceback"] = run.diagnostics["traceback"]
+            tracer.emit("run_crashed", detail=crash_detail, **self._task_fields(task))
         detail: dict = {}
         if run.failure:
             detail["failure"] = run.failure

@@ -1,0 +1,208 @@
+"""Deterministic fault injection for the campaign engine (test-only).
+
+The engine's recovery machinery — per-cell crash capture, pool
+rebuilds, the retry ladder — only earns trust if every path can be
+driven on purpose.  This module injects failures into exact grid cells:
+
+* ``mode="raise"`` — raise :class:`InjectedCrash` inside the cell, the
+  stand-in for "an unexpected exception escaped ``run_version``";
+* ``mode="exit"`` — ``os._exit`` the hosting *pool worker* (the OOM /
+  SIGKILL stand-in, surfacing as ``BrokenProcessPool`` in the parent);
+  in the parent process it degrades to :class:`InjectedCrash` so a
+  ``jobs=1`` campaign is never killed by its own test rig;
+* ``mode="abort"`` — raise :class:`InjectedAbort` (a ``BaseException``),
+  which deliberately escapes crash capture and exercises the engine's
+  salvage path.
+
+Faults are installed into ``os.environ`` so pool workers see them under
+both the fork and spawn start methods, and attempt counters live in a
+shared *state directory* so "crash the first N attempts" stays coherent
+across worker generations and pool rebuilds (a killed worker cannot
+report back — the counter is bumped on disk *before* the trigger).
+
+When no faults are installed, :func:`maybe_crash` is a single dict
+lookup — the hook costs nothing on production campaigns.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+from contextlib import contextmanager
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Iterator
+
+#: environment variable carrying the installed fault configuration
+ENV_VAR = "REPRO_FAULTS"
+#: status code used by ``mode="exit"`` worker kills
+EXIT_CODE = 17
+
+
+class InjectedCrash(RuntimeError):
+    """An injected in-cell exception (``mode="raise"``)."""
+
+
+class InjectedAbort(BaseException):
+    """An injected non-``Exception`` error (``mode="abort"``).
+
+    Derives from ``BaseException`` so the engine's per-cell crash
+    capture (``except Exception``) does not swallow it — it reaches
+    ``Campaign.run`` as a terminal error, like a ``KeyboardInterrupt``.
+    """
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One injected fault, matched against grid cells.
+
+    ``version`` / ``precision`` use the enum ``.value`` strings
+    (``"OpenCL"``, ``"single"``); ``None`` matches any.  ``times`` is
+    the number of *first attempts* of the cell that trigger the fault;
+    ``-1`` means every attempt (a persistent crasher).
+    """
+
+    benchmark: str
+    version: str | None = None
+    precision: str | None = None
+    mode: str = "raise"  # "raise" | "exit" | "abort"
+    times: int = 1
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("raise", "exit", "abort"):
+            raise ValueError(f"unknown fault mode {self.mode!r}")
+
+
+@dataclass(frozen=True)
+class _Config:
+    state_dir: Path
+    faults: tuple[FaultSpec, ...]
+
+
+#: set by the engine's pool-worker initializer; gates ``mode="exit"``
+_IN_WORKER = False
+
+#: memoized (raw env string, parsed config)
+_parsed: tuple[str, _Config] | None = None
+
+
+def mark_worker() -> None:
+    """Record that this process is a pool worker (``_worker_init``)."""
+    global _IN_WORKER
+    _IN_WORKER = True
+
+
+def install(faults: Iterator[FaultSpec] | tuple[FaultSpec, ...], state_dir: str | Path) -> None:
+    """Activate ``faults`` for this process and every future worker."""
+    state = Path(state_dir)
+    state.mkdir(parents=True, exist_ok=True)
+    payload = {"state_dir": str(state), "faults": [asdict(f) for f in faults]}
+    os.environ[ENV_VAR] = json.dumps(payload, sort_keys=True)
+
+
+def clear() -> None:
+    """Deactivate every installed fault."""
+    os.environ.pop(ENV_VAR, None)
+
+
+def active() -> bool:
+    """Whether any fault configuration is installed."""
+    return ENV_VAR in os.environ
+
+
+@contextmanager
+def injected(*faults: FaultSpec, state_dir: str | Path):
+    """Scoped :func:`install` / :func:`clear` for tests."""
+    install(faults, state_dir)
+    try:
+        yield
+    finally:
+        clear()
+
+
+def maybe_crash(benchmark: str, version=None, precision=None) -> None:
+    """Fault hook: trigger the first installed fault matching this cell.
+
+    Called by the engine at the top of every cell execution, in-process
+    and inside pool workers.  A no-op unless faults are installed.
+    """
+    config = _config()
+    if config is None:
+        return
+    version = getattr(version, "value", version)
+    precision = getattr(precision, "value", precision)
+    for spec in config.faults:
+        if spec.benchmark != benchmark:
+            continue
+        if spec.version is not None and spec.version != version:
+            continue
+        if spec.precision is not None and spec.precision != precision:
+            continue
+        attempt = _bump(config.state_dir, benchmark, version, precision)
+        if 0 <= spec.times < attempt:
+            return
+        _trigger(spec, benchmark, version, precision)
+
+
+def attempts(state_dir: str | Path, benchmark: str, version=None, precision=None) -> int:
+    """How many times the cell has hit its fault hook (for tests)."""
+    version = getattr(version, "value", version)
+    precision = getattr(precision, "value", precision)
+    path = Path(state_dir) / _cell_id(benchmark, version, precision)
+    try:
+        return path.stat().st_size
+    except FileNotFoundError:
+        return 0
+
+
+# ---------------------------------------------------------------------------
+# internals
+# ---------------------------------------------------------------------------
+
+
+def _config() -> _Config | None:
+    raw = os.environ.get(ENV_VAR)
+    if not raw:
+        return None
+    global _parsed
+    if _parsed is not None and _parsed[0] == raw:
+        return _parsed[1]
+    data = json.loads(raw)
+    config = _Config(
+        state_dir=Path(data["state_dir"]),
+        faults=tuple(FaultSpec(**spec) for spec in data["faults"]),
+    )
+    _parsed = (raw, config)
+    return config
+
+
+def _cell_id(benchmark: str, version, precision) -> str:
+    return re.sub(r"[^A-Za-z0-9_.-]", "-", f"{benchmark}.{version}.{precision}")
+
+
+def _bump(state_dir: Path, benchmark: str, version, precision) -> int:
+    """Durably count one attempt of a cell; returns the attempt number.
+
+    One byte appended per attempt: the counter survives ``os._exit``
+    (the write hits the page cache before the trigger fires) and is
+    shared by every process pointing at the same state directory.  A
+    cell is only ever executed by one process at a time, so the append
+    needs no locking.
+    """
+    path = state_dir / _cell_id(benchmark, version, precision)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "ab") as fh:
+        fh.write(b"x")
+    return path.stat().st_size
+
+
+def _trigger(spec: FaultSpec, benchmark: str, version, precision) -> None:
+    label = f"{benchmark} [{precision}] {version}"
+    if spec.mode == "exit":
+        if _IN_WORKER:
+            os._exit(EXIT_CODE)
+        raise InjectedCrash(f"injected worker kill (in-process): {label}")
+    if spec.mode == "abort":
+        raise InjectedAbort(f"injected abort: {label}")
+    raise InjectedCrash(f"injected crash: {label}")

@@ -66,6 +66,7 @@ def run_to_row(run: RunResult) -> dict:
         "options": options_label,
         "local_size": run.local_size,
         "failure": run.failure,
+        "failure_kind": run.failure_kind,
     }
 
 
@@ -87,6 +88,8 @@ def run_from_row(row: dict) -> RunResult:
         options=None,
         local_size=row["local_size"],
         failure=row["failure"],
+        # rows written before fault-tolerant execution carry no kind
+        failure_kind=row.get("failure_kind"),
         diagnostics={"options_label": row["options"]},
     )
 
@@ -216,6 +219,8 @@ def run_grid(
     cache_dir: str | None = None,
     perf_dir: str | None = None,
     trace=None,
+    retries: int = 2,
+    retry_backoff_s: float = 0.0,
 ) -> ResultSet:
     """Run the full campaign and collect results.
 
@@ -226,8 +231,10 @@ def run_grid(
     overhead floor; the default tests run at reduced scale for speed).
     ``jobs`` parallelizes across processes, ``cache_dir`` enables the
     content-addressed run cache, ``perf_dir`` attaches the persistent
-    perf-cache tier (shared by all workers), and ``trace`` accepts a
-    :class:`~repro.experiments.trace.TraceSink` or JSONL path.
+    perf-cache tier (shared by all workers), ``trace`` accepts a
+    :class:`~repro.experiments.trace.TraceSink` or JSONL path, and
+    ``retries`` / ``retry_backoff_s`` bound the engine's worker-death
+    recovery (see :class:`~repro.experiments.engine.Campaign`).
     """
     from .engine import Campaign, CampaignSpec  # deferred: engine imports us
 
@@ -240,6 +247,12 @@ def run_grid(
         platform=platform,
     )
     campaign = Campaign(
-        spec, cache_dir=cache_dir, perf_dir=perf_dir, trace=trace, progress=progress
+        spec,
+        cache_dir=cache_dir,
+        perf_dir=perf_dir,
+        trace=trace,
+        progress=progress,
+        retries=retries,
+        retry_backoff_s=retry_backoff_s,
     )
     return campaign.run(jobs=jobs)

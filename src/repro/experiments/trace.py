@@ -27,8 +27,13 @@ from typing import IO
 
 #: event names in lifecycle order (per run)
 RUN_EVENTS = ("queued", "started", "finished")
-#: campaign-level envelope events
-CAMPAIGN_EVENTS = ("campaign_started", "campaign_finished")
+#: fault-recovery events: ``run_crashed`` precedes the crashed run's
+#: ``finished`` record; ``pool_restarted`` marks a worker-pool rebuild
+RECOVERY_EVENTS = ("run_crashed", "pool_restarted")
+#: campaign-level envelope events — every trace ends with exactly one
+#: of ``campaign_finished`` (normal) or ``campaign_failed`` (terminal
+#: error, after salvage), so a ``tail -f`` never ends mid-story
+CAMPAIGN_EVENTS = ("campaign_started", "campaign_finished", "campaign_failed")
 
 
 @dataclass(frozen=True)
@@ -127,9 +132,25 @@ class Tracer:
 
 
 def read_trace(path: str | Path) -> list[TraceEvent]:
-    """Load a JSONL trace file back into :class:`TraceEvent` records."""
+    """Load a JSONL trace file back into :class:`TraceEvent` records.
+
+    Forward-compatible: fields written by a newer schema (keys this
+    version of :class:`TraceEvent` does not know) are folded into
+    ``detail`` instead of raising ``TypeError``, so old readers keep
+    working on new traces and the round trip loses nothing.
+    """
+    from dataclasses import fields as dataclass_fields
+
+    known = {f.name for f in dataclass_fields(TraceEvent)}
     events = []
     for line in Path(path).read_text().splitlines():
-        if line.strip():
-            events.append(TraceEvent(**json.loads(line)))
+        if not line.strip():
+            continue
+        data = json.loads(line)
+        extra = {k: data.pop(k) for k in list(data) if k not in known}
+        if extra:
+            detail = dict(data.get("detail") or {})
+            detail.update(extra)
+            data["detail"] = detail
+        events.append(TraceEvent(**data))
     return events

@@ -1,0 +1,40 @@
+"""Shared test fixtures: the pool-hang timeout guard.
+
+Fault-injection tests drive real worker kills through a
+``ProcessPoolExecutor``; a recovery bug could leave the parent blocked
+in ``future.result()`` forever and stall the whole suite (and CI).
+``@pytest.mark.timeout_guard(seconds)`` arms a SIGALRM that turns such
+a hang into an ordinary test failure instead.
+"""
+
+from __future__ import annotations
+
+import signal
+
+import pytest
+
+DEFAULT_GUARD_S = 120
+
+
+@pytest.fixture(autouse=True)
+def _pool_timeout_guard(request):
+    """Fail (not hang) any ``timeout_guard``-marked test that stalls."""
+    marker = request.node.get_closest_marker("timeout_guard")
+    if marker is None:
+        yield
+        return
+    seconds = marker.args[0] if marker.args else DEFAULT_GUARD_S
+
+    def _alarm(signum, frame):  # pragma: no cover - only fires on a hang
+        raise TimeoutError(
+            f"{request.node.nodeid} exceeded its {seconds}s timeout guard "
+            "(hung pool?)"
+        )
+
+    previous = signal.signal(signal.SIGALRM, _alarm)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0)
+        signal.signal(signal.SIGALRM, previous)

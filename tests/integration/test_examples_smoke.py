@@ -62,11 +62,25 @@ def test_parallel_campaign_small_grid(capsys, monkeypatch):
     assert "trace:" in out
 
 
+@pytest.mark.timeout_guard(240)
+def test_crash_recovery_smoke(capsys, monkeypatch):
+    monkeypatch.setattr(
+        sys, "argv", ["crash_recovery_smoke.py", "--scale", "0.02", "--jobs", "4"]
+    )
+    with pytest.raises(SystemExit) as exit_info:
+        runpy.run_path(str(EXAMPLES / "crash_recovery_smoke.py"), run_name="__main__")
+    assert exit_info.value.code == 0
+    out = capsys.readouterr().out
+    assert "crash recovery smoke: OK" in out
+    assert "pool restarts" in out
+
+
 def test_all_examples_are_tested_or_listed():
     """Every example file is either smoke-tested here or known-slow."""
     known_slow = {
-        "paper_figures.py",       # tested above at reduced scale
-        "parallel_campaign.py",   # tested above at reduced scale
+        "paper_figures.py",        # tested above at reduced scale
+        "parallel_campaign.py",    # tested above at reduced scale
+        "crash_recovery_smoke.py",  # tested above at reduced scale
         "optimization_walkthrough.py",
         "autotune_example.py",
         "energy_study.py",

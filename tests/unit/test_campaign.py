@@ -1,6 +1,8 @@
 """Tests for the campaign engine: specs, parallel execution, cache, trace."""
 
 import json
+import os
+import time
 
 import pytest
 
@@ -164,6 +166,49 @@ class TestRunCacheEngine:
         assert cache.load("0" * 64) is None
         assert cache.stats.misses == 1 and cache.stats.hits == 0
 
+    def test_entry_count_and_clear_handle_tmp_files(self, tmp_path):
+        """Satellite: in-flight .tmp staging files are not entries, and
+        clear() removes them without counting them."""
+        spec = CampaignSpec(**SMALL)
+        campaign = Campaign(spec, cache_dir=tmp_path)
+        campaign.run()
+        cache = campaign.cache
+        stray = cache.root / "ab" / f"{'a' * 64}.{os.getpid()}.tmp"
+        stray.parent.mkdir(exist_ok=True)
+        stray.write_text("{}")
+        assert cache.entry_count() == spec.size  # tmp not counted
+        removed = cache.clear()
+        assert removed == spec.size  # tmp removed but not counted
+        assert not stray.exists()
+        assert cache.entry_count() == 0
+
+    def test_open_sweeps_stale_tmp_files(self, tmp_path):
+        """Crash litter: tmp files of dead writers vanish on cache open;
+        a live writer's staging file is left alone."""
+        import multiprocessing
+
+        shard = tmp_path / "cd"
+        shard.mkdir(parents=True)
+        proc = multiprocessing.Process(target=lambda: None)
+        proc.start()
+        proc.join()  # now certainly a dead pid
+        dead = shard / f"{'c' * 64}.{proc.pid}.tmp"
+        dead.write_text("{}")
+        live = shard / f"{'d' * 64}.{os.getpid()}.tmp"
+        live.write_text("{}")
+        old = shard / f"{'e' * 64}.tmp"  # unattributable: no pid segment
+        old.write_text("{}")
+        two_hours_ago = time.time() - 7200
+        os.utime(old, (two_hours_ago, two_hours_ago))
+        fresh = shard / f"{'f' * 64}.tmp"
+        fresh.write_text("{}")
+
+        RunCache(tmp_path)  # opening the cache sweeps
+        assert not dead.exists()
+        assert live.exists()
+        assert not old.exists()
+        assert fresh.exists()
+
 
 class TestTracing:
     def test_jsonl_schema_and_lifecycle(self, tmp_path):
@@ -201,6 +246,26 @@ class TestTracing:
             "campaign_started", "queued", "started", "finished", "campaign_finished",
         ]
         assert events[3].cache == "off"  # no cache configured
+
+    def test_read_trace_tolerates_unknown_keys(self, tmp_path):
+        """Forward compat: keys from a newer writer fold into detail."""
+        path = tmp_path / "trace.jsonl"
+        rows = [
+            {"event": "campaign_started", "t_s": 0.0, "gpu_temp_c": 61.5},
+            {
+                "event": "finished",
+                "t_s": 0.1,
+                "benchmark": "vecop",
+                "detail": {"existing": 1},
+                "novel_field": "kept",
+            },
+        ]
+        path.write_text("".join(json.dumps(r) + "\n" for r in rows))
+        events = read_trace(path)
+        assert events[0].detail == {"gpu_temp_c": 61.5}
+        # unknown keys merge with (never clobber the shape of) detail
+        assert events[1].detail == {"existing": 1, "novel_field": "kept"}
+        assert events[1].benchmark == "vecop"
 
 
 class TestResultSetComposition:

@@ -1,0 +1,268 @@
+"""Deterministic fault-injection tests of the crash-proof campaign engine.
+
+Every recovery path of :mod:`repro.experiments.engine` is driven on
+purpose through :mod:`repro.experiments.faults`: in-cell exceptions
+captured as ``failure_kind="crash"`` results, worker kills recovered by
+pool rebuild + the retry ladder, persistent crashers demoted after a
+probe verdict, and terminal errors salvaged with a fresh report and a
+``campaign_failed`` trace event.  All pool tests carry the SIGALRM
+timeout guard so a recovery bug hangs no one.
+"""
+
+import json
+
+import pytest
+
+from repro.benchmarks import Precision, Version
+from repro.experiments import Campaign, CampaignSpec, ListTraceSink
+from repro.experiments.faults import (
+    FaultSpec,
+    InjectedAbort,
+    InjectedCrash,
+    attempts,
+    injected,
+)
+
+TWO_VERSIONS = (Version.SERIAL, Version.OPENCL)
+GRID = dict(benchmarks=("vecop", "red"), versions=TWO_VERSIONS, scale=0.02)
+#: the cell every fault in this module targets
+CELL = ("vecop", Version.OPENCL, Precision.SINGLE)
+
+
+def vecop_fault(**kwargs) -> FaultSpec:
+    return FaultSpec(benchmark="vecop", version=Version.OPENCL.value, **kwargs)
+
+
+def crashed_cells(results):
+    return [key for key, run in results.results.items() if run.crashed]
+
+
+class TestCrashCapture:
+    """Mode "raise": an unexpected in-cell exception never aborts."""
+
+    @pytest.mark.timeout_guard(120)
+    def test_inline_crash_becomes_result(self, tmp_path):
+        spec = CampaignSpec(**GRID)
+        sink = ListTraceSink()
+        campaign = Campaign(spec, trace=sink)
+        with injected(vecop_fault(mode="raise", times=-1), state_dir=tmp_path):
+            results = campaign.run(jobs=1)
+        assert len(results.results) == spec.size
+        run = results.results[CELL]
+        assert run.crashed and not run.ok
+        assert run.failure.startswith("crash: InjectedCrash")
+        assert "InjectedCrash" in run.diagnostics["traceback"]
+        assert sum(1 for r in results.results.values() if r.ok) == spec.size - 1
+        assert campaign.report.crashed_runs == (CELL,)
+        assert campaign.report.failed_runs == (CELL,)
+        events = [e.event for e in sink.events]
+        assert "run_crashed" in events
+        assert events[-1] == "campaign_finished"
+        # the crashed run still has its full queued/started/finished arc
+        crashed = [e for e in sink.events if e.event == "run_crashed"]
+        assert crashed[0].detail["failure"] == run.failure
+        assert "traceback" in crashed[0].detail
+
+    @pytest.mark.timeout_guard(240)
+    def test_pool_crash_byte_identical_to_inline(self, tmp_path):
+        """Capture inside a worker produces the exact same ResultSet."""
+        spec = CampaignSpec(**GRID)
+        fault = vecop_fault(mode="raise", times=-1)
+        with injected(fault, state_dir=tmp_path / "a"):
+            inline = Campaign(spec).run(jobs=1)
+        with injected(fault, state_dir=tmp_path / "b"):
+            pooled = Campaign(spec).run(jobs=4)
+        assert pooled.to_json() == inline.to_json()
+        assert crashed_cells(pooled) == [CELL]
+
+    @pytest.mark.timeout_guard(120)
+    def test_crashes_are_not_cached(self, tmp_path):
+        """A crash is not a fact: the warm rerun re-executes the cell."""
+        spec = CampaignSpec(**GRID)
+        with injected(vecop_fault(mode="raise", times=-1), state_dir=tmp_path / "s"):
+            cold = Campaign(spec, cache_dir=tmp_path / "cache")
+            cold.run(jobs=1)
+        assert cold.cache.stats.writes == spec.size - 1
+        warm = Campaign(spec, cache_dir=tmp_path / "cache")
+        results = warm.run(jobs=1)
+        assert warm.report.cache_hits == spec.size - 1
+        assert warm.report.executed == 1
+        assert results.results[CELL].ok  # fault gone, cell recovered
+
+    @pytest.mark.timeout_guard(120)
+    def test_inline_exit_fault_degrades_to_capture(self, tmp_path):
+        """mode="exit" must never kill the in-process (jobs=1) path."""
+        spec = CampaignSpec(**GRID)
+        with injected(vecop_fault(mode="exit", times=-1), state_dir=tmp_path):
+            results = Campaign(spec).run(jobs=1)
+        run = results.results[CELL]
+        assert run.crashed
+        assert "injected worker kill (in-process)" in run.failure
+
+
+class TestWorkerDeathRecovery:
+    """Mode "exit": a hard os._exit in a pool worker."""
+
+    @pytest.mark.timeout_guard(240)
+    def test_kill_once_then_retry_succeeds(self, tmp_path):
+        spec = CampaignSpec(**GRID)
+        baseline = Campaign(spec).run(jobs=1)
+        sink = ListTraceSink()
+        campaign = Campaign(spec, trace=sink)
+        with injected(vecop_fault(mode="exit", times=1), state_dir=tmp_path):
+            results = campaign.run(jobs=4)
+        # the kill cost one pool and at least one retry, nothing else
+        assert all(run.ok for run in results.results.values())
+        assert results.to_json() == baseline.to_json()
+        assert campaign.report.pool_restarts == 1
+        assert campaign.report.retries >= 1
+        assert campaign.report.crashed_runs == ()
+        events = [e.event for e in sink.events]
+        assert "pool_restarted" in events
+        assert events[-1] == "campaign_finished"
+        # the cell was attempted exactly twice: the kill, then the retry
+        assert attempts(tmp_path, *CELL) == 2
+
+    @pytest.mark.timeout_guard(240)
+    def test_persistent_killer_demoted_to_crash(self, tmp_path):
+        spec = CampaignSpec(**GRID)
+        sink = ListTraceSink()
+        campaign = Campaign(spec, trace=sink, retries=2)
+        with injected(vecop_fault(mode="exit", times=-1), state_dir=tmp_path):
+            results = campaign.run(jobs=4)
+        # complete ResultSet, only the killer cell marked crashed
+        assert len(results.results) == spec.size
+        run = results.results[CELL]
+        assert run.crashed
+        assert run.failure == "crash: worker process died executing this cell"
+        assert sum(1 for r in results.results.values() if r.ok) == spec.size - 1
+        report = campaign.report
+        assert report.crashed_runs == (CELL,)
+        assert CELL in report.failed_runs
+        # ladder: family kill, single-task kill x retries, probe verdict
+        assert report.pool_restarts == campaign.retries + 1
+        assert report.retries >= campaign.retries + 1
+        events = [e.event for e in sink.events]
+        assert events.count("pool_restarted") == report.pool_restarts
+        assert "run_crashed" in events
+        assert events[-1] == "campaign_finished"
+        assert "recovery:" in report.describe()
+        assert "CRASHED vecop" in report.describe()
+
+    @pytest.mark.timeout_guard(240)
+    def test_byte_identical_across_jobs_under_injected_failures(self, tmp_path):
+        """jobs=1 and jobs=4 agree byte-for-byte with a crasher present."""
+        spec = CampaignSpec(
+            benchmarks=("vecop", "red", "hist"), versions=TWO_VERSIONS, scale=0.02
+        )
+        fault = vecop_fault(mode="raise", times=-1)
+        with injected(fault, state_dir=tmp_path / "a"):
+            inline = Campaign(spec).run(jobs=1)
+        with injected(fault, state_dir=tmp_path / "b"):
+            pooled = Campaign(spec).run(jobs=4)
+        assert inline.to_json() == pooled.to_json()
+        data = json.loads(pooled.to_json())
+        kinds = {
+            (row["benchmark"], row["version"]): row["failure_kind"]
+            for row in data["runs"]
+        }
+        assert kinds[("vecop", "OpenCL")] == "crash"
+        assert all(k is None for cell, k in kinds.items() if cell != ("vecop", "OpenCL"))
+
+
+class TestSalvage:
+    """Mode "abort": terminal errors still leave a full account."""
+
+    @pytest.mark.timeout_guard(120)
+    def test_inline_terminal_error_salvages(self, tmp_path):
+        spec = CampaignSpec(**GRID)
+        sink = ListTraceSink()
+        campaign = Campaign(spec, trace=sink)
+        with injected(vecop_fault(mode="abort", times=-1), state_dir=tmp_path):
+            with pytest.raises(InjectedAbort):
+                campaign.run(jobs=1)
+        # vecop Serial completed before the abort; it is salvaged
+        assert campaign.salvage is not None
+        assert ("vecop", Version.SERIAL, Precision.SINGLE) in campaign.salvage.results
+        report = campaign.report
+        assert report is not None
+        assert report.error.startswith("InjectedAbort")
+        assert report.total_runs == spec.size
+        assert "TERMINATED" in report.describe()
+        assert sink.events[-1].event == "campaign_failed"
+        assert sink.events[-1].detail["error"] == report.error
+        assert sink.events[-1].detail["completed"] == len(campaign.salvage.results)
+
+    @pytest.mark.timeout_guard(240)
+    def test_pool_terminal_error_salvages(self, tmp_path):
+        spec = CampaignSpec(**GRID)
+        sink = ListTraceSink()
+        campaign = Campaign(spec, trace=sink)
+        with injected(vecop_fault(mode="abort", times=-1), state_dir=tmp_path):
+            with pytest.raises(InjectedAbort):
+                campaign.run(jobs=4)
+        assert campaign.report is not None and campaign.report.error
+        assert sink.events[-1].event == "campaign_failed"
+
+    @pytest.mark.timeout_guard(120)
+    def test_reused_campaign_never_keeps_stale_report(self, tmp_path):
+        """Satellite: report is reset on entry and set fresh on failure."""
+        spec = CampaignSpec(**GRID)
+        campaign = Campaign(spec)
+        campaign.run(jobs=1)
+        good_report = campaign.report
+        assert good_report.error is None and campaign.salvage is None
+        with injected(vecop_fault(mode="abort", times=-1), state_dir=tmp_path):
+            with pytest.raises(InjectedAbort):
+                campaign.run(jobs=1)
+        assert campaign.report is not good_report
+        assert campaign.report.error is not None
+        # a successful rerun clears the salvage state again
+        campaign.run(jobs=1)
+        assert campaign.report.error is None
+        assert campaign.salvage is None
+
+
+class TestFaultSpecMechanics:
+    def test_times_bounds_triggering(self, tmp_path):
+        from repro.experiments import faults
+
+        faults.install([FaultSpec(benchmark="x", times=2)], state_dir=tmp_path)
+        try:
+            for _ in range(2):
+                with pytest.raises(InjectedCrash):
+                    faults.maybe_crash("x", Version.SERIAL, Precision.SINGLE)
+            faults.maybe_crash("x", Version.SERIAL, Precision.SINGLE)  # 3rd: clean
+            assert attempts(tmp_path, "x", Version.SERIAL, Precision.SINGLE) == 3
+        finally:
+            faults.clear()
+
+    def test_no_fault_is_a_noop(self):
+        from repro.experiments import faults
+
+        assert not faults.active()
+        faults.maybe_crash("vecop", Version.SERIAL, Precision.SINGLE)
+
+    def test_matching_is_cell_scoped(self, tmp_path):
+        from repro.experiments import faults
+
+        spec = FaultSpec(benchmark="vecop", version="OpenCL", precision="double")
+        faults.install([spec], state_dir=tmp_path)
+        try:
+            faults.maybe_crash("vecop", Version.OPENCL, Precision.SINGLE)  # precision
+            faults.maybe_crash("vecop", Version.SERIAL, Precision.DOUBLE)  # version
+            faults.maybe_crash("red", Version.OPENCL, Precision.DOUBLE)  # benchmark
+            with pytest.raises(InjectedCrash):
+                faults.maybe_crash("vecop", Version.OPENCL, Precision.DOUBLE)
+        finally:
+            faults.clear()
+
+    def test_rejects_unknown_mode(self):
+        with pytest.raises(ValueError):
+            FaultSpec(benchmark="x", mode="segfault")
+
+    def test_campaign_rejects_bad_recovery_knobs(self):
+        with pytest.raises(ValueError):
+            Campaign(CampaignSpec(**GRID), retries=-1)
+        with pytest.raises(ValueError):
+            Campaign(CampaignSpec(**GRID), retry_backoff_s=-0.5)
