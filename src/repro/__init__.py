@@ -55,8 +55,10 @@ from .calibration import ExynosPlatform, default_platform, validate_platform
 from .compiler import CompileOptions, CompiledKernel, compile_kernel
 from .experiments import (
     Campaign,
+    CampaignJournal,
     CampaignReport,
     CampaignSpec,
+    DeadlineExceeded,
     ResultSet,
     figure2,
     figure3,
@@ -84,8 +86,10 @@ __all__ = [
     "CLError",
     "CLOutOfResources",
     "Campaign",
+    "CampaignJournal",
     "CampaignReport",
     "CampaignSpec",
+    "DeadlineExceeded",
     "CompileOptions",
     "CompiledKernel",
     "CompilerError",

@@ -10,6 +10,7 @@ Commands:
 * ``describe``  — print the simulated platform inventory
 * ``whatif``    — next-generation-hardware and fixed-driver studies
 * ``cache``     — inspect or clear the run cache and persistent perf tier
+* ``resume``    — finish a journaled campaign whose process was killed
 """
 
 from __future__ import annotations
@@ -45,8 +46,10 @@ def cmd_figures(args) -> int:
         perf_dir=None if args.no_cache else _perf_dir(args),
         trace=args.trace,
         retries=args.retries,
+        cell_timeout_s=args.cell_timeout,
+        deadline_s=args.deadline,
     )
-    results = campaign.run(jobs=args.jobs)
+    results = campaign.run(jobs=args.jobs, journal_dir=args.journal_dir)
     for series in all_figures(results, precisions):
         print(format_figure(series))
         print()
@@ -250,6 +253,28 @@ def cmd_cache(args) -> int:
     return 0
 
 
+def cmd_resume(args) -> int:
+    from pathlib import Path
+
+    from .experiments import Campaign
+
+    campaign = Campaign.resume(
+        args.journal_dir,
+        cache_dir=None if args.no_cache else args.cache_dir,
+        perf_dir=None if args.no_cache else _perf_dir(args),
+        trace=args.trace,
+        retries=args.retries,
+        cell_timeout_s=args.cell_timeout,
+        deadline_s=args.deadline,
+    )
+    results = campaign.run(jobs=args.jobs)
+    if args.save:
+        Path(args.save).write_text(results.to_json())
+        print(f"saved {len(results.results)} runs to {args.save}")
+    print(campaign.report.describe())
+    return 0
+
+
 def _positive_int(text: str) -> int:
     value = int(text)
     if value < 1:
@@ -284,6 +309,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--retries", type=int, default=2, metavar="N",
                    help="times a cell whose pool worker died is retried "
                         "before it is recorded as a crashed run")
+    p.add_argument("--journal-dir", default=None, metavar="DIR",
+                   help="write a durable checkpoint journal; a killed "
+                        "campaign is finished with `repro resume DIR`")
+    p.add_argument("--cell-timeout", type=float, default=None, metavar="S",
+                   help="wall-clock budget per grid cell; overruns are "
+                        "recorded as timeout results")
+    p.add_argument("--deadline", type=float, default=None, metavar="S",
+                   help="wall-clock budget for the whole campaign "
+                        "(overrun terminates with DeadlineExceeded)")
     p.set_defaults(func=cmd_figures)
 
     p = sub.add_parser("run", help="run one benchmark's four versions")
@@ -323,6 +357,38 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", action="store_true",
                    help="machine-readable JSON output")
     p.set_defaults(func=cmd_cache)
+
+    p = sub.add_parser(
+        "resume",
+        help="finish a journaled campaign whose process was killed",
+        description="Reconstructs the campaign from <journal-dir>/spec.pkl, "
+                    "replays every cell the journal already checkpointed, "
+                    "executes only the remainder, and produces a ResultSet "
+                    "byte-identical to an uninterrupted run.",
+    )
+    p.add_argument("journal_dir", metavar="JOURNAL_DIR",
+                   help="journal directory of the interrupted campaign")
+    p.add_argument("--jobs", type=_positive_int, default=1,
+                   help="parallel worker processes (1 = in-process)")
+    p.add_argument("--save", default=None, metavar="PATH",
+                   help="write the completed ResultSet JSON here")
+    p.add_argument("--cache-dir", default=".repro_cache", metavar="DIR",
+                   help="content-addressed run cache directory")
+    p.add_argument("--no-cache", action="store_true",
+                   help="disable the run cache and the persistent perf tier")
+    p.add_argument("--perf-dir", default=None, metavar="DIR",
+                   help="persistent perf-cache tier root "
+                        "(default: <cache-dir>/perf)")
+    p.add_argument("--trace", default=None, metavar="PATH",
+                   help="write per-run trace events to a JSONL file")
+    p.add_argument("--retries", type=int, default=2, metavar="N",
+                   help="times a cell whose pool worker died is retried "
+                        "before it is recorded as a crashed run")
+    p.add_argument("--cell-timeout", type=float, default=None, metavar="S",
+                   help="wall-clock budget per grid cell")
+    p.add_argument("--deadline", type=float, default=None, metavar="S",
+                   help="wall-clock budget for the whole resumed campaign")
+    p.set_defaults(func=cmd_resume)
     return parser
 
 

@@ -96,8 +96,10 @@ class RunResult:
     #: ``None`` for successful and *modeled* failures (compile/launch
     #: errors the simulation predicts, Fig. 2(b)'s missing bars);
     #: ``"crash"`` when the experiment harness captured an unexpected
-    #: exception or a worker death — crashes are operational accidents,
-    #: not content-addressable facts, so the run cache refuses them.
+    #: exception or a worker death, ``"timeout"`` when the campaign
+    #: watchdog demoted a cell that overran its wall-clock budget —
+    #: both are operational accidents, not content-addressable facts,
+    #: so the run cache and the journal replay refuse them.
     failure_kind: str | None = None
     diagnostics: dict = field(default_factory=dict, compare=False, repr=False)
 
@@ -108,6 +110,17 @@ class RunResult:
     @property
     def crashed(self) -> bool:
         return self.failure_kind == "crash"
+
+    @property
+    def timed_out(self) -> bool:
+        return self.failure_kind == "timeout"
+
+    @property
+    def operational_failure(self) -> bool:
+        """Whether this failure is a harness accident (crash/timeout)
+        rather than a modeled fact — accidents are never cached or
+        replayed, so the next campaign re-executes the cell."""
+        return self.failure_kind in ("crash", "timeout")
 
     def relative_to(self, baseline: "RunResult") -> tuple[float, float, float]:
         """(speedup, power ratio, energy ratio) against a baseline run."""
@@ -160,6 +173,29 @@ class RunResult:
             failure=reason,
             failure_kind="crash",
             diagnostics={"traceback": traceback_text} if traceback_text else {},
+        )
+
+    @classmethod
+    def timeout(
+        cls, benchmark: str, version: Version, precision: Precision, budget_s: float
+    ) -> "RunResult":
+        """A cell demoted by the campaign watchdog for overrunning its
+        wall-clock budget.
+
+        The ``failure`` text carries only the budget (not the measured
+        overrun), so it is byte-identical whether the hang was caught in
+        a pool worker or on the in-process path.
+        """
+        return cls(
+            benchmark=benchmark,
+            version=version,
+            precision=precision,
+            elapsed_s=float("nan"),
+            mean_power_w=float("nan"),
+            energy_j=float("nan"),
+            verified=False,
+            failure=f"timeout: cell exceeded its {budget_s:g}s wall-clock budget",
+            failure_kind="timeout",
         )
 
 

@@ -1,7 +1,15 @@
 """Experiment harness: campaign engine, figure builders, reports."""
 
 from .cache import CacheStats, RunCache
-from .engine import Campaign, CampaignReport, CampaignSpec, RunTask
+from .engine import (
+    Campaign,
+    CampaignReport,
+    CampaignSpec,
+    Clock,
+    DeadlineExceeded,
+    RunTask,
+)
+from .journal import CampaignJournal, JournalError, read_journal
 from .figures import (
     BAR_VERSIONS,
     FigureSeries,
@@ -23,9 +31,13 @@ __all__ = [
     "BAR_VERSIONS",
     "CacheStats",
     "Campaign",
+    "CampaignJournal",
     "CampaignReport",
     "CampaignSpec",
     "CellDelta",
+    "Clock",
+    "DeadlineExceeded",
+    "JournalError",
     "JsonlTraceSink",
     "ListTraceSink",
     "RegressionReport",
@@ -50,6 +62,7 @@ __all__ = [
     "format_figure",
     "format_summary",
     "format_sweep",
+    "read_journal",
     "read_trace",
     "run_grid",
     "run_repeated",

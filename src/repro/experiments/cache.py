@@ -18,6 +18,12 @@ Entries are one JSON file each under ``<root>/<key[:2]>/<key>.json``
 (git-friendly, rsync-able, trivially garbage-collected), written
 atomically via rename.  An entry whose embedded schema or key fields no
 longer match is *invalidated*: evicted, counted, and recomputed.
+
+The cache is an accelerator, never a point of failure: a ``store`` that
+hits resource exhaustion (ENOSPC, EACCES, a read-only filesystem)
+*degrades* the cache — one warning, writes disabled for the rest of the
+process, ``degraded_reason`` set for the campaign report — instead of
+failing the run that produced the result.
 """
 
 from __future__ import annotations
@@ -26,6 +32,7 @@ import hashlib
 import json
 import os
 import time
+import warnings
 from dataclasses import asdict, dataclass
 from pathlib import Path
 
@@ -83,6 +90,10 @@ class RunCache:
                 f"run cache root {self.root} exists and is not a directory"
             ) from None
         self.stats = CacheStats()
+        #: set to the triggering error text once a write hit resource
+        #: exhaustion; all further ``store`` calls are no-ops from then
+        #: on (loads keep working — a full disk can still serve hits)
+        self.degraded_reason: str | None = None
         self._sweep_stale_tmp()
 
     def path_for(self, key: str) -> Path:
@@ -116,27 +127,58 @@ class RunCache:
         except (KeyError, TypeError, ValueError):
             self._invalidate(path)
             return None
-        if run.failure_kind == "crash":
-            # crashes are never stored; an entry carrying one predates
-            # that rule (or was planted) and is not a fact — evict it
+        if run.failure_kind in ("crash", "timeout"):
+            # operational accidents are never stored; an entry carrying
+            # one predates that rule (or was planted) and is not a fact
+            # about the spec — evict it and re-execute
             self._invalidate(path)
             return None
         self.stats.hits += 1
         return run
 
     def store(self, key: str, run: RunResult) -> None:
-        """Persist one run under ``key`` (atomic write-then-rename)."""
+        """Persist one run under ``key`` (atomic write-then-rename).
+
+        Resource exhaustion (ENOSPC / EACCES / EROFS / EDQUOT) degrades
+        the cache — writes become no-ops for the rest of the process,
+        with one warning — instead of failing the run; other write
+        errors degrade as well, since a cache that cannot write is a
+        cache, not a blocker.
+        """
         from .runner import run_to_row
 
+        if self.degraded_reason is not None:
+            return
         path = self.path_for(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
         entry = {"cache_schema": CACHE_SCHEMA, "key": key, "run": run_to_row(run)}
         # per-process staging name: concurrent campaigns may store the
         # same cell; each stages privately and the rename is atomic
         tmp = path.with_suffix(f".{os.getpid()}.tmp")
-        tmp.write_text(json.dumps(entry, indent=1, sort_keys=True))
-        os.replace(tmp, path)
+        try:
+            if os.environ.get("REPRO_FAULTS"):
+                from . import faults
+
+                faults.maybe_disk_full("run_cache")
+            path.parent.mkdir(parents=True, exist_ok=True)
+            tmp.write_text(json.dumps(entry, indent=1, sort_keys=True))
+            os.replace(tmp, path)
+        except OSError as exc:
+            self._degrade(exc, tmp)
+            return
         self.stats.writes += 1
+
+    def _degrade(self, exc: OSError, tmp: Path) -> None:
+        """Disable writes after a resource-exhaustion error (warn once)."""
+        try:
+            tmp.unlink()
+        except OSError:
+            pass
+        self.degraded_reason = f"{type(exc).__name__}: {exc}"
+        warnings.warn(
+            f"run cache {self.root} degraded (writes disabled): "
+            f"{self.degraded_reason}",
+            stacklevel=3,
+        )
 
     # ------------------------------------------------------------------
     # maintenance / introspection (the ``repro cache`` CLI)

@@ -35,12 +35,37 @@ while every other cell still completes.  Even a terminal error (e.g.
 ``KeyboardInterrupt``) leaves behind a salvaged partial ``ResultSet``
 (:attr:`Campaign.salvage`), a fresh report, and a ``campaign_failed``
 trace event.
+
+Since PR 5 the engine is also **kill-proof and budget-aware**:
+
+* ``Campaign.run(journal_dir=...)`` appends an fsync'd JSONL journal
+  (:mod:`repro.experiments.journal`) of every completed cell, so a
+  campaign whose *orchestrating process* is SIGKILLed resumes with
+  :meth:`Campaign.resume` (or the ``repro resume`` CLI verb) — replayed
+  cells are skipped, the rest execute, and the final ``ResultSet`` is
+  byte-identical to an uninterrupted run;
+* ``cell_timeout_s`` / ``deadline_s`` arm a **deadline watchdog**: on
+  the pool path a monitor thread (:class:`_Watchdog`) kills workers
+  whose chunk overran its budget, the retry ladder narrows the hang to
+  a single cell, and that cell is demoted to a
+  ``failure_kind="timeout"`` result; in-process runs guard each cell
+  with a SIGALRM timer.  A campaign that overruns ``deadline_s``
+  terminates with :class:`DeadlineExceeded` — through the salvage path,
+  so the journal + partial results make the remainder resumable;
+* on-disk tiers that hit resource exhaustion (ENOSPC / EACCES)
+  *degrade* instead of failing the run — see
+  :meth:`repro.experiments.cache.RunCache.store` and
+  :meth:`repro.perf.persist.PersistentStore.store` — and the campaign
+  surfaces it as a ``tier_degraded`` trace event plus a
+  ``DEGRADED`` report line.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
+import signal
+import threading
 import time
 import traceback
 from collections import deque
@@ -50,6 +75,7 @@ from concurrent.futures import (
     ProcessPoolExecutor,
     wait,
 )
+from concurrent.futures import TimeoutError as FuturesTimeout
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable
@@ -65,10 +91,135 @@ from ..benchmarks.base import (
 )
 from ..benchmarks.registry import PAPER_ORDER, create
 from ..calibration.exynos5250 import ExynosPlatform, default_platform
+from ..errors import ReproError
 from . import faults
 from .cache import RunCache, run_key
+from .journal import CampaignJournal
 from .runner import ResultSet
 from .trace import JsonlTraceSink, Tracer, TraceSink
+
+
+class DeadlineExceeded(ReproError):
+    """The campaign overran ``deadline_s`` and was terminated.
+
+    Raised through the salvage path: completed cells are preserved in
+    :attr:`Campaign.salvage` (and, when a journal is attached, on disk)
+    so the remainder of the grid can be resumed under a fresh budget.
+    """
+
+
+class _CellTimeout(BaseException):
+    """Raised by the inline watchdog's SIGALRM handler.
+
+    A ``BaseException`` on purpose: it must sail through the engine's
+    per-cell crash capture (``except Exception``) so a budget overrun is
+    recorded as ``failure_kind="timeout"``, never as a crash.
+    """
+
+
+@dataclass(frozen=True)
+class Clock:
+    """Injectable time source for retries, budgets and the watchdog.
+
+    The engine only ever reads time through one of these, so
+    fault-tolerance tests substitute a fake (whose ``sleep`` advances
+    virtual time instantly) and exercise exponential backoff and budget
+    math without wall-sleeping.
+    """
+
+    monotonic: Callable[[], float] = time.monotonic
+    sleep: Callable[[float], None] = time.sleep
+
+
+def _kill_pool_processes(pool: ProcessPoolExecutor | None) -> None:
+    """Forcibly kill a pool's worker processes (stuck workers ignore
+    ``shutdown``; only SIGKILL unblocks their futures)."""
+    if pool is None:
+        return
+    processes = getattr(pool, "_processes", None) or {}
+    for process in list(processes.values()):
+        try:
+            process.kill()
+        except Exception:  # noqa: BLE001 — already-dead workers etc.
+            pass
+
+
+class _Watchdog:
+    """Monitor thread enforcing wall-clock budgets on pool execution.
+
+    The dispatcher registers every in-flight future with the budget of
+    its chunk (``cell_timeout_s`` × tasks); the thread polls the
+    campaign :class:`Clock` and, when a watch expires or the campaign
+    deadline passes, kills the active pool's workers — which breaks the
+    blocked ``wait()`` in the dispatcher and routes the expired chunk
+    into the timeout ladder.  All state is lock-guarded; the thread is
+    a daemon and is joined by :meth:`stop`.
+    """
+
+    POLL_S = 0.05
+
+    def __init__(
+        self,
+        clock: Clock,
+        deadline_at: float | None,
+        kill: Callable[[], None],
+    ) -> None:
+        self._clock = clock
+        self._deadline_at = deadline_at
+        self._kill = kill
+        self._lock = threading.Lock()
+        self._watches: dict[object, float] = {}
+        self._expired: set[object] = set()
+        self.deadline_hit = False
+        self._stop = threading.Event()
+        self._thread = threading.Thread(
+            target=self._loop, name="repro-campaign-watchdog", daemon=True
+        )
+        self._thread.start()
+
+    def watch(self, future: object, budget_s: float | None) -> None:
+        if budget_s is None:
+            return
+        with self._lock:
+            self._watches[future] = self._clock.monotonic() + budget_s
+
+    def unwatch(self, future: object) -> None:
+        with self._lock:
+            self._watches.pop(future, None)
+
+    def expired(self, future: object) -> bool:
+        """Whether this future's chunk overran its budget (one-shot)."""
+        with self._lock:
+            if future in self._expired:
+                self._expired.discard(future)
+                return True
+            return False
+
+    def stop(self) -> None:
+        self._stop.set()
+        self._thread.join(timeout=5.0)
+
+    def _loop(self) -> None:
+        while not self._stop.is_set():
+            now = self._clock.monotonic()
+            fire = False
+            with self._lock:
+                if (
+                    self._deadline_at is not None
+                    and now >= self._deadline_at
+                    and not self.deadline_hit
+                ):
+                    self.deadline_hit = True
+                    fire = True
+                overran = [f for f, at in self._watches.items() if now >= at]
+                for future in overran:
+                    self._expired.add(future)
+                    del self._watches[future]
+                if overran:
+                    fire = True
+            if fire:
+                self._kill()
+            self._clock.sleep(self.POLL_S)
 
 
 @dataclass(frozen=True)
@@ -346,6 +497,14 @@ class CampaignReport:
     pool_restarts: int = 0
     #: terminal error text when the campaign did not finish, else ``None``
     error: str | None = None
+    #: cells the watchdog demoted to ``failure_kind="timeout"`` results
+    #: (a subset of ``failed_runs``)
+    timeout_runs: tuple[tuple[str, Version, Precision], ...] = ()
+    #: cells replayed from the journal instead of executed (resume)
+    replayed: int = 0
+    #: on-disk cache tiers that degraded after resource exhaustion
+    #: (``"run_cache: ..."`` / ``"perf_store: ..."`` reason strings)
+    degraded: tuple[str, ...] = ()
 
     @property
     def hit_rate(self) -> float:
@@ -362,11 +521,16 @@ class CampaignReport:
             f" ({self.hit_rate:.0%} hit rate)",
             f"  executed: {self.executed}, failed: {len(self.failed_runs)}",
         ]
-        if self.crashed_runs or self.retries or self.pool_restarts:
+        if self.replayed:
+            lines.append(f"  resumed: {self.replayed} cells replayed from the journal")
+        if self.crashed_runs or self.retries or self.pool_restarts or self.timeout_runs:
             lines.append(
                 f"  recovery: {len(self.crashed_runs)} crashed, "
+                f"{len(self.timeout_runs)} timed out, "
                 f"{self.retries} retries, {self.pool_restarts} pool restarts"
             )
+        for tier in self.degraded:
+            lines.append(f"  DEGRADED {tier}")
         if self.error:
             lines.append(f"  TERMINATED: {self.error}")
         if self.perf:
@@ -383,8 +547,14 @@ class CampaignReport:
             if disk:
                 lines.append(f"  disk tier (hits/misses): {disk}")
         crashed = set(self.crashed_runs)
+        timed_out = set(self.timeout_runs)
         for bench, version, precision in self.failed_runs:
-            tag = "CRASHED" if (bench, version, precision) in crashed else "FAILED"
+            if (bench, version, precision) in crashed:
+                tag = "CRASHED"
+            elif (bench, version, precision) in timed_out:
+                tag = "TIMEOUT"
+            else:
+                tag = "FAILED"
             lines.append(f"    {tag} {bench} [{precision.label}] {version.value}")
         return "\n".join(lines)
 
@@ -408,12 +578,27 @@ class Campaign:
     seconds before each such retry (exponential backoff — useful when
     worker deaths stem from transient memory pressure).
 
+    ``cell_timeout_s`` budgets each cell's wall clock: a pool chunk
+    gets ``cell_timeout_s × tasks`` before the watchdog kills its
+    worker and the retry ladder narrows the hang down to the stuck
+    cell, which is demoted to a ``failure_kind="timeout"`` result; the
+    in-process path arms a per-cell SIGALRM timer instead.
+    ``deadline_s`` budgets the whole campaign — overrunning it raises
+    :class:`DeadlineExceeded` through the salvage path, so a journaled
+    campaign can be resumed under a fresh budget.  ``clock`` injects
+    the time source both budgets and the retry backoff read (tests use
+    a fake to avoid wall-sleeping).
+
     Usage::
 
         spec = CampaignSpec(scale=0.5)
         campaign = Campaign(spec, cache_dir="~/.cache/repro-runs")
-        results = campaign.run(jobs=4)
+        results = campaign.run(jobs=4, journal_dir="campaign.journal")
         print(campaign.report.describe())
+
+        # ... after a crash of the orchestrating process:
+        campaign = Campaign.resume("campaign.journal")
+        results = campaign.run(jobs=4)      # same bytes, cells skipped
     """
 
     def __init__(
@@ -426,11 +611,18 @@ class Campaign:
         progress: Callable[[str], None] | None = None,
         retries: int = 2,
         retry_backoff_s: float = 0.0,
+        cell_timeout_s: float | None = None,
+        deadline_s: float | None = None,
+        clock: Clock | None = None,
     ) -> None:
         if retries < 0:
             raise ValueError("retries must be >= 0")
         if retry_backoff_s < 0:
             raise ValueError("retry_backoff_s must be >= 0")
+        if cell_timeout_s is not None and cell_timeout_s <= 0:
+            raise ValueError("cell_timeout_s must be positive")
+        if deadline_s is not None and deadline_s <= 0:
+            raise ValueError("deadline_s must be positive")
         self.spec = spec
         self.cache = RunCache(Path(cache_dir).expanduser()) if cache_dir is not None else None
         self.perf_dir = Path(perf_dir).expanduser() if perf_dir is not None else None
@@ -438,6 +630,23 @@ class Campaign:
         self.progress = progress
         self.retries = retries
         self.retry_backoff_s = retry_backoff_s
+        self.cell_timeout_s = cell_timeout_s
+        self.deadline_s = deadline_s
+        self.clock = clock or Clock()
+        #: journal directory attached by :meth:`resume` (``run`` may
+        #: also receive one directly via ``journal_dir=``)
+        self.journal_dir: Path | None = None
+        # per-run execution state (reset by every :meth:`run`)
+        self._journal: CampaignJournal | None = None
+        self._replay: dict[tuple, RunResult] = {}
+        self._deadline_at: float | None = None
+        self._active_pool: ProcessPoolExecutor | None = None
+        self._worker_deltas: list[dict] = []
+        self._hits = 0
+        self._replayed = 0
+        self._retries = 0
+        self._pool_restarts = 0
+        self._degraded_traced: set[str] = set()
         #: populated by :meth:`run`
         self.report: CampaignReport | None = None
         #: partial :class:`ResultSet` salvaged when :meth:`run` ended in
@@ -445,12 +654,30 @@ class Campaign:
         self.salvage: ResultSet | None = None
 
     # ------------------------------------------------------------------
+    @classmethod
+    def resume(cls, journal_dir: str | Path, **kwargs) -> "Campaign":
+        """Reconstruct a campaign from its journal directory.
+
+        Loads the pickled :class:`CampaignSpec` the journal was written
+        for (platform object included) and returns a campaign with the
+        journal pre-attached: calling :meth:`run` replays every
+        completed cell from the journal, executes only the remainder,
+        and returns a ``ResultSet`` byte-identical to an uninterrupted
+        run.  ``kwargs`` are the usual constructor knobs (``cache_dir``,
+        ``trace``, ``cell_timeout_s``, ...).
+        """
+        spec = CampaignJournal.load_spec(journal_dir)
+        campaign = cls(spec, **kwargs)
+        campaign.journal_dir = Path(journal_dir).expanduser()
+        return campaign
+
+    # ------------------------------------------------------------------
     def plan(self) -> tuple[RunTask, ...]:
         """The spec's grid as independent, schedulable tasks."""
         return self.spec.tasks()
 
     # ------------------------------------------------------------------
-    def run(self, *, jobs: int = 1) -> ResultSet:
+    def run(self, *, jobs: int = 1, journal_dir: str | Path | None = None) -> ResultSet:
         """Execute the campaign and return its :class:`ResultSet`.
 
         ``jobs=1`` runs every task in-process in canonical order (the
@@ -459,47 +686,69 @@ class Campaign:
         ``to_json()`` is byte-identical, because every cell is a pure
         function of the spec.
 
+        ``journal_dir`` attaches the durable campaign journal
+        (:mod:`repro.experiments.journal`): every completed cell is
+        checkpointed with an fsync'd append before execution proceeds,
+        and a journal left behind by a killed campaign replays its
+        completed cells instead of re-executing them (also how
+        :meth:`resume` continues after the orchestrating process died).
+
         A terminal error (anything the recovery machinery does not
-        absorb — e.g. ``KeyboardInterrupt``) still leaves the campaign
-        accounted for: the completed cells are salvaged into
-        :attr:`salvage`, :attr:`report` is set fresh with the error
-        text, a ``campaign_failed`` trace event closes the trace, and
-        the error is re-raised.
+        absorb — e.g. ``KeyboardInterrupt``, or the watchdog's
+        :class:`DeadlineExceeded`) still leaves the campaign accounted
+        for: the completed cells are salvaged into :attr:`salvage`,
+        :attr:`report` is set fresh with the error text, a
+        ``campaign_failed`` trace event closes the trace, and the error
+        is re-raised.
         """
         self.report = None
         self.salvage = None
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
+        if journal_dir is None:
+            journal_dir = self.journal_dir
+        journal = CampaignJournal(journal_dir) if journal_dir is not None else None
         sink, owns_sink = self._resolve_sink()
         tracer = Tracer(sink)
-        t0 = time.monotonic()
+        t0 = self.clock.monotonic()
+        self._deadline_at = t0 + self.deadline_s if self.deadline_s is not None else None
         tasks = self.plan()
         fingerprint = self.spec.fingerprint()
-        tracer.emit(
-            "campaign_started",
-            detail={
-                "fingerprint": fingerprint,
-                "runs": len(tasks),
-                "jobs": jobs,
-                "cache": str(self.cache.root) if self.cache else "off",
-                "perf_cache": str(self.perf_dir) if self.perf_dir else "off",
-                "retries": self.retries,
-            },
-        )
+        self._journal = journal
+        self._replay = journal.open(self.spec) if journal is not None else {}
+        detail = {
+            "fingerprint": fingerprint,
+            "runs": len(tasks),
+            "jobs": jobs,
+            "cache": str(self.cache.root) if self.cache else "off",
+            "perf_cache": str(self.perf_dir) if self.perf_dir else "off",
+            "retries": self.retries,
+        }
+        if journal is not None:
+            detail["journal"] = str(journal.root)
+            detail["replayed"] = len(self._replay)
+        if self.cell_timeout_s is not None:
+            detail["cell_timeout_s"] = self.cell_timeout_s
+        if self.deadline_s is not None:
+            detail["deadline_s"] = self.deadline_s
+        tracer.emit("campaign_started", detail=detail)
         prior_store = perf.persistent_store()
         if self.perf_dir is not None:
             perf.configure(persist_dir=self.perf_dir)
         perf_before = perf.counters()
         self._worker_deltas: list[dict] = []
         self._hits = 0
+        self._replayed = 0
         self._retries = 0
         self._pool_restarts = 0
+        self._degraded_traced: set[str] = set()
         results: dict[tuple, RunResult] = {}
         try:
             self._gather(tasks, jobs, tracer, results)
             out = ResultSet(fingerprint=fingerprint)
             for task in tasks:
                 out.add(results[task.cell])
+            self._trace_degraded(tracer)
             self.report = self._build_report(
                 fingerprint, tasks, results, jobs, t0, perf_before
             )
@@ -511,12 +760,16 @@ class Campaign:
                     "cache_hits": self.report.cache_hits,
                     "failed": len(self.report.failed_runs),
                     "crashed": len(self.report.crashed_runs),
+                    "timed_out": len(self.report.timeout_runs),
+                    "replayed": self.report.replayed,
                     "retries": self.report.retries,
                     "pool_restarts": self.report.pool_restarts,
                     "wall_s": round(self.report.wall_s, 3),
                     "perf": self.report.perf,
                 },
             )
+            if journal is not None:
+                journal.campaign_finished()
             return out
         except BaseException as exc:
             # Salvage: the campaign did not finish, but everything that
@@ -527,6 +780,7 @@ class Campaign:
                     partial.add(results[task.cell])
             self.salvage = partial
             error = f"{type(exc).__name__}: {exc}"
+            self._trace_degraded(tracer)
             self.report = self._build_report(
                 fingerprint, tasks, results, jobs, t0, perf_before, error=error
             )
@@ -538,6 +792,7 @@ class Campaign:
                     "completed": len(partial.results),
                     "total": len(tasks),
                     "crashed": len(self.report.crashed_runs),
+                    "timed_out": len(self.report.timeout_runs),
                     "retries": self.report.retries,
                     "pool_restarts": self.report.pool_restarts,
                     "wall_s": round(self.report.wall_s, 3),
@@ -545,6 +800,11 @@ class Campaign:
             )
             raise
         finally:
+            self._journal = None
+            self._replay = {}
+            self._deadline_at = None
+            if journal is not None:
+                journal.close()
             if self.perf_dir is not None:
                 perf.configure(persist_dir=prior_store)
             if owns_sink:
@@ -570,19 +830,42 @@ class Campaign:
         return CampaignReport(
             fingerprint=fingerprint,
             total_runs=len(tasks),
-            executed=len(completed) - self._hits,
+            executed=len(completed) - self._hits - self._replayed,
             cache_hits=stats.hits if stats else 0,
             cache_misses=stats.misses if stats else 0,
             cache_invalidated=stats.invalidated if stats else 0,
             failed_runs=tuple(t.cell for t in completed if not results[t.cell].ok),
             jobs=jobs,
-            wall_s=time.monotonic() - t0,
+            wall_s=self.clock.monotonic() - t0,
             perf=perf_delta or None,
             crashed_runs=tuple(t.cell for t in completed if results[t.cell].crashed),
             retries=self._retries,
             pool_restarts=self._pool_restarts,
             error=error,
+            timeout_runs=tuple(t.cell for t in completed if results[t.cell].timed_out),
+            replayed=self._replayed,
+            degraded=self._degraded_tiers(),
         )
+
+    def _degraded_tiers(self) -> tuple[str, ...]:
+        """``"<tier>: <reason>"`` for every on-disk tier that disabled
+        its writes after resource exhaustion during this run."""
+        out: list[str] = []
+        if self.cache is not None and self.cache.degraded_reason:
+            out.append(f"run_cache: {self.cache.degraded_reason}")
+        store = perf.persistent_store()
+        if store is not None and getattr(store, "degraded_reason", None):
+            out.append(f"perf_store: {store.degraded_reason}")
+        return tuple(out)
+
+    def _trace_degraded(self, tracer: Tracer) -> None:
+        """Emit one ``tier_degraded`` event per newly degraded tier."""
+        for tier in self._degraded_tiers():
+            name, _, reason = tier.partition(": ")
+            if name in self._degraded_traced:
+                continue
+            self._degraded_traced.add(name)
+            tracer.emit("tier_degraded", detail={"tier": name, "reason": reason})
 
     # ------------------------------------------------------------------
     # internals
@@ -618,6 +901,21 @@ class Campaign:
         pending: list[tuple[RunTask, str | None]] = []
         for task in tasks:
             tracer.emit("queued", **self._task_fields(task))
+            replayed = self._replay.get(task.cell)
+            if replayed is not None:
+                # Journal replay outranks the cache: the journal is the
+                # durable record of *this* campaign's own execution.
+                self._replayed += 1
+                results[task.cell] = replayed
+                tracer.emit(
+                    "finished",
+                    cache="journal",
+                    elapsed_s=replayed.elapsed_s,
+                    energy_j=replayed.energy_j,
+                    ok=replayed.ok,
+                    **self._task_fields(task),
+                )
+                continue
             key = None
             if self.cache is not None:
                 key = run_key(run_fp, task.benchmark, task.version, task.precision)
@@ -667,10 +965,16 @@ class Campaign:
         exactly like the classic serial loop — the RNG is consumed only
         during setup, so this is observably identical to running each
         cell on a fresh instance.  Cell crashes (including a failing
-        ``setup``) are captured per task, mirroring the pool path."""
+        ``setup``) are captured per task, mirroring the pool path.
+
+        Budgets: the deadline is checked between cells (raising
+        :class:`DeadlineExceeded` through the salvage path) and each
+        cell runs under a SIGALRM guard — :meth:`_guarded_run` — when
+        ``cell_timeout_s`` or a deadline is armed."""
         benches: dict[tuple[str, Precision], Benchmark] = {}
         bench_exc: dict[tuple[str, Precision], Exception] = {}
         for task, key in pending:
+            self._check_deadline()
             self._dispatch(task, tracer)
             bkey = (task.benchmark, task.precision)
             if bkey not in benches and bkey not in bench_exc:
@@ -686,7 +990,7 @@ class Campaign:
                     bench_exc[bkey] = exc
             before = perf.counters()
             if bkey in benches:
-                run = _safe_run(benches[bkey], task)
+                run = self._guarded_run(benches[bkey], task)
             else:
                 run = _crash_result(task, bench_exc[bkey])
             self._finish(
@@ -697,6 +1001,55 @@ class Campaign:
                 tracer,
                 perf_delta=perf.counters_delta(before, perf.counters()),
             )
+
+    def _check_deadline(self) -> None:
+        if self._deadline_at is not None and self.clock.monotonic() >= self._deadline_at:
+            raise DeadlineExceeded(
+                f"campaign exceeded its {self.deadline_s:g}s deadline"
+            )
+
+    def _guarded_run(self, bench: Benchmark, task: RunTask) -> RunResult:
+        """Execute one in-process cell under its wall-clock budget.
+
+        The budget is ``cell_timeout_s`` clamped to the remaining
+        campaign deadline, enforced with a real SIGALRM interval timer
+        (signals cannot read the injectable clock) that raises
+        :class:`_CellTimeout` — a ``BaseException``, so it sails through
+        the crash capture in :func:`_safe_run` and the cell is demoted
+        to a ``failure_kind="timeout"`` result.  Any previously armed
+        ITIMER_REAL (e.g. a test harness watchdog) is restored minus
+        the time this cell consumed.  Off the main thread — where
+        ``signal`` is unavailable — the cell runs unguarded.
+        """
+        budget = self.cell_timeout_s
+        if self._deadline_at is not None:
+            remaining = max(self._deadline_at - self.clock.monotonic(), 0.001)
+            budget = remaining if budget is None else min(budget, remaining)
+        if budget is None or threading.current_thread() is not threading.main_thread():
+            return _safe_run(bench, task)
+
+        def _on_alarm(signum, frame):  # noqa: ARG001 — signal signature
+            raise _CellTimeout()
+
+        start = time.monotonic()
+        prev_handler = signal.signal(signal.SIGALRM, _on_alarm)
+        prev_delay, _prev_interval = signal.getitimer(signal.ITIMER_REAL)
+        signal.setitimer(signal.ITIMER_REAL, budget)
+        try:
+            return _safe_run(bench, task)
+        except _CellTimeout:
+            reported = self.cell_timeout_s if self.cell_timeout_s is not None else budget
+            return RunResult.timeout(
+                task.benchmark, task.version, task.precision, reported
+            )
+        finally:
+            signal.setitimer(signal.ITIMER_REAL, 0)
+            signal.signal(signal.SIGALRM, prev_handler)
+            if prev_delay > 0:
+                signal.setitimer(
+                    signal.ITIMER_REAL,
+                    max(prev_delay - (time.monotonic() - start), 0.001),
+                )
 
     # A pool *chunk* is a tuple of groups, each group a tuple of
     # (task, cache key) pairs.  Chunks start as whole families; the
@@ -719,6 +1072,17 @@ class Campaign:
             queue.append(tuple(tuple(group) for group in family))
         failures: dict[tuple, int] = {}
         pool = self._new_pool(max_workers)
+        self._active_pool = pool
+        # The watchdog kills *whatever pool is currently active* — after
+        # a restart the hung chunk is resubmitted to the new pool, so
+        # the indirection through the attribute is load-bearing.
+        watchdog: _Watchdog | None = None
+        if self.cell_timeout_s is not None or self._deadline_at is not None:
+            watchdog = _Watchdog(
+                self.clock,
+                self._deadline_at,
+                lambda: _kill_pool_processes(self._active_pool),
+            )
         futures: dict = {}
         try:
             while queue or futures:
@@ -726,28 +1090,60 @@ class Campaign:
                     chunk = queue.popleft()
                     payload = tuple(tuple(t for t, _ in group) for group in chunk)
                     try:
-                        futures[pool.submit(_execute_family, payload)] = chunk
+                        future = pool.submit(_execute_family, payload)
                     except BrokenExecutor as exc:  # died between batches
                         pool = self._restart_pool(pool, max_workers, tracer, exc)
-                        futures[pool.submit(_execute_family, payload)] = chunk
+                        future = pool.submit(_execute_family, payload)
+                    futures[future] = chunk
+                    if watchdog is not None and self.cell_timeout_s is not None:
+                        # a chunk's budget scales with its task count —
+                        # only once the ladder narrows to a single task
+                        # does overrunning it convict the cell
+                        n_tasks = sum(len(group) for group in chunk)
+                        watchdog.watch(future, self.cell_timeout_s * n_tasks)
                 done, _ = wait(futures, return_when=FIRST_COMPLETED)
                 broken: BaseException | None = None
                 for future in done:
+                    if watchdog is not None:
+                        watchdog.unwatch(future)
                     exc = self._resolve(
-                        future, futures.pop(future), failures, queue, tracer, results
+                        future,
+                        futures.pop(future),
+                        failures,
+                        queue,
+                        tracer,
+                        results,
+                        timed_out=watchdog.expired(future) if watchdog else False,
                     )
                     if isinstance(exc, BrokenExecutor):
                         broken = exc
+                if watchdog is not None and watchdog.deadline_hit:
+                    raise DeadlineExceeded(
+                        f"campaign exceeded its {self.deadline_s:g}s deadline"
+                    )
                 if broken is not None:
                     # The executor is dead and every outstanding future
                     # resolves (exceptionally) right away: fold them all
                     # into the retry queue, then rebuild the pool once.
                     for future in list(futures):
+                        if watchdog is not None:
+                            watchdog.unwatch(future)
                         self._resolve(
-                            future, futures.pop(future), failures, queue, tracer, results
+                            future,
+                            futures.pop(future),
+                            failures,
+                            queue,
+                            tracer,
+                            results,
+                            timed_out=watchdog.expired(future) if watchdog else False,
                         )
                     pool = self._restart_pool(pool, max_workers, tracer, broken)
         finally:
+            if watchdog is not None:
+                watchdog.stop()
+                # stuck workers ignore shutdown(); make the join finite
+                _kill_pool_processes(pool)
+            self._active_pool = None
             pool.shutdown(wait=True, cancel_futures=True)
 
     def _resolve(
@@ -758,19 +1154,58 @@ class Campaign:
         queue: deque,
         tracer: Tracer,
         results: dict[tuple, RunResult],
+        timed_out: bool = False,
     ) -> BaseException | None:
         """Harvest one finished future, or feed its chunk to the retry
-        ladder; returns the failure exception, if any."""
+        ladder (timeout ladder when the watchdog expired it); returns
+        the failure exception, if any.  An expired future that actually
+        completed keeps its real result — the kill raced a finish."""
         try:
             group_runs, family_delta = future.result()
         except Exception as exc:  # noqa: BLE001 — worker-death recovery
-            self._requeue(chunk, exc, failures, queue, tracer, results)
+            if timed_out:
+                self._handle_timeout(chunk, queue, tracer, results)
+            else:
+                self._requeue(chunk, exc, failures, queue, tracer, results)
             return exc
         self._worker_deltas.append(family_delta)
         for group, runs in zip(chunk, group_runs):
             for (task, key), (run, delta) in zip(group, runs):
                 self._finish(task, key, run, results, tracer, perf_delta=delta)
         return None
+
+    def _handle_timeout(
+        self,
+        chunk,
+        queue: deque,
+        tracer: Tracer,
+        results: dict[tuple, RunResult],
+    ) -> None:
+        """Timeout ladder: narrow an overrun chunk to the stuck cell.
+
+        Mirrors the crash ladder's splits (family → version groups →
+        single tasks, each resubmission with a proportionally smaller
+        budget) but needs no probe: a *single* task that overran its
+        own ``cell_timeout_s`` is convicted outright and demoted to a
+        ``failure_kind="timeout"`` result — re-running a hang with the
+        same budget would just hang again.
+        """
+        if len(chunk) > 1:  # family → its version groups
+            self._retries += 1
+            for group in chunk:
+                queue.append((group,))
+            return
+        group = chunk[0]
+        if len(group) > 1:  # version group → single tasks
+            self._retries += 1
+            for entry in group:
+                queue.append(((entry,),))
+            return
+        task, key = group[0]
+        run = RunResult.timeout(
+            task.benchmark, task.version, task.precision, self.cell_timeout_s
+        )
+        self._finish(task, key, run, results, tracer)
 
     def _requeue(
         self,
@@ -807,7 +1242,7 @@ class Campaign:
         attempts = failures[task.cell]
         if attempts <= self.retries:
             if self.retry_backoff_s > 0:
-                time.sleep(self.retry_backoff_s * (2 ** (attempts - 1)))
+                self.clock.sleep(self.retry_backoff_s * (2 ** (attempts - 1)))
             queue.append(chunk)
             return
         self._probe(task, key, failures, tracer, results)
@@ -823,12 +1258,21 @@ class Campaign:
         """Final verdict for a suspect cell: run it alone on a one-worker
         pool.  If it kills that worker too it is certainly the culprit
         and is demoted to a crashed result; an innocent collateral
-        victim of other cells' pool breaks simply completes here."""
+        victim of other cells' pool breaks simply completes here.  With
+        ``cell_timeout_s`` armed the probe itself is budgeted — a probe
+        that hangs is killed and demoted to a timeout result."""
         probe = self._new_pool(1)
         try:
             future = probe.submit(_execute_family, ((task,),))
             try:
-                group_runs, family_delta = future.result()
+                group_runs, family_delta = future.result(timeout=self.cell_timeout_s)
+            except FuturesTimeout:
+                _kill_pool_processes(probe)
+                run = RunResult.timeout(
+                    task.benchmark, task.version, task.precision, self.cell_timeout_s
+                )
+                self._finish(task, key, run, results, tracer)
+                return
             except Exception as exc:  # noqa: BLE001 — the verdict
                 failures[task.cell] += 1
                 run = _worker_loss_result(task, exc, failures[task.cell])
@@ -864,9 +1308,13 @@ class Campaign:
                 "restarts": self._pool_restarts,
             },
         )
-        return self._new_pool(max_workers)
+        fresh = self._new_pool(max_workers)
+        self._active_pool = fresh
+        return fresh
 
     def _dispatch(self, task: RunTask, tracer: Tracer) -> None:
+        if self._journal is not None:
+            self._journal.cell_started(task.benchmark, task.version, task.precision)
         if self.progress is not None:
             self.progress(task.label)
         tracer.emit("started", **self._task_fields(task))
@@ -881,16 +1329,27 @@ class Campaign:
         perf_delta: dict | None = None,
     ) -> None:
         results[task.cell] = run
-        # Crashes are operational accidents of *this* execution, not
-        # content-addressable facts about the spec (unlike modeled quirk
-        # failures) — never persist them to the run cache.
-        if self.cache is not None and key is not None and not run.crashed:
+        # The journal checkpoint precedes the cache store: once the
+        # engine moves on, this cell must survive any kill.
+        if self._journal is not None:
+            self._journal.cell_finished(task.benchmark, task.version, task.precision, run)
+        # Crashes and timeouts are operational accidents of *this*
+        # execution, not content-addressable facts about the spec
+        # (unlike modeled quirk failures) — never persist them to the
+        # run cache.
+        if self.cache is not None and key is not None and not run.operational_failure:
             self.cache.store(key, run)
         if run.crashed:
             crash_detail: dict = {"failure": run.failure}
             if run.diagnostics.get("traceback"):
                 crash_detail["traceback"] = run.diagnostics["traceback"]
             tracer.emit("run_crashed", detail=crash_detail, **self._task_fields(task))
+        elif run.timed_out:
+            tracer.emit(
+                "run_timed_out",
+                detail={"failure": run.failure},
+                **self._task_fields(task),
+            )
         detail: dict = {}
         if run.failure:
             detail["failure"] = run.failure

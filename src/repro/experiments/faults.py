@@ -12,7 +12,18 @@ driven on purpose.  This module injects failures into exact grid cells:
   ``jobs=1`` campaign is never killed by its own test rig;
 * ``mode="abort"`` — raise :class:`InjectedAbort` (a ``BaseException``),
   which deliberately escapes crash capture and exercises the engine's
-  salvage path.
+  salvage path;
+* ``mode="hang"`` — sleep for ``seconds`` inside the cell (default one
+  hour), the stand-in for a stuck worker: the deadline watchdog must
+  detect it, kill the worker and demote the cell to a
+  ``failure_kind="timeout"`` result.  Without a watchdog the cell
+  simply finishes late — the fault never corrupts a result;
+* ``mode="enospc"`` — not matched against grid cells but against the
+  on-disk cache *tiers* (``benchmark`` holds the tier name,
+  ``"run_cache"`` or ``"perf_store"``): :func:`maybe_disk_full` raises
+  ``OSError(ENOSPC)`` inside the tier's write path, driving the
+  resource-exhaustion degradation (the tier disables itself for the
+  rest of the campaign instead of failing the run).
 
 Faults are installed into ``os.environ`` so pool workers see them under
 both the fork and spawn start methods, and attempt counters live in a
@@ -26,9 +37,11 @@ lookup — the hook costs nothing on production campaigns.
 
 from __future__ import annotations
 
+import errno
 import json
 import os
 import re
+import time
 from contextlib import contextmanager
 from dataclasses import asdict, dataclass
 from pathlib import Path
@@ -60,17 +73,21 @@ class FaultSpec:
     ``version`` / ``precision`` use the enum ``.value`` strings
     (``"OpenCL"``, ``"single"``); ``None`` matches any.  ``times`` is
     the number of *first attempts* of the cell that trigger the fault;
-    ``-1`` means every attempt (a persistent crasher).
+    ``-1`` means every attempt (a persistent crasher).  ``seconds``
+    only matters to ``mode="hang"`` (how long the cell stalls).  For
+    ``mode="enospc"`` the ``benchmark`` field names the targeted cache
+    tier (``"run_cache"`` / ``"perf_store"``) instead of a grid cell.
     """
 
     benchmark: str
     version: str | None = None
     precision: str | None = None
-    mode: str = "raise"  # "raise" | "exit" | "abort"
+    mode: str = "raise"  # "raise" | "exit" | "abort" | "hang" | "enospc"
     times: int = 1
+    seconds: float = 3600.0
 
     def __post_init__(self) -> None:
-        if self.mode not in ("raise", "exit", "abort"):
+        if self.mode not in ("raise", "exit", "abort", "hang", "enospc"):
             raise ValueError(f"unknown fault mode {self.mode!r}")
 
 
@@ -133,6 +150,8 @@ def maybe_crash(benchmark: str, version=None, precision=None) -> None:
     version = getattr(version, "value", version)
     precision = getattr(precision, "value", precision)
     for spec in config.faults:
+        if spec.mode == "enospc":  # tier faults never match grid cells
+            continue
         if spec.benchmark != benchmark:
             continue
         if spec.version is not None and spec.version != version:
@@ -143,6 +162,29 @@ def maybe_crash(benchmark: str, version=None, precision=None) -> None:
         if 0 <= spec.times < attempt:
             return
         _trigger(spec, benchmark, version, precision)
+
+
+def maybe_disk_full(tier: str) -> None:
+    """Tier fault hook: simulate resource exhaustion on a cache write.
+
+    Called by :meth:`repro.experiments.cache.RunCache.store` and
+    :meth:`repro.perf.persist.PersistentStore.store` before the real
+    write.  Raises ``OSError(ENOSPC)`` when an ``enospc`` fault is
+    installed for ``tier`` (``"run_cache"`` / ``"perf_store"``); a
+    no-op otherwise, so production campaigns pay one env lookup.
+    """
+    config = _config()
+    if config is None:
+        return
+    for spec in config.faults:
+        if spec.mode != "enospc" or spec.benchmark != tier:
+            continue
+        attempt = _bump(config.state_dir, tier, "disk", spec.mode)
+        if 0 <= spec.times < attempt:
+            return
+        raise OSError(
+            errno.ENOSPC, f"No space left on device (injected: {tier})"
+        )
 
 
 def attempts(state_dir: str | Path, benchmark: str, version=None, precision=None) -> int:
@@ -205,4 +247,13 @@ def _trigger(spec: FaultSpec, benchmark: str, version, precision) -> None:
         raise InjectedCrash(f"injected worker kill (in-process): {label}")
     if spec.mode == "abort":
         raise InjectedAbort(f"injected abort: {label}")
+    if spec.mode == "hang":
+        # A stuck cell, not a dead one: sleep through the budget.  The
+        # watchdog kills the hosting worker (or, in-process, interrupts
+        # the sleep via SIGALRM); with no watchdog the cell just
+        # finishes late, so the fault can never corrupt a result.
+        deadline = time.monotonic() + spec.seconds
+        while time.monotonic() < deadline:
+            time.sleep(min(1.0, max(0.0, deadline - time.monotonic())))
+        return
     raise InjectedCrash(f"injected crash: {label}")

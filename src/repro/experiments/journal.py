@@ -1,0 +1,288 @@
+"""Durable campaign journal: crash-safe checkpoint / resume.
+
+A :class:`~repro.experiments.engine.Campaign` run with
+``journal_dir=...`` appends one fsync'd JSON line per state transition
+to ``<journal_dir>/journal.jsonl``:
+
+* ``campaign_planned`` — the header: spec fingerprint, run fingerprint,
+  grid size, journal schema (written once, when the journal is fresh);
+* ``cell_started`` / ``cell_finished`` — per grid cell, the latter
+  carrying the full serialized :class:`~repro.benchmarks.base.RunResult`
+  row (the checkpoint payload);
+* ``campaign_resumed`` — appended every time an existing journal is
+  re-attached, with the number of cells it replayed;
+* ``campaign_finished`` — the footer of a completed campaign.
+
+Alongside the journal, ``<journal_dir>/spec.pkl`` holds the pickled
+:class:`~repro.experiments.engine.CampaignSpec` so a resume can
+reconstruct the *exact* grid — platform object included — without the
+caller re-supplying it.
+
+Durability model: every record is flushed **and fsync'd** before the
+engine proceeds, so the journal is a prefix-consistent account of the
+campaign no matter when the process dies — ``SIGKILL``, OOM kill, power
+loss.  The one artifact a kill can leave is a *torn final line* (the
+write straddled the fsync); :func:`read_journal` drops it with a
+warning, because an interrupted append is expected damage, unlike
+corruption mid-file which still raises.
+
+Replay semantics: :meth:`CampaignJournal.open` returns the completed
+cells as ``{(benchmark, Version, Precision): RunResult}``.  Rows whose
+``failure_kind`` is operational (``"crash"`` / ``"timeout"``) are *not*
+replayed — like the run cache, the journal refuses to turn an accident
+of one execution into a fact about the spec — so a resumed campaign
+re-executes them.  Everything else round-trips through
+:func:`~repro.experiments.runner.run_to_row`, which is exactly the
+serialization ``ResultSet.to_json`` uses: a resumed campaign's output
+is byte-identical to an uninterrupted run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import warnings
+from pathlib import Path
+from typing import IO, TYPE_CHECKING
+
+from ..benchmarks.base import Precision, RunResult, Version
+from ..errors import ReproError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .engine import CampaignSpec
+
+#: bump when record semantics change (readers refuse foreign schemas)
+JOURNAL_SCHEMA = 1
+#: journal file name inside the journal directory
+JOURNAL_NAME = "journal.jsonl"
+#: pickled CampaignSpec next to the journal (resume reconstructs from it)
+SPEC_NAME = "spec.pkl"
+
+#: cell-level record events, in lifecycle order
+CELL_EVENTS = ("cell_started", "cell_finished")
+#: campaign-level envelope events
+ENVELOPE_EVENTS = ("campaign_planned", "campaign_resumed", "campaign_finished")
+
+
+class JournalError(ReproError):
+    """A journal directory that cannot be used (missing header, foreign
+    schema, or a spec that does not match the resuming campaign)."""
+
+
+def _cell_fields(benchmark: str, version: Version, precision: Precision) -> dict:
+    return {
+        "benchmark": benchmark,
+        "version": version.value,
+        "precision": precision.value,
+    }
+
+
+class CampaignJournal:
+    """Writer (and attach-time reader) of one campaign's durable journal.
+
+    The engine drives it: ``open(spec)`` attaches — creating a fresh
+    journal or replaying an existing one — then ``cell_started`` /
+    ``cell_finished`` record progress and ``campaign_finished`` seals a
+    completed run.  All writes go through one fsync'd append path.
+    """
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root).expanduser()
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+        except FileExistsError:
+            raise NotADirectoryError(
+                f"journal dir {self.root} exists and is not a directory"
+            ) from None
+        self.path = self.root / JOURNAL_NAME
+        self.spec_path = self.root / SPEC_NAME
+        self._fh: IO[str] | None = None
+        #: cells replayed by the last :meth:`open` (resume bookkeeping)
+        self.replayed: dict[tuple[str, Version, Precision], RunResult] = {}
+
+    # ------------------------------------------------------------------
+    # attach / replay
+    # ------------------------------------------------------------------
+    def open(self, spec: "CampaignSpec") -> dict[tuple[str, Version, Precision], RunResult]:
+        """Attach the journal for ``spec``; returns replayable cells.
+
+        A fresh directory gets ``spec.pkl`` plus a ``campaign_planned``
+        header.  An existing journal is verified against the spec's
+        fingerprint (a mismatched journal raises :class:`JournalError` —
+        silently mixing two campaigns in one journal would corrupt
+        both), its completed cells are loaded, and a
+        ``campaign_resumed`` record is appended.
+        """
+        fingerprint = spec.fingerprint()
+        fresh = not self.path.exists()
+        self.replayed = {}
+        if fresh:
+            with open(self.spec_path, "wb") as fh:
+                pickle.dump(spec, fh, protocol=pickle.HIGHEST_PROTOCOL)
+                fh.flush()
+                os.fsync(fh.fileno())
+            self._fh = self.path.open("a")
+            self._append(
+                {
+                    "event": "campaign_planned",
+                    "schema": JOURNAL_SCHEMA,
+                    "fingerprint": fingerprint,
+                    "run_fingerprint": spec.run_fingerprint(),
+                    "total": spec.size,
+                }
+            )
+            return {}
+        records = read_journal(self.root)
+        header = next((r for r in records if r.get("event") == "campaign_planned"), None)
+        if header is None:
+            raise JournalError(f"journal {self.path} has no campaign_planned header")
+        if header.get("schema") != JOURNAL_SCHEMA:
+            raise JournalError(
+                f"journal {self.path} has foreign schema {header.get('schema')!r} "
+                f"(this version writes {JOURNAL_SCHEMA})"
+            )
+        if header.get("fingerprint") != fingerprint:
+            raise JournalError(
+                f"journal {self.path} belongs to campaign "
+                f"{header.get('fingerprint')}, not {fingerprint}"
+            )
+        self.replayed = replay_cells(records)
+        self._fh = self.path.open("a")
+        self._append(
+            {
+                "event": "campaign_resumed",
+                "fingerprint": fingerprint,
+                "replayed": len(self.replayed),
+            }
+        )
+        return dict(self.replayed)
+
+    @staticmethod
+    def load_spec(root: str | Path) -> "CampaignSpec":
+        """The pickled :class:`CampaignSpec` a journal dir was built for."""
+        spec_path = Path(root).expanduser() / SPEC_NAME
+        try:
+            with open(spec_path, "rb") as fh:
+                spec = pickle.load(fh)
+        except FileNotFoundError:
+            raise JournalError(f"no campaign spec at {spec_path} — nothing to resume") from None
+        except Exception as exc:
+            raise JournalError(f"unreadable campaign spec at {spec_path}: {exc}") from exc
+        from .engine import CampaignSpec
+
+        if not isinstance(spec, CampaignSpec):
+            raise JournalError(f"{spec_path} does not hold a CampaignSpec")
+        return spec
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+    def cell_started(self, benchmark: str, version: Version, precision: Precision) -> None:
+        self._append({"event": "cell_started", **_cell_fields(benchmark, version, precision)})
+
+    def cell_finished(
+        self, benchmark: str, version: Version, precision: Precision, run: RunResult
+    ) -> None:
+        """Checkpoint one completed cell (the resume payload)."""
+        from .runner import run_to_row
+
+        self._append(
+            {
+                "event": "cell_finished",
+                **_cell_fields(benchmark, version, precision),
+                "run": run_to_row(run),
+            }
+        )
+
+    def campaign_finished(self) -> None:
+        self._append({"event": "campaign_finished"})
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "CampaignJournal":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def _append(self, record: dict) -> None:
+        """Durably append one record: write, flush, **fsync**.
+
+        The fsync is the crash-safety contract — a record the engine has
+        acted on (e.g. skipped re-executing a cell) must survive any
+        subsequent kill.  Journaled campaigns are long (cells cost
+        seconds), so one fsync per record is noise.
+        """
+        if self._fh is None:
+            raise JournalError(f"journal {self.path} is not open for writing")
+        self._fh.write(json.dumps(record, sort_keys=True) + "\n")
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+
+
+# ---------------------------------------------------------------------------
+# reading
+# ---------------------------------------------------------------------------
+
+
+def read_journal(path: str | Path) -> list[dict]:
+    """Load journal records (accepts the journal file or its directory).
+
+    Kill-tolerant: a torn *final* line — the one artifact a SIGKILL
+    mid-append can leave — is dropped with a warning.  A malformed line
+    anywhere before the end is corruption, not an interrupted write,
+    and still raises.
+    """
+    path = Path(path).expanduser()
+    if path.is_dir():
+        path = path / JOURNAL_NAME
+    lines = [line for line in path.read_text().splitlines() if line.strip()]
+    records: list[dict] = []
+    for index, line in enumerate(lines):
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            if index == len(lines) - 1:
+                warnings.warn(
+                    f"dropping torn final line of journal {path} "
+                    "(writer killed mid-append?)",
+                    stacklevel=2,
+                )
+                break
+            raise
+        if isinstance(record, dict):
+            records.append(record)
+    return records
+
+
+def replay_cells(records: list[dict]) -> dict[tuple[str, Version, Precision], RunResult]:
+    """The completed cells of a journal, ready to skip re-execution.
+
+    The last ``cell_finished`` row per cell wins (a resumed campaign may
+    have re-recorded a cell).  Rows carrying an operational
+    ``failure_kind`` (``"crash"`` / ``"timeout"``) are skipped — they
+    are accidents of a previous execution, and the resumed campaign must
+    re-execute those cells; rows that fail to deserialize are skipped
+    the same way (re-executing is always sound).
+    """
+    from .runner import run_from_row
+
+    out: dict[tuple[str, Version, Precision], RunResult] = {}
+    for record in records:
+        if record.get("event") != "cell_finished" or "run" not in record:
+            continue
+        try:
+            run = run_from_row(record["run"])
+            cell = (record["benchmark"], Version(record["version"]), Precision(record["precision"]))
+        except (KeyError, TypeError, ValueError):
+            continue
+        if run.failure_kind in ("crash", "timeout"):
+            out.pop(cell, None)
+            continue
+        out[cell] = run
+    return out

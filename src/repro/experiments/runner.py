@@ -221,6 +221,9 @@ def run_grid(
     trace=None,
     retries: int = 2,
     retry_backoff_s: float = 0.0,
+    journal_dir: str | None = None,
+    cell_timeout_s: float | None = None,
+    deadline_s: float | None = None,
 ) -> ResultSet:
     """Run the full campaign and collect results.
 
@@ -235,6 +238,9 @@ def run_grid(
     :class:`~repro.experiments.trace.TraceSink` or JSONL path, and
     ``retries`` / ``retry_backoff_s`` bound the engine's worker-death
     recovery (see :class:`~repro.experiments.engine.Campaign`).
+    ``journal_dir`` attaches the durable checkpoint journal (a killed
+    campaign resumes via ``Campaign.resume`` / ``repro resume``);
+    ``cell_timeout_s`` / ``deadline_s`` arm the deadline watchdog.
     """
     from .engine import Campaign, CampaignSpec  # deferred: engine imports us
 
@@ -254,5 +260,7 @@ def run_grid(
         progress=progress,
         retries=retries,
         retry_backoff_s=retry_backoff_s,
+        cell_timeout_s=cell_timeout_s,
+        deadline_s=deadline_s,
     )
-    return campaign.run(jobs=jobs)
+    return campaign.run(jobs=jobs, journal_dir=journal_dir)

@@ -27,9 +27,11 @@ from typing import IO
 
 #: event names in lifecycle order (per run)
 RUN_EVENTS = ("queued", "started", "finished")
-#: fault-recovery events: ``run_crashed`` precedes the crashed run's
-#: ``finished`` record; ``pool_restarted`` marks a worker-pool rebuild
-RECOVERY_EVENTS = ("run_crashed", "pool_restarted")
+#: fault-recovery events: ``run_crashed`` / ``run_timed_out`` precede
+#: the demoted run's ``finished`` record; ``pool_restarted`` marks a
+#: worker-pool rebuild; ``tier_degraded`` records an on-disk cache tier
+#: disabling itself after resource exhaustion (ENOSPC / EACCES)
+RECOVERY_EVENTS = ("run_crashed", "run_timed_out", "pool_restarted", "tier_degraded")
 #: campaign-level envelope events — every trace ends with exactly one
 #: of ``campaign_finished`` (normal) or ``campaign_failed`` (terminal
 #: error, after salvage), so a ``tail -f`` never ends mid-story
@@ -138,15 +140,32 @@ def read_trace(path: str | Path) -> list[TraceEvent]:
     version of :class:`TraceEvent` does not know) are folded into
     ``detail`` instead of raising ``TypeError``, so old readers keep
     working on new traces and the round trip loses nothing.
+
+    Kill-tolerant: a process SIGKILLed mid-``emit`` can leave a torn
+    final line; that line is dropped with a warning instead of raising,
+    so a trace of a crashed campaign stays loadable.  Corruption
+    anywhere *before* the final line is still an error — that is damage,
+    not an interrupted write.
     """
     from dataclasses import fields as dataclass_fields
 
     known = {f.name for f in dataclass_fields(TraceEvent)}
     events = []
-    for line in Path(path).read_text().splitlines():
-        if not line.strip():
-            continue
-        data = json.loads(line)
+    lines = [line for line in Path(path).read_text().splitlines() if line.strip()]
+    for index, line in enumerate(lines):
+        try:
+            data = json.loads(line)
+        except json.JSONDecodeError:
+            if index == len(lines) - 1:
+                import warnings
+
+                warnings.warn(
+                    f"dropping torn final line of trace {path} "
+                    "(writer killed mid-emit?)",
+                    stacklevel=2,
+                )
+                break
+            raise
         extra = {k: data.pop(k) for k in list(data) if k not in known}
         if extra:
             detail = dict(data.get("detail") or {})

@@ -44,6 +44,7 @@ import hashlib
 import os
 import pickle
 import shutil
+import warnings
 from dataclasses import asdict, dataclass
 from pathlib import Path
 
@@ -106,6 +107,12 @@ class PersistentStore:
                 f"perf cache root {self.root} exists and is not a directory"
             ) from None
         self.stats: dict[str, TierStats] = {}
+        #: set to the triggering error text once a write hit resource
+        #: exhaustion (ENOSPC / EACCES / ...); every further ``store``
+        #: is a no-op from then on — the tier keeps *serving* entries,
+        #: it just stops growing (cold-never-wrong, now also
+        #: full-never-fatal)
+        self.degraded_reason: str | None = None
 
     # ------------------------------------------------------------------
     def tier_stats(self, name: str) -> TierStats:
@@ -151,8 +158,16 @@ class PersistentStore:
         return entry["value"]
 
     def store(self, name: str, key: object, value: object) -> None:
-        """Persist one entry (atomic write-then-rename; failures are
-        swallowed — a read-only or full disk degrades to a cold tier)."""
+        """Persist one entry (atomic write-then-rename).
+
+        An unpicklable value skips just that entry.  An ``OSError``
+        (full disk, revoked permissions, read-only mount) *degrades*
+        the tier: one warning, ``degraded_reason`` set, every further
+        write a no-op — retrying a dead filesystem once per memo miss
+        would turn exhaustion into a slowdown.  Loads keep working.
+        """
+        if self.degraded_reason is not None:
+            return
         stats = self.tier_stats(name)
         digest = key_digest(key)
         path = self.path_for(name, digest)
@@ -164,12 +179,28 @@ class PersistentStore:
         }
         tmp = path.with_suffix(f".{os.getpid()}.tmp")
         try:
+            if os.environ.get("REPRO_FAULTS"):
+                from ..experiments import faults
+
+                faults.maybe_disk_full("perf_store")
             path.parent.mkdir(parents=True, exist_ok=True)
             with tmp.open("wb") as fh:
                 pickle.dump(entry, fh, protocol=pickle.HIGHEST_PROTOCOL)
             os.replace(tmp, path)
-        except (OSError, pickle.PicklingError, AttributeError, TypeError):
-            # pickle signals unpicklable values with any of the latter three
+        except OSError as exc:
+            try:
+                tmp.unlink(missing_ok=True)
+            except OSError:
+                pass
+            self.degraded_reason = f"{type(exc).__name__}: {exc}"
+            warnings.warn(
+                f"persistent perf tier {self.root} degraded "
+                f"(writes disabled): {self.degraded_reason}",
+                stacklevel=3,
+            )
+            return
+        except (pickle.PicklingError, AttributeError, TypeError):
+            # pickle signals unpicklable values with any of these three
             tmp.unlink(missing_ok=True)
             return
         stats.writes += 1

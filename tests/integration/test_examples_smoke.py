@@ -75,12 +75,30 @@ def test_crash_recovery_smoke(capsys, monkeypatch):
     assert "pool restarts" in out
 
 
+@pytest.mark.timeout_guard(300)
+def test_resume_campaign_smoke(capsys, monkeypatch):
+    # the example re-launches itself and the `repro resume` CLI as
+    # subprocesses, which need the package importable via PYTHONPATH
+    src = str(Path(__file__).resolve().parents[2] / "src")
+    monkeypatch.setenv("PYTHONPATH", src)
+    monkeypatch.setattr(
+        sys, "argv", ["resume_campaign.py", "--scale", "0.02", "--jobs", "2"]
+    )
+    with pytest.raises(SystemExit) as exit_info:
+        runpy.run_path(str(EXAMPLES / "resume_campaign.py"), run_name="__main__")
+    assert exit_info.value.code == 0
+    out = capsys.readouterr().out
+    assert "resume campaign smoke: OK" in out
+    assert "byte-identical" in out
+
+
 def test_all_examples_are_tested_or_listed():
     """Every example file is either smoke-tested here or known-slow."""
     known_slow = {
         "paper_figures.py",        # tested above at reduced scale
         "parallel_campaign.py",    # tested above at reduced scale
         "crash_recovery_smoke.py",  # tested above at reduced scale
+        "resume_campaign.py",       # tested above at reduced scale
         "optimization_walkthrough.py",
         "autotune_example.py",
         "energy_study.py",

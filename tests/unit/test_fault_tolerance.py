@@ -4,17 +4,26 @@ Every recovery path of :mod:`repro.experiments.engine` is driven on
 purpose through :mod:`repro.experiments.faults`: in-cell exceptions
 captured as ``failure_kind="crash"`` results, worker kills recovered by
 pool rebuild + the retry ladder, persistent crashers demoted after a
-probe verdict, and terminal errors salvaged with a fresh report and a
-``campaign_failed`` trace event.  All pool tests carry the SIGALRM
-timeout guard so a recovery bug hangs no one.
+probe verdict, terminal errors salvaged with a fresh report and a
+``campaign_failed`` trace event, hung cells demoted to
+``failure_kind="timeout"`` by the deadline watchdog, and on-disk tiers
+degrading (not failing) under resource exhaustion.  All pool tests
+carry the SIGALRM timeout guard so a recovery bug hangs no one.
 """
 
 import json
+import time
 
 import pytest
 
 from repro.benchmarks import Precision, Version
-from repro.experiments import Campaign, CampaignSpec, ListTraceSink
+from repro.experiments import (
+    Campaign,
+    CampaignSpec,
+    Clock,
+    DeadlineExceeded,
+    ListTraceSink,
+)
 from repro.experiments.faults import (
     FaultSpec,
     InjectedAbort,
@@ -266,3 +275,213 @@ class TestFaultSpecMechanics:
             Campaign(CampaignSpec(**GRID), retries=-1)
         with pytest.raises(ValueError):
             Campaign(CampaignSpec(**GRID), retry_backoff_s=-0.5)
+        with pytest.raises(ValueError):
+            Campaign(CampaignSpec(**GRID), cell_timeout_s=0.0)
+        with pytest.raises(ValueError):
+            Campaign(CampaignSpec(**GRID), deadline_s=-1.0)
+
+
+class FakeClock:
+    """Virtual time: ``sleep`` advances ``now`` instantly (no wall wait)."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self.sleeps: list[float] = []
+
+    def clock(self) -> Clock:
+        return Clock(monotonic=lambda: self.now, sleep=self._sleep)
+
+    def _sleep(self, seconds: float) -> None:
+        self.sleeps.append(seconds)
+        self.now += seconds
+
+
+class TestInjectableClock:
+    """Satellite: backoff and budgets read time only through Clock."""
+
+    @pytest.mark.timeout_guard(240)
+    def test_retry_backoff_uses_injected_sleep(self, tmp_path):
+        fake = FakeClock()
+        spec = CampaignSpec(**GRID)
+        campaign = Campaign(
+            spec, retries=2, retry_backoff_s=30.0, clock=fake.clock()
+        )
+        # kill the worker on the group attempt, the single retry, then
+        # run clean: exactly one single-task requeue pays backoff
+        with injected(vecop_fault(mode="exit", times=3), state_dir=tmp_path):
+            t0 = time.monotonic()
+            results = campaign.run(jobs=4)
+            wall = time.monotonic() - t0
+        assert all(run.ok for run in results.results.values())
+        # backoff * 2**(attempts-1) with attempts == 2
+        assert 60.0 in fake.sleeps
+        assert wall < 30.0  # the 60s backoff was virtual, not slept
+
+    def test_default_clock_is_real_time(self):
+        clock = Clock()
+        a = clock.monotonic()
+        clock.sleep(0.01)
+        assert clock.monotonic() >= a
+
+
+class TestDeadlineWatchdog:
+    """Modes "hang" + cell_timeout_s / deadline_s: stuck cells die."""
+
+    @pytest.mark.timeout_guard(120)
+    def test_inline_hang_demoted_to_timeout(self, tmp_path):
+        spec = CampaignSpec(**GRID)
+        sink = ListTraceSink()
+        campaign = Campaign(spec, cell_timeout_s=0.5, trace=sink)
+        with injected(
+            vecop_fault(mode="hang", times=-1, seconds=30.0), state_dir=tmp_path
+        ):
+            results = campaign.run(jobs=1)
+        run = results.results[CELL]
+        assert run.timed_out and not run.ok and not run.crashed
+        assert run.failure_kind == "timeout"
+        assert "0.5s wall-clock budget" in run.failure
+        assert sum(1 for r in results.results.values() if r.ok) == spec.size - 1
+        assert campaign.report.timeout_runs == (CELL,)
+        assert CELL in campaign.report.failed_runs
+        events = [e.event for e in sink.events]
+        assert "run_timed_out" in events
+        assert events[-1] == "campaign_finished"
+        assert "TIMEOUT vecop" in campaign.report.describe()
+
+    @pytest.mark.timeout_guard(240)
+    def test_pool_hang_killed_and_demoted(self, tmp_path):
+        """The watchdog kills the stuck worker; the ladder narrows the
+        hang to the one cell while every neighbour completes."""
+        spec = CampaignSpec(**GRID)
+        sink = ListTraceSink()
+        campaign = Campaign(spec, cell_timeout_s=1.0, trace=sink)
+        with injected(
+            vecop_fault(mode="hang", times=-1, seconds=120.0), state_dir=tmp_path
+        ):
+            results = campaign.run(jobs=4)
+        run = results.results[CELL]
+        assert run.timed_out
+        assert sum(1 for r in results.results.values() if r.ok) == spec.size - 1
+        assert campaign.report.timeout_runs == (CELL,)
+        assert campaign.report.pool_restarts >= 1
+        events = [e.event for e in sink.events]
+        assert "run_timed_out" in events
+        assert events[-1] == "campaign_finished"
+
+    @pytest.mark.timeout_guard(120)
+    def test_timeouts_are_not_cached(self, tmp_path):
+        spec = CampaignSpec(**GRID)
+        with injected(
+            vecop_fault(mode="hang", times=-1, seconds=30.0),
+            state_dir=tmp_path / "s",
+        ):
+            cold = Campaign(spec, cache_dir=tmp_path / "cache", cell_timeout_s=0.5)
+            cold.run(jobs=1)
+        assert cold.cache.stats.writes == spec.size - 1
+        warm = Campaign(spec, cache_dir=tmp_path / "cache")
+        results = warm.run(jobs=1)
+        assert warm.report.executed == 1
+        assert results.results[CELL].ok  # fault gone, cell recovered
+
+    @pytest.mark.timeout_guard(120)
+    def test_hang_without_watchdog_finishes_late(self, tmp_path):
+        """No budget armed → the fault delays, never corrupts."""
+        spec = CampaignSpec(benchmarks=("vecop",), versions=TWO_VERSIONS, scale=0.02)
+        with injected(
+            vecop_fault(mode="hang", times=1, seconds=0.2), state_dir=tmp_path
+        ):
+            results = Campaign(spec).run(jobs=1)
+        assert all(run.ok for run in results.results.values())
+
+    @pytest.mark.timeout_guard(120)
+    def test_deadline_terminates_and_salvages(self, tmp_path):
+        spec = CampaignSpec(**GRID)
+        sink = ListTraceSink()
+        campaign = Campaign(spec, deadline_s=1.0, trace=sink)
+        with injected(
+            FaultSpec(benchmark="red", mode="hang", times=-1, seconds=30.0),
+            state_dir=tmp_path,
+        ):
+            with pytest.raises(DeadlineExceeded):
+                campaign.run(jobs=1, journal_dir=tmp_path / "j")
+        assert campaign.salvage is not None
+        assert campaign.report.error.startswith("DeadlineExceeded")
+        assert sink.events[-1].event == "campaign_failed"
+        # the journal makes the unfinished remainder resumable; cells
+        # the deadline demoted to timeout results are *re-executed*
+        # (operational accidents never replay), so the resumed grid is
+        # whole and clean
+        resumed = Campaign.resume(tmp_path / "j")
+        results = resumed.run(jobs=1)
+        assert len(results.results) == spec.size
+        assert all(run.ok for run in results.results.values())
+        salvaged_ok = sum(
+            1 for run in campaign.salvage.results.values() if not run.operational_failure
+        )
+        assert resumed.report.replayed == salvaged_ok
+
+
+class TestTierDegradation:
+    """Mode "enospc": resource exhaustion disables a tier, not the run."""
+
+    @pytest.mark.timeout_guard(120)
+    def test_run_cache_degrades_and_keeps_serving(self, tmp_path):
+        spec = CampaignSpec(**GRID)
+        sink = ListTraceSink()
+        campaign = Campaign(spec, cache_dir=tmp_path / "cache", trace=sink)
+        with injected(
+            FaultSpec(benchmark="run_cache", mode="enospc", times=-1),
+            state_dir=tmp_path / "s",
+        ):
+            with pytest.warns(UserWarning, match="run cache .* degraded"):
+                results = campaign.run(jobs=1)
+        # every run completed; nothing was persisted
+        assert all(run.ok for run in results.results.values())
+        assert campaign.cache.degraded_reason is not None
+        assert campaign.cache.stats.writes == 0
+        assert any(d.startswith("run_cache:") for d in campaign.report.degraded)
+        assert "DEGRADED run_cache" in campaign.report.describe()
+        degraded = [e for e in sink.events if e.event == "tier_degraded"]
+        assert [e.detail["tier"] for e in degraded] == ["run_cache"]
+
+    @pytest.mark.timeout_guard(120)
+    def test_degraded_cache_warns_once_and_stops_writing(self, tmp_path):
+        import warnings as _warnings
+
+        from repro.experiments.cache import RunCache
+
+        spec = CampaignSpec(**GRID)
+        with injected(
+            FaultSpec(benchmark="run_cache", mode="enospc", times=-1),
+            state_dir=tmp_path / "s",
+        ):
+            cache = RunCache(tmp_path / "cache")
+            baseline = Campaign(spec).run(jobs=1)
+            with _warnings.catch_warnings(record=True) as caught:
+                _warnings.simplefilter("always")
+                for key, run in enumerate(baseline.results.values()):
+                    cache.store(f"{key:064d}", run)
+        assert len([w for w in caught if "degraded" in str(w.message)]) == 1
+        # the injection counter shows only the first write hit the disk
+        assert attempts(tmp_path / "s", "run_cache", "disk", "enospc") == 1
+
+    @pytest.mark.timeout_guard(120)
+    def test_perf_store_degrades_without_failing_runs(self, tmp_path):
+        from repro import perf
+
+        # cold memo lane: warm in-process caches would satisfy every
+        # lookup and the persistent tier would never be written at all
+        perf.reset()
+        spec = CampaignSpec(**GRID)
+        sink = ListTraceSink()
+        campaign = Campaign(spec, perf_dir=tmp_path / "perf", trace=sink)
+        with injected(
+            FaultSpec(benchmark="perf_store", mode="enospc", times=-1),
+            state_dir=tmp_path / "s",
+        ):
+            with pytest.warns(UserWarning, match="persistent perf tier .* degraded"):
+                results = campaign.run(jobs=1)
+        assert all(run.ok for run in results.results.values())
+        assert any(d.startswith("perf_store:") for d in campaign.report.degraded)
+        degraded = [e for e in sink.events if e.event == "tier_degraded"]
+        assert [e.detail["tier"] for e in degraded] == ["perf_store"]
