@@ -35,8 +35,6 @@ import numpy as np
 from .. import perf
 from ..calibration.exynos5250 import ExynosPlatform, default_platform
 from ..compiler.options import NAIVE, CompileOptions
-from ..cpu.openmp import time_openmp
-from ..cpu.serial import time_serial
 from ..errors import CLBuildProgramFailure, CLError, CLOutOfResources, ReproError
 from ..ir.analysis import analyze
 from ..ir.dtypes import DType, F32, F64
@@ -48,6 +46,7 @@ from ..ocl.queue import CommandQueue
 from ..power.energy import EnergyReport
 from ..power.model import PowerTrace
 from ..power.rails import Activity, ActivityKind
+from ..pricing.cells import MODE_OPENMP, MODE_SERIAL, CpuCell, TraceCell
 from ..workload import WorkloadTraits
 
 
@@ -385,7 +384,6 @@ class Benchmark(abc.ABC):
         benchmarks override this to combine their stages.
         """
         from ..compiler.pipeline import compile_kernel
-        from ..mali.timing import LaunchPricer
         from ..ocl.driver import default_quirks, driver_local_size
 
         quirks = (
@@ -396,13 +394,8 @@ class Benchmark(abc.ABC):
         compiled = compile_kernel(self.kernel_ir(options), options, quirks=quirks)
         base_items = max(1, -(-self.elements() // compiled.elems_per_item))
         traits = self.gpu_traits(options)
-        pricer = LaunchPricer(
-            compiled,
-            traits,
-            self.platform.mali,
-            self.platform.dram_model(),
-            self.platform.gpu_caches(),
-        )
+        pricing = self.platform.pricing_model()
+        pricer = pricing.gpu.pricer(compiled, traits)
 
         def estimate(local_size: int | None) -> float:
             local = local_size or driver_local_size(
@@ -460,28 +453,55 @@ def measure_trace(
 # ---------------------------------------------------------------------------
 
 
+def cpu_pricing_inputs(bench: Benchmark) -> tuple:
+    """(ir, mix, traits, n) of a benchmark's CPU versions (IR validated).
+
+    Shared by the per-cell path (:func:`run_cpu_version`) and the
+    campaign's batched seeding (:func:`repro.pricing.grid.seed_cpu_timing`)
+    so both derive their cells from identical inputs.
+    """
+    ir = bench.serial_ir()
+    validate(ir)
+    mix = analyze(ir)
+    return ir, mix, bench.cpu_traits(), bench.elements()
+
+
+def cpu_pricing_key(bench: Benchmark, ir, version: Version, n: int, traits, pricing):
+    """The ``cpu_timing`` memo key of one CPU cell.
+
+    One construction site for the key keeps the batched seeding path and
+    the per-cell lookup path pointing at the same memo/persist slots.
+    """
+    return perf.content_key(
+        (
+            ir,
+            version,
+            n,
+            traits,
+            bench.platform.cpu,
+            pricing.dram_model.config,
+            pricing.cpu_caches.l1.config,
+            pricing.cpu_caches.l2.config,
+        )
+    )
+
+
 def run_cpu_version(bench: Benchmark, version: Version) -> RunResult:
     """Run the Serial or OpenMP version: model timing, execute NumPy."""
     if version not in (Version.SERIAL, Version.OPENMP):
         raise ValueError(f"run_cpu_version cannot run {version}")
     platform = bench.platform
-    ir = bench.serial_ir()
-    validate(ir)
-    mix = analyze(ir)
-    traits = bench.cpu_traits()
-    n = bench.elements()
-    dram = platform.dram_model()
-    caches = platform.cpu_caches()
+    pricing = platform.pricing_model()
+    ir, mix, traits, n = cpu_pricing_inputs(bench)
 
     # CPU pricing is pure in (ir, size, traits, calibration); memoize it
     # content-keyed so repeated cells (and the campaign engine's Serial
     # baselines) price once per process.
-    pricing_key = perf.content_key(
-        (ir, version, n, traits, platform.cpu, dram.config, caches.l1.config, caches.l2.config)
-    )
-    price = time_serial if version is Version.SERIAL else time_openmp
+    pricing_key = cpu_pricing_key(bench, ir, version, n, traits, pricing)
+    mode = MODE_SERIAL if version is Version.SERIAL else MODE_OPENMP
+    cell = CpuCell(mix=mix, mode=mode, n_elements=n, traits=traits)
     timing = perf.cache("cpu_timing").get_or_compute(
-        pricing_key, lambda: price(mix, n, traits, platform.cpu, dram, caches)
+        pricing_key, lambda: pricing.cpu.price_one(cell)
     )
 
     activity = Activity(
@@ -491,7 +511,7 @@ def run_cpu_version(bench: Benchmark, version: Version) -> RunResult:
         cpu_ipc=timing.ipc,
         dram_bandwidth=timing.dram_bandwidth,
     )
-    trace = platform.power_model().trace([activity])
+    trace = pricing.power.price_one(TraceCell(activities=(activity,)))
     report = measure_trace(trace, platform, seed=bench.seed)
 
     result = bench.functional_result()
@@ -530,7 +550,8 @@ def run_gpu_version(
     except (CLBuildProgramFailure, CLOutOfResources) as exc:
         return RunResult.failed(bench.name, version, bench.precision, str(exc))
 
-    trace = platform.power_model().trace(queue.timeline)
+    pricing = platform.pricing_model()
+    trace = pricing.power.price_one(TraceCell(activities=tuple(queue.timeline)))
     report = measure_trace(trace, platform, seed=bench.seed)
     result = bench.gpu_result(queue, state)
     return RunResult(

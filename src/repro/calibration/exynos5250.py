@@ -75,6 +75,19 @@ class ExynosPlatform:
     def meter(self, seed: int | None = 0) -> YokogawaWT230:
         return YokogawaWT230(self.meter_sample_hz, self.meter_accuracy, seed=seed)
 
+    def pricing_model(self):
+        """Every batched pricing model of this platform, as one facade.
+
+        The single seam through which callers get model objects: GPU
+        launch timing, CPU timing, DRAM transfers and board power as
+        one :class:`~repro.pricing.grid.PlatformPricing` — nobody has to
+        assemble DRAM/cache/power models by hand, and a future SoC
+        design-space explorer can inject variant platforms here.
+        """
+        from ..pricing.grid import PlatformPricing  # deferred: pricing imports models
+
+        return PlatformPricing(self)
+
 
 _DEFAULT: ExynosPlatform | None = None
 

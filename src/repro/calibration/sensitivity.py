@@ -94,15 +94,29 @@ def probe_speedups(
     benchmarks: tuple[str, ...] = PROBE_BENCHMARKS,
     scale: float = 0.25,
     seed: int = 1234,
+    model_only: bool = False,
 ) -> dict[str, float]:
-    """Opt-over-Serial speedups of the probe set on a platform."""
+    """Opt-over-Serial speedups of the probe set on a platform.
+
+    ``model_only=True`` prices each probe through the platform's
+    ``pricing_model()`` instead of running functional code + meter —
+    the per-point cost a wide perturbation sweep actually needs.
+    """
     out = {}
     for name in benchmarks:
         bench = create(name, precision=Precision.SINGLE, scale=scale, seed=seed,
                        platform=platform)
-        serial = run_version(bench, version=Version.SERIAL)
-        opt = run_version(bench, version=Version.OPENCL_OPT)
-        out[name] = serial.elapsed_s / opt.elapsed_s
+        if model_only:
+            from ..pricing.grid import estimate_cpu_seconds, estimate_opt_seconds
+
+            opt_s = estimate_opt_seconds(bench)
+            if opt_s is None:
+                raise RuntimeError(f"no feasible Opt candidate for probe {name!r}")
+            out[name] = estimate_cpu_seconds(bench) / opt_s
+        else:
+            serial = run_version(bench, version=Version.SERIAL)
+            opt = run_version(bench, version=Version.OPENCL_OPT)
+            out[name] = serial.elapsed_s / opt.elapsed_s
     return out
 
 

@@ -12,7 +12,7 @@ allocates registers — which may insert spill code or fail with
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import Callable, Protocol, Sequence
 
 from .. import perf
@@ -57,6 +57,13 @@ class CompiledKernel:
     @property
     def elems_per_item(self) -> int:
         return self.kernel.elems_per_item
+
+    def __getstate__(self):
+        # the pricing layer attaches derived caches (memo-key token, mix
+        # columns) to the instance dict; they are per-process (hash
+        # randomization, config identity) and rebuildable, so only the
+        # declared fields travel across pickles
+        return {f.name: getattr(self, f.name) for f in fields(self)}
 
 
 def default_passes() -> list[KernelPass]:

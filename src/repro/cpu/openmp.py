@@ -34,7 +34,25 @@ def time_openmp(
     dram: DramModel,
     caches: CacheHierarchy,
 ) -> CpuTiming:
-    """Price one timed iteration of the OpenMP version on both cores."""
+    """Price one timed iteration of the OpenMP version on both cores.
+
+    Thin shim over the batched :class:`~repro.cpu.pricing.CpuPricer`
+    (bitwise-identical to the scalar reference ``_time_openmp_scalar``).
+    """
+    from .pricing import CpuPricer  # deferred: pricing imports CpuTiming
+
+    return CpuPricer(mix, traits, config, dram, caches).price_openmp((n_elements,))[0]
+
+
+def _time_openmp_scalar(
+    mix: InstructionMix,
+    n_elements: int,
+    traits: WorkloadTraits,
+    config: A15Config,
+    dram: DramModel,
+    caches: CacheHierarchy,
+) -> CpuTiming:
+    """Scalar reference implementation (property-tested against the shim)."""
     if n_elements < 1:
         raise ValueError(f"n_elements must be >= 1, got {n_elements}")
     n_cores = config.cores
@@ -64,7 +82,9 @@ def time_openmp(
 
     traffic = caches.dram_traffic(list(traits.streams))
     dram_bytes = sum(traffic.values())
-    dram_s = dram.transfer_seconds("cpu2", traffic) if dram_bytes > 0 else 0.0
+    dram_s = (
+        dram.transfer_seconds("cpu2", bytes_by_pattern=traffic) if dram_bytes > 0 else 0.0
+    )
 
     total = max(compute_s, dram_s) + (1.0 - config.mlp_overlap) * min(compute_s, dram_s)
     stall = total - compute_s

@@ -136,7 +136,26 @@ def time_serial(
     ``mix`` is the per-element instruction mix (the scalar kernel IR
     analyzed as-is); ``n_elements`` is the element count of one timed
     iteration; ``traits.streams`` describe that iteration's footprints.
+
+    Thin shim over the batched :class:`~repro.cpu.pricing.CpuPricer`
+    (bitwise-identical to the scalar reference ``_time_serial_scalar``);
+    sweeps pricing many cells should hold a pricer or go through
+    :class:`~repro.cpu.pricing.CpuPricingModel` to amortize its tables.
     """
+    from .pricing import CpuPricer  # deferred: pricing imports CpuTiming
+
+    return CpuPricer(mix, traits, config, dram, caches).price_serial((n_elements,))[0]
+
+
+def _time_serial_scalar(
+    mix: InstructionMix,
+    n_elements: int,
+    traits: WorkloadTraits,
+    config: A15Config,
+    dram: DramModel,
+    caches: CacheHierarchy,
+) -> CpuTiming:
+    """Scalar reference implementation (property-tested against the shim)."""
     if n_elements < 1:
         raise ValueError(f"n_elements must be >= 1, got {n_elements}")
     totals = mix.scaled(float(n_elements))
@@ -148,7 +167,9 @@ def time_serial(
 
     traffic = caches.dram_traffic(list(traits.streams))
     dram_bytes = sum(traffic.values())
-    dram_s = dram.transfer_seconds("cpu1", traffic) if dram_bytes > 0 else 0.0
+    dram_s = (
+        dram.transfer_seconds("cpu1", bytes_by_pattern=traffic) if dram_bytes > 0 else 0.0
+    )
 
     # The OoO window overlaps compute with outstanding misses; the
     # non-dominant component leaks past the overlap by (1 - mlp_overlap)

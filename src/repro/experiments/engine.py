@@ -271,7 +271,9 @@ def _worker_init(perf_dir: str | None) -> None:
     """
     faults.mark_worker()
     if perf_dir is not None:
-        perf.configure(persist_dir=perf_dir)
+        perf.configure(
+            config=perf.PerfConfig(enabled=perf.is_enabled(), persist_dir=perf_dir)
+        )
 
 
 def _crash_result(task: RunTask, exc: BaseException) -> RunResult:
@@ -302,6 +304,24 @@ def _worker_loss_result(task: RunTask, exc: BaseException, attempts: int) -> Run
     )
 
 
+def _preprice_group(bench: Benchmark, tasks: tuple[RunTask, ...]) -> None:
+    """Batch-price a version group's CPU timings before dispatch.
+
+    One vectorized pricing pass seeds the ``cpu_timing`` memo under the
+    exact keys each cell will look up, so the group's Serial/OpenMP
+    cells all hit warm.  Strictly an optimization: the seeded rows are
+    bitwise what the per-cell path computes, and any pricing error is
+    swallowed here so the cell itself reports it through the normal
+    crash-capture machinery.
+    """
+    from ..pricing.grid import seed_cpu_timing
+
+    try:
+        seed_cpu_timing(bench, [task.version for task in tasks])
+    except Exception:  # noqa: BLE001 — the cell's own run surfaces errors
+        pass
+
+
 def _safe_run(bench: Benchmark, task: RunTask) -> RunResult:
     """Execute one cell, capturing unexpected exceptions as crashes.
 
@@ -320,6 +340,7 @@ def _safe_run(bench: Benchmark, task: RunTask) -> RunResult:
 
 def _execute_family(
     groups: tuple[tuple[RunTask, ...], ...],
+    preprice: bool = True,
 ) -> tuple[tuple[tuple[RunResult, dict], ...], dict]:
     """Pool entry for one benchmark *family* (all its pending groups).
 
@@ -330,7 +351,9 @@ def _execute_family(
     precisions instead of being rebuilt cold in whichever worker a
     group happened to land on.  Within a group all versions share one
     benchmark instance (setup dominates a cell at paper scale), exactly
-    like the classic serial loop.
+    like the classic serial loop.  With ``preprice`` on, each group's
+    Serial/OpenMP timings are batch-priced into the ``cpu_timing`` memo
+    (one vectorized pass) before its cells dispatch.
 
     Fault isolation: a cell whose execution raises — including a
     failing benchmark ``setup`` — becomes a crashed :class:`RunResult`
@@ -358,6 +381,8 @@ def _execute_family(
             )
         except Exception as exc:  # noqa: BLE001 — setup crash capture
             bench_exc = exc
+        if bench is not None and preprice:
+            _preprice_group(bench, tasks)
         runs: list[tuple[RunResult, dict]] = []
         for task in tasks:
             before = perf.counters()
@@ -589,6 +614,13 @@ class Campaign:
     the time source both budgets and the retry backoff read (tests use
     a fake to avoid wall-sleeping).
 
+    ``preprice`` (default on) batch-prices each version group's
+    Serial/OpenMP timings through the platform's batched pricing models
+    (``platform.pricing_model()``) before its cells dispatch, seeding
+    the ``cpu_timing`` memo in one vectorized pass.  The seeded rows are
+    bitwise what the per-cell path computes, so results are identical
+    with pre-pricing on or off.
+
     Usage::
 
         spec = CampaignSpec(scale=0.5)
@@ -614,6 +646,7 @@ class Campaign:
         cell_timeout_s: float | None = None,
         deadline_s: float | None = None,
         clock: Clock | None = None,
+        preprice: bool = True,
     ) -> None:
         if retries < 0:
             raise ValueError("retries must be >= 0")
@@ -633,6 +666,7 @@ class Campaign:
         self.cell_timeout_s = cell_timeout_s
         self.deadline_s = deadline_s
         self.clock = clock or Clock()
+        self.preprice = preprice
         #: journal directory attached by :meth:`resume` (``run`` may
         #: also receive one directly via ``journal_dir=``)
         self.journal_dir: Path | None = None
@@ -732,9 +766,13 @@ class Campaign:
         if self.deadline_s is not None:
             detail["deadline_s"] = self.deadline_s
         tracer.emit("campaign_started", detail=detail)
-        prior_store = perf.persistent_store()
+        prior_config = perf.current_config()
         if self.perf_dir is not None:
-            perf.configure(persist_dir=self.perf_dir)
+            perf.configure(
+                config=perf.PerfConfig(
+                    enabled=prior_config.enabled, persist_dir=self.perf_dir
+                )
+            )
         perf_before = perf.counters()
         self._worker_deltas: list[dict] = []
         self._hits = 0
@@ -806,7 +844,7 @@ class Campaign:
             if journal is not None:
                 journal.close()
             if self.perf_dir is not None:
-                perf.configure(persist_dir=prior_store)
+                perf.configure(config=prior_config)
             if owns_sink:
                 sink.close()
 
@@ -988,6 +1026,16 @@ class Campaign:
                     )
                 except Exception as exc:  # noqa: BLE001 — setup crash capture
                     bench_exc[bkey] = exc
+                else:
+                    if self.preprice:
+                        _preprice_group(
+                            benches[bkey],
+                            tuple(
+                                t
+                                for t, _ in pending
+                                if (t.benchmark, t.precision) == bkey
+                            ),
+                        )
             before = perf.counters()
             if bkey in benches:
                 run = self._guarded_run(benches[bkey], task)
@@ -1090,10 +1138,10 @@ class Campaign:
                     chunk = queue.popleft()
                     payload = tuple(tuple(t for t, _ in group) for group in chunk)
                     try:
-                        future = pool.submit(_execute_family, payload)
+                        future = pool.submit(_execute_family, payload, self.preprice)
                     except BrokenExecutor as exc:  # died between batches
                         pool = self._restart_pool(pool, max_workers, tracer, exc)
-                        future = pool.submit(_execute_family, payload)
+                        future = pool.submit(_execute_family, payload, self.preprice)
                     futures[future] = chunk
                     if watchdog is not None and self.cell_timeout_s is not None:
                         # a chunk's budget scales with its task count —
@@ -1263,7 +1311,7 @@ class Campaign:
         that hangs is killed and demoted to a timeout result."""
         probe = self._new_pool(1)
         try:
-            future = probe.submit(_execute_family, ((task,),))
+            future = probe.submit(_execute_family, ((task,),), self.preprice)
             try:
                 group_runs, family_delta = future.result(timeout=self.cell_timeout_s)
             except FuturesTimeout:

@@ -224,6 +224,7 @@ def run_grid(
     journal_dir: str | None = None,
     cell_timeout_s: float | None = None,
     deadline_s: float | None = None,
+    preprice: bool = True,
 ) -> ResultSet:
     """Run the full campaign and collect results.
 
@@ -241,6 +242,9 @@ def run_grid(
     ``journal_dir`` attaches the durable checkpoint journal (a killed
     campaign resumes via ``Campaign.resume`` / ``repro resume``);
     ``cell_timeout_s`` / ``deadline_s`` arm the deadline watchdog.
+    ``preprice`` batch-prices each version group's CPU timings before
+    dispatch (bitwise-identical results either way; see
+    :class:`~repro.experiments.engine.Campaign`).
     """
     from .engine import Campaign, CampaignSpec  # deferred: engine imports us
 
@@ -262,5 +266,6 @@ def run_grid(
         retry_backoff_s=retry_backoff_s,
         cell_timeout_s=cell_timeout_s,
         deadline_s=deadline_s,
+        preprice=preprice,
     )
     return campaign.run(jobs=jobs, journal_dir=journal_dir)

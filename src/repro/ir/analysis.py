@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import math
 from collections import defaultdict
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import Callable, Iterator
 
 from .. import perf
@@ -59,6 +59,12 @@ class InstructionMix:
     divergent_branches: float = 0.0
     loop_headers: float = 0.0
     calls: float = 0.0
+
+    def __getstate__(self):
+        # the CPU pricing layer attaches a derived column cache to the
+        # instance dict (see ``cpu.pricing._cpu_tables_for``); it is
+        # per-process and rebuildable, so only declared fields travel
+        return {f.name: getattr(self, f.name) for f in fields(self)}
 
     # ------------------------------------------------------------------
     # aggregate views used by the device models

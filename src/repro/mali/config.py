@@ -117,9 +117,14 @@ class MaliConfig:
     NATIVE_OPS = (OpKind.DIV, OpKind.SQRT, OpKind.RSQRT, OpKind.EXP, OpKind.LOG, OpKind.SIN)
 
     def arith_issue_cost(
-        self, op: OpKind, base: str, width: int, scalar_bits: int, native_math: bool = False
+        self, op: OpKind, *, base: str, width: int, scalar_bits: int, native_math: bool = False
     ) -> float:
-        """Issue-slot cycles for one IR arithmetic op on one pipe."""
+        """Issue-slot cycles for one IR arithmetic op on one pipe.
+
+        Everything past ``op`` is keyword-only (the ``run_version``
+        convention): ``base``/``width``/``scalar_bits`` are three adjacent
+        scalars that are trivially transposable when positional.
+        """
         micro = self.micro_ops(width, scalar_bits)
         cost = self.op_cost[op] * micro
         if micro > 1:
@@ -131,8 +136,11 @@ class MaliConfig:
             cost *= self.fp64_cost_factor
         return cost
 
-    def ls_issue_cost(self, width: int, scalar_bits: int) -> float:
-        """Load/store pipe cycles for one IR memory op (cache-hit cost)."""
+    def ls_issue_cost(self, width: int, *, scalar_bits: int) -> float:
+        """Load/store pipe cycles for one IR memory op (cache-hit cost).
+
+        ``scalar_bits`` is keyword-only, matching ``arith_issue_cost``.
+        """
         return float(self.micro_ops(width, scalar_bits))
 
     @property

@@ -60,7 +60,11 @@ def distribute(
         )
 
     schedule_seconds = n_wg * config.wg_schedule_cycles / config.clock_hz
-    dist = Distribution(
+    # called once per priced candidate: fill the instance dict directly
+    # instead of paying the frozen-dataclass __init__'s per-field
+    # object.__setattr__ (same fields, same values, same pickle/eq/repr)
+    dist = object.__new__(Distribution)
+    dist.__dict__.update(
         n_work_groups=n_wg,
         groups_per_core_max=groups_per_core_max,
         quantization_factor=quantization,

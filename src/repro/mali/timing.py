@@ -72,7 +72,7 @@ def _arith_cycles(mix: InstructionMix, config: MaliConfig, native_math: bool = F
     cycles = 0.0
     for (op, base, width, accumulates), count in mix.arith.items():
         cycles += count * config.arith_issue_cost(
-            op, base, width, scalar_bits(base), native_math=native_math
+            op, base=base, width=width, scalar_bits=scalar_bits(base), native_math=native_math
         )
     cycles += mix.loop_headers * config.loop_header_cost
     cycles += mix.branches * config.branch_cost
@@ -85,7 +85,7 @@ def _ls_cycles(mix: InstructionMix, config: MaliConfig) -> float:
     for (kind, space, pattern, base, width, sequential, aligned), count in mix.mem.items():
         if space == MemSpace.PRIVATE:
             continue  # register-resident; spills are emitted as GLOBAL
-        cost = config.ls_issue_cost(width, scalar_bits(base))
+        cost = config.ls_issue_cost(width, scalar_bits=scalar_bits(base))
         if width > 1 and not aligned:
             # sliding-window vloads at arbitrary element offsets cross
             # register boundaries: two LS issues each
@@ -163,14 +163,91 @@ def time_launch(
     ).price(n_items, local_size)
 
 
-class _MixTables:
+class _HashedKey:
+    """A memo-key part that caches its (expensive) structural hash.
+
+    The ``gpu_timing`` memo keys embed deeply nested frozen dataclasses
+    (compiled kernel, traits, configs); hashing them from scratch on
+    every table lookup dominates the batched cold path.  This wrapper is
+    transparent in equality and ``repr`` — keys assembled from wrapped
+    parts occupy the same memo slots and produce the same persistent
+    ``sha256(repr(key))`` digests as the historical raw tuples — but the
+    hash is computed once, at pricer construction.
+    """
+
+    __slots__ = ("value", "_hash")
+
+    def __init__(self, value) -> None:
+        self.value = value
+        self._hash = hash(value)
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, _HashedKey):
+            return self.value == other.value
+        return self.value == other
+
+    def __repr__(self) -> str:
+        return repr(self.value)
+
+    def __reduce__(self):
+        # str/bytes hashes are randomized per process: rebuild from the
+        # value so an unpickled key part hashes correctly where it lands
+        return (_HashedKey, (self.value,))
+
+
+def _hashed_key_part(obj) -> _HashedKey:
+    """``_HashedKey(content_key(obj))`` with a single structure walk.
+
+    ``content_key`` returns hashable values untouched (after probing
+    ``hash``), so wrapping the raw object directly skips that probe;
+    the ``TypeError`` fallback covers unhashable values.
+    """
+    try:
+        return _HashedKey(obj)
+    except TypeError:
+        return _HashedKey(perf.content_key(obj))
+
+
+def _attached_key_part(obj) -> _HashedKey:
+    """:func:`_hashed_key_part`, cached on the keyed object itself.
+
+    Compiled kernels and traits are immutable once built and typically
+    priced many times per campaign (every tuner candidate, every grid
+    row); their structural content key is a pure derived constant, so it
+    is computed once and attached to the instance.  Per-process only —
+    :class:`CompiledKernel` strips derived attributes on pickle and
+    :class:`_HashedKey` re-hashes on unpickle, so hash randomization
+    never leaks a stale hash across worker processes.
+    """
+    part = obj.__dict__.get("_timing_key_part")
+    if part is None:
+        part = _hashed_key_part(obj)
+        object.__setattr__(obj, "_timing_key_part", part)
+    return part
+
+
+#: distinct item counts below which the 2-D bulk slice pass costs more
+#: in ufunc dispatch than it saves (both paths are bitwise-identical)
+_BULK_THRESHOLD = 32
+
+
+class _MixColumns:
     """Vectorized per-entry (count, cost) columns of one kernel's mix.
 
-    Built once per :class:`LaunchPricer`; every column preserves the
-    source dict's iteration order so sequential summation over the
-    elementwise products reproduces the scalar accumulation loops of
-    ``_arith_cycles`` / ``_ls_cycles`` / ``_access_width_efficiency``
-    bit for bit.
+    Every column preserves the source dict's iteration order so
+    sequential summation over the elementwise products reproduces the
+    scalar accumulation loops of ``_arith_cycles`` / ``_ls_cycles`` /
+    ``_access_width_efficiency`` bit for bit.  Columns are plain Python
+    lists — small mixes price fastest through scalar loops — with NumPy
+    views materialized on demand for the 2-D bulk pass (:meth:`arrays`).
+
+    A pure derived constant of ``(compiled, config)``: built once and
+    cached on the compiled kernel (:func:`_columns_for`), shared by
+    every pricer of that kernel — batched grids and one-shot
+    ``time_launch`` calls alike.
     """
 
     __slots__ = (
@@ -181,22 +258,10 @@ class _MixTables:
         "glb_counts",
         "glb_bytes",
         "glb_bits",
-        "traffic",
-        "dram_bytes",
-        "transfer_s",
+        "_arrays",
     )
 
-    def __init__(
-        self,
-        compiled: CompiledKernel,
-        traits: WorkloadTraits,
-        config: MaliConfig,
-        dram: DramModel,
-        caches: CacheHierarchy,
-        concurrent_agents: int,
-    ) -> None:
-        import numpy as np
-
+    def __init__(self, compiled: CompiledKernel, config: MaliConfig) -> None:
         from ..ir.dtypes import DType
 
         mix = compiled.mix
@@ -207,7 +272,11 @@ class _MixTables:
             arith_counts.append(count)
             arith_costs.append(
                 config.arith_issue_cost(
-                    op, base, width, scalar_bits(base), native_math=native_math
+                    op,
+                    base=base,
+                    width=width,
+                    scalar_bits=scalar_bits(base),
+                    native_math=native_math,
                 )
             )
         ls_counts: list[float] = []
@@ -215,7 +284,7 @@ class _MixTables:
         for (kind, space, pattern, base, width, sequential, aligned), count in mix.mem.items():
             if space == MemSpace.PRIVATE:
                 continue
-            cost = config.ls_issue_cost(width, scalar_bits(base))
+            cost = config.ls_issue_cost(width, scalar_bits=scalar_bits(base))
             if width > 1 and not aligned:
                 cost *= 2.0
             if space == MemSpace.CONSTANT:
@@ -242,20 +311,107 @@ class _MixTables:
                 if sequential
                 else float(min(width * scalar_bits(base), config.lane_bits))
             )
-        self.arith_counts = np.asarray(arith_counts, dtype=np.float64)
-        self.arith_costs = np.asarray(arith_costs, dtype=np.float64)
-        self.ls_counts = np.asarray(ls_counts, dtype=np.float64)
-        self.ls_costs = np.asarray(ls_costs, dtype=np.float64)
-        self.glb_counts = np.asarray(glb_counts, dtype=np.float64)
-        self.glb_bytes = np.asarray(glb_bytes, dtype=np.float64)
-        self.glb_bits = np.asarray(glb_bits, dtype=np.float64)
-        self.traffic = caches.dram_traffic(list(traits.streams))
-        self.dram_bytes = sum(self.traffic.values())
-        self.transfer_s = (
-            dram.transfer_seconds("gpu", self.traffic, concurrent_agents=concurrent_agents)
-            if self.dram_bytes > 0
-            else 0.0
-        )
+        self.arith_counts = arith_counts
+        self.arith_costs = arith_costs
+        self.ls_counts = ls_counts
+        self.ls_costs = ls_costs
+        self.glb_counts = glb_counts
+        self.glb_bytes = glb_bytes
+        self.glb_bits = glb_bits
+        self._arrays: tuple | None = None
+
+    def arrays(self) -> tuple:
+        """float64 column views for the 2-D bulk pass, built on demand."""
+        if self._arrays is None:
+            import numpy as np
+
+            self._arrays = tuple(
+                np.asarray(col, dtype=np.float64)
+                for col in (
+                    self.arith_counts,
+                    self.arith_costs,
+                    self.ls_counts,
+                    self.ls_costs,
+                    self.glb_counts,
+                    self.glb_bytes,
+                    self.glb_bits,
+                )
+            )
+        return self._arrays
+
+
+def _columns_for(compiled: CompiledKernel, config: MaliConfig) -> _MixColumns:
+    """The shared :class:`_MixColumns` of one (kernel, config) pair.
+
+    Cached in the compiled kernel's instance dict, keyed by config
+    identity (the identity check pins the config object, so a replaced
+    calibration never aliases a stale entry).  Stripped on pickle along
+    with the key token — see :meth:`CompiledKernel.__getstate__`.
+    """
+    cache = compiled.__dict__.get("_timing_columns")
+    if cache is None:
+        cache = {}
+        object.__setattr__(compiled, "_timing_columns", cache)
+    entry = cache.get(id(config))
+    if entry is None or entry[0] is not config:
+        entry = cache[id(config)] = (config, _MixColumns(compiled, config))
+    return entry[1]
+
+
+#: (l1 config, l2 config, dram config) -> {(streams, agents): (traffic
+#: items, dram bytes, transfer seconds)}.  DRAM traffic and its base
+#: transfer time are pure functions of the frozen configs and the
+#: traits' stream tuple; grids repeat the same few stream mixes across
+#: dozens of kernel groups, so the filtered traffic is derived once per
+#: distinct mix per process.
+_TRAFFIC_TABLES: dict[tuple, dict] = {}
+
+
+def _traffic_tables(dram: DramModel, caches: CacheHierarchy) -> dict:
+    key = (caches.l1.config, caches.l2.config, dram.config)
+    found = _TRAFFIC_TABLES.get(key)
+    if found is None:
+        found = _TRAFFIC_TABLES[key] = {}
+    return found
+
+
+class _MixTables:
+    """Candidate-independent pricing state of one kernel instance.
+
+    The config-derived columns (shared per compiled kernel) plus the
+    traits-derived DRAM traffic and base transfer time (shared per
+    stream mix).  Built once per :class:`LaunchPricer`.
+    """
+
+    __slots__ = ("cols", "traffic", "dram_bytes", "transfer_s")
+
+    def __init__(
+        self,
+        compiled: CompiledKernel,
+        traits: WorkloadTraits,
+        config: MaliConfig,
+        dram: DramModel,
+        caches: CacheHierarchy,
+        concurrent_agents: int,
+        traffic_tables: dict | None = None,
+    ) -> None:
+        self.cols = _columns_for(compiled, config)
+        tables = traffic_tables if traffic_tables is not None else _traffic_tables(dram, caches)
+        tkey = (traits.streams, concurrent_agents)
+        entry = tables.get(tkey)
+        if entry is None:
+            traffic = caches.dram_traffic(list(traits.streams))
+            dram_bytes = sum(traffic.values())
+            transfer_s = (
+                dram.transfer_seconds(
+                    "gpu", bytes_by_pattern=traffic, concurrent_agents=concurrent_agents
+                )
+                if dram_bytes > 0
+                else 0.0
+            )
+            entry = tables[tkey] = (tuple(traffic.items()), dram_bytes, transfer_s)
+        items, self.dram_bytes, self.transfer_s = entry
+        self.traffic = dict(items)
 
 
 class LaunchPricer:
@@ -291,6 +447,9 @@ class LaunchPricer:
         dram: DramModel,
         caches: CacheHierarchy,
         concurrent_agents: int = 1,
+        fixed: tuple | None = None,
+        traffic_tables: dict | None = None,
+        occ_cache: dict | None = None,
     ) -> None:
         self.compiled = compiled
         self.traits = traits
@@ -298,21 +457,35 @@ class LaunchPricer:
         self.dram = dram
         self.caches = caches
         self.concurrent_agents = concurrent_agents
+        self._traffic_tables = traffic_tables
+        self._tpc = compiled.registers.threads_per_core
         # hoisted memo-key prefix: content_key of a tuple is the tuple of
         # element content_keys, so assembling per-candidate keys from the
         # fixed parts yields keys equal to time_launch's historical ones
-        # (same memo slots, same disk digests)
-        self._fixed = (
-            perf.content_key(compiled),
-            perf.content_key(traits),
-            perf.content_key(config),
-            perf.content_key(dram.config),
-            perf.content_key(caches.l1.config),
-            perf.content_key(caches.l2.config),
-        )
+        # (same memo slots, same disk digests).  ``fixed`` lets
+        # :class:`GpuPricingModel` inject hash-cached parts, sharing the
+        # platform-level ones across every kernel group of a grid;
+        # wrapped and raw parts are equal and hash alike, so both forms
+        # address the same memo slots.
+        if fixed is None:
+            fixed = (
+                perf.content_key(compiled),
+                perf.content_key(traits),
+                perf.content_key(config),
+                perf.content_key(dram.config),
+                perf.content_key(caches.l1.config),
+                perf.content_key(caches.l2.config),
+            )
+        self._fixed = fixed
         self._memo = perf.cache("gpu_timing")
         self._tables: _MixTables | None = None
         self._slices: dict[int, tuple[float, float, float]] = {}
+        # (threads_per_core, local_size) -> (occupancy, hiding,
+        # bandwidth_hiding); shareable across the pricers of a grid — a
+        # few register tiers times a few local sizes cover every cell
+        self._occs: dict[tuple[int, int], tuple[Occupancy, float, float]] = (
+            occ_cache if occ_cache is not None else {}
+        )
 
     def key(self, n_items: int, local_size: int) -> tuple:
         """The ``gpu_timing`` memo key for one candidate."""
@@ -336,13 +509,23 @@ class LaunchPricer:
             self.key(n_items, local_size), lambda: self._compute(n_items, local_size)
         )
 
+    def price_many(
+        self, candidates: list[tuple[int, int]]
+    ) -> tuple[GpuLaunchTiming, ...]:
+        """Price many ``(n_items, local_size)`` candidates of this kernel.
+
+        The mix-dependent slices of every distinct item count are computed
+        in one 2-D vectorized pass (:meth:`warm_slices`); each candidate
+        then pays only the scalar epilogue (occupancy, distribution,
+        roofline max).  Results are bitwise-identical to ``price()`` one
+        at a time and flow through the same ``gpu_timing`` memo slots.
+        """
+        candidates = list(candidates)
+        self.warm_slices([n for n, _ in candidates])
+        return tuple(self.price(n, local) for n, local in candidates)
+
     # ------------------------------------------------------------------
-    def _slice(self, n_items: int) -> tuple[float, float, float]:
-        """(raw arith cycles, raw LS cycles, access efficiency) at one
-        item count — the only mix-dependent quantities of a candidate."""
-        found = self._slices.get(n_items)
-        if found is not None:
-            return found
+    def _ensure_tables(self) -> _MixTables:
         t = self._tables
         if t is None:
             t = self._tables = _MixTables(
@@ -352,30 +535,42 @@ class LaunchPricer:
                 self.dram,
                 self.caches,
                 self.concurrent_agents,
+                self._traffic_tables,
             )
+        return t
+
+    def _slice(self, n_items: int) -> tuple[float, float, float]:
+        """(raw arith cycles, raw LS cycles, access efficiency) at one
+        item count — the only mix-dependent quantities of a candidate.
+
+        Pure scalar Python over the hoisted columns: each ``(count*n) *
+        cost`` product and each sequential addition is the same IEEE-754
+        double operation the NumPy bulk pass performs lane-wise, so the
+        cached slices are bitwise-identical either way — and for one
+        item count the scalar loop beats the ufunc dispatch overhead.
+        """
+        found = self._slices.get(n_items)
+        if found is not None:
+            return found
+        cols = self._ensure_tables().cols
         n = float(n_items)
         config = self.config
         mix = self.compiled.mix
         arith = 0.0
-        for term in ((t.arith_counts * n) * t.arith_costs).tolist():
-            arith += term
+        for count, cost in zip(cols.arith_counts, cols.arith_costs):
+            arith += (count * n) * cost
         arith += (mix.loop_headers * n) * config.loop_header_cost
         arith += (mix.branches * n) * config.branch_cost
         arith += (mix.calls * n) * config.call_cost
         ls = 0.0
-        for term in ((t.ls_counts * n) * t.ls_costs).tolist():
-            ls += term
-        if t.glb_counts.size:
-            nbytes = (t.glb_counts * n) * t.glb_bytes
-            total_bytes = 0.0
-            for b in nbytes.tolist():
-                total_bytes += b
-            weighted_bits = 0.0
-            for w in (nbytes * t.glb_bits).tolist():
-                weighted_bits += w
-        else:
-            total_bytes = 0.0
-            weighted_bits = 0.0
+        for count, cost in zip(cols.ls_counts, cols.ls_costs):
+            ls += (count * n) * cost
+        total_bytes = 0.0
+        weighted_bits = 0.0
+        for count, nbytes, bits in zip(cols.glb_counts, cols.glb_bytes, cols.glb_bits):
+            b = (count * n) * nbytes
+            total_bytes += b
+            weighted_bits += b * bits
         if total_bytes <= 0.0:
             access_eff = 1.0
         else:
@@ -387,17 +582,99 @@ class LaunchPricer:
         self._slices[n_items] = result
         return result
 
+    def warm_slices(self, n_values) -> None:
+        """Bulk-fill :meth:`_slice` for many item counts in one 2-D pass.
+
+        Instead of one 1-D product per item count, the whole grid of
+        (entry, item count) terms is materialized as a 2-D outer product
+        and reduced along the entry axis by sequential row accumulation —
+        each lane sees its additions in the exact order the scalar loop
+        performs them, so the cached slices are bitwise-identical to what
+        ``_slice`` would have produced one ``n`` at a time.
+
+        Below ``_BULK_THRESHOLD`` distinct item counts the ufunc
+        dispatch overhead of the 2-D pass exceeds its win, so the slices
+        fall through to the (equally bitwise) scalar :meth:`_slice`.
+        """
+        todo = sorted({int(n) for n in n_values} - self._slices.keys())
+        if not todo:
+            return
+        if len(todo) < _BULK_THRESHOLD:
+            for n_items in todo:
+                self._slice(n_items)
+            return
+        import numpy as np
+
+        (
+            arith_counts,
+            arith_costs,
+            ls_counts,
+            ls_costs,
+            glb_counts,
+            glb_bytes,
+            glb_bits,
+        ) = self._ensure_tables().cols.arrays()
+        config = self.config
+        mix = self.compiled.mix
+        ns = np.asarray([float(n) for n in todo], dtype=np.float64)
+        width = len(todo)
+
+        arith = np.zeros(width)
+        if arith_counts.size:
+            for row in (arith_counts[:, None] * ns[None, :]) * arith_costs[:, None]:
+                arith += row
+        arith += (mix.loop_headers * ns) * config.loop_header_cost
+        arith += (mix.branches * ns) * config.branch_cost
+        arith += (mix.calls * ns) * config.call_cost
+
+        ls = np.zeros(width)
+        if ls_counts.size:
+            for row in (ls_counts[:, None] * ns[None, :]) * ls_costs[:, None]:
+                ls += row
+
+        if glb_counts.size:
+            nbytes = (glb_counts[:, None] * ns[None, :]) * glb_bytes[:, None]
+            total_bytes = np.zeros(width)
+            for row in nbytes:
+                total_bytes += row
+            weighted_bits = np.zeros(width)
+            for row in nbytes * glb_bits[:, None]:
+                weighted_bits += row
+            with np.errstate(divide="ignore", invalid="ignore"):
+                mean_bits = weighted_bits / total_bytes
+                frac = np.minimum(
+                    np.maximum((mean_bits - 32.0) / (config.lane_bits - 32.0), 0.0), 1.0
+                )
+                low = config.scalar_access_dram_efficiency
+                access_eff = np.where(total_bytes <= 0.0, 1.0, low + (1.0 - low) * frac)
+        else:
+            access_eff = np.ones(width)
+
+        for j, n_items in enumerate(todo):
+            self._slices[n_items] = (float(arith[j]), float(ls[j]), float(access_eff[j]))
+
     def _compute(self, n_items: int, local_size: int) -> GpuLaunchTiming:
         """Uncached vectorized price (the scalar model, batched)."""
         if n_items < 1:
             raise ValueError(f"n_items must be >= 1, got {n_items}")
         arith_raw, ls_raw, access_eff = self._slice(n_items)
-        t = self._tables
+        t = self._ensure_tables()
         config = self.config
         mix = self.compiled.mix
         n = float(n_items)
 
-        occ = derive_occupancy(self.compiled.registers.threads_per_core, local_size)
+        # occupancy depends on (register tier, local size) alone; the
+        # hiding factors are sqrt-computing properties, so the cache
+        # holds the derived floats next to the frozen Occupancy
+        entry = self._occs.get((self._tpc, local_size))
+        if entry is None:
+            occ = derive_occupancy(self._tpc, local_size)
+            entry = self._occs[(self._tpc, local_size)] = (
+                occ,
+                occ.hiding,
+                occ.bandwidth_hiding,
+            )
+        occ, hiding, bandwidth_hiding = entry
         dist, imbalance = distribute(n_items, local_size, config, self.traits.imbalance_cv)
 
         clock = config.clock_hz
@@ -405,11 +682,11 @@ class LaunchPricer:
 
         arith_cycles = arith_raw / (n_cores * config.arith_pipes_per_core)
         ls_cycles = ls_raw / (n_cores * config.ls_pipes_per_core)
-        arith_s = arith_cycles / clock / occ.hiding
-        ls_s = ls_cycles / clock / occ.hiding
+        arith_s = arith_cycles / clock / hiding
+        ls_s = ls_cycles / clock / hiding
 
         dram_s = (
-            t.transfer_s / occ.bandwidth_hiding / access_eff if t.dram_bytes > 0 else 0.0
+            t.transfer_s / bandwidth_hiding / access_eff if t.dram_bytes > 0 else 0.0
         )
 
         atomic_s = (
@@ -420,15 +697,26 @@ class LaunchPricer:
         barrier_instances = (mix.barriers * n) / max(local_size, 1)
         barrier_s = barrier_instances * config.barrier_cycles / clock / n_cores
 
-        components = {"arith": arith_s, "ls": ls_s, "dram": dram_s, "atomic": atomic_s}
-        bottleneck = max(components, key=components.get)
-        peak = components[bottleneck]
-        leak = config.overlap_leak * (sum(components.values()) - peak)
+        # unrolled twin of the reference's component-dict max: first
+        # maximum wins on ties (dict order arith, ls, dram, atomic) and
+        # the leak sums the components in that same insertion order
+        peak, bottleneck = arith_s, "arith"
+        if ls_s > peak:
+            peak, bottleneck = ls_s, "ls"
+        if dram_s > peak:
+            peak, bottleneck = dram_s, "dram"
+        if atomic_s > peak:
+            peak, bottleneck = atomic_s, "atomic"
+        leak = config.overlap_leak * ((((arith_s + ls_s) + dram_s) + atomic_s) - peak)
         parallel_s = (peak + leak) * imbalance + barrier_s
 
         total = parallel_s + dist.schedule_seconds + config.launch_overhead_s
 
-        return GpuLaunchTiming(
+        # a grid builds hundreds of these; the frozen-dataclass __init__
+        # goes through object.__setattr__ per field, so fill the instance
+        # dict directly (same fields, same values, same pickle/eq/repr)
+        timing = object.__new__(GpuLaunchTiming)
+        timing.__dict__.update(
             seconds=total,
             arith_seconds=arith_s,
             ls_seconds=ls_s,
@@ -443,6 +731,7 @@ class LaunchPricer:
             dram_bytes=t.dram_bytes,
             bottleneck=bottleneck,
         )
+        return timing
 
 
 def _time_launch_uncached(
@@ -478,7 +767,9 @@ def _time_launch_uncached(
     dram_bytes = sum(traffic.values())
     access_eff = _access_width_efficiency(totals, config)
     dram_s = (
-        dram.transfer_seconds("gpu", traffic, concurrent_agents=concurrent_agents)
+        dram.transfer_seconds(
+            "gpu", bytes_by_pattern=traffic, concurrent_agents=concurrent_agents
+        )
         / occ.bandwidth_hiding
         / access_eff
         if dram_bytes > 0
@@ -549,5 +840,104 @@ def roofline_floor_seconds(
     )
     ls_s = _ls_cycles(totals, config) / (n_cores * config.ls_pipes_per_core) / clock
     traffic = caches.dram_traffic(list(traits.streams))
-    dram_s = dram.transfer_seconds("gpu", traffic) if sum(traffic.values()) > 0 else 0.0
+    dram_s = (
+        dram.transfer_seconds("gpu", bytes_by_pattern=traffic)
+        if sum(traffic.values()) > 0
+        else 0.0
+    )
     return max(arith_s, ls_s, dram_s)
+
+
+class GpuPricingModel:
+    """Batched :class:`~repro.pricing.PricingModel` over GPU launch cells.
+
+    Groups cells by (compiled kernel, traits, concurrent agents), holds
+    one :class:`LaunchPricer` per group, and bulk-computes the
+    mix-dependent slices of every distinct item count before pricing the
+    candidates.  Pricers persist across ``price`` calls so the tuner and
+    the campaign cold path share vectorized tables and memo slots.
+    """
+
+    def __init__(self, config: MaliConfig, dram: DramModel, caches: CacheHierarchy):
+        self.config = config
+        self.dram = dram
+        self.caches = caches
+        self._pricers: dict[tuple[int, int, int], LaunchPricer] = {}
+        # platform-level memo-key parts, hashed once for the whole grid
+        self._platform_fixed: tuple | None = None
+        # shared per-stream-mix traffic tables, resolved once per facade
+        self._traffic = _traffic_tables(dram, caches)
+        # occupancy entries shared across every pricer of this facade
+        self._occ_entries: dict[tuple[int, int], tuple[Occupancy, float, float]] = {}
+        # traits interning: cells built from distinct-but-equal traits
+        # objects (one per grid row) collapse onto one canonical instance
+        # so they share a pricer, its tables, and its warmed slices
+        self._traits_by_id: dict[int, WorkloadTraits] = {}
+        self._traits_canon: dict[WorkloadTraits, WorkloadTraits] = {}
+
+    def _canon_traits(self, traits: WorkloadTraits) -> WorkloadTraits:
+        found = self._traits_by_id.get(id(traits))
+        if found is None:
+            found = self._traits_canon.setdefault(traits, traits)
+            self._traits_by_id[id(traits)] = found
+        return found
+
+    def _fixed_for(
+        self, compiled: CompiledKernel, traits: WorkloadTraits
+    ) -> tuple:
+        if self._platform_fixed is None:
+            self._platform_fixed = (
+                _hashed_key_part(self.config),
+                _hashed_key_part(self.dram.config),
+                _hashed_key_part(self.caches.l1.config),
+                _hashed_key_part(self.caches.l2.config),
+            )
+        return (
+            _attached_key_part(compiled),
+            _attached_key_part(traits),
+        ) + self._platform_fixed
+
+    def pricer(
+        self,
+        compiled: CompiledKernel,
+        traits: WorkloadTraits,
+        concurrent_agents: int = 1,
+    ) -> LaunchPricer:
+        """The shared :class:`LaunchPricer` for one kernel instance."""
+        traits = self._canon_traits(traits)
+        gk = (id(compiled), id(traits), concurrent_agents)
+        found = self._pricers.get(gk)
+        if found is None:
+            found = self._pricers[gk] = LaunchPricer(
+                compiled,
+                traits,
+                self.config,
+                self.dram,
+                self.caches,
+                concurrent_agents=concurrent_agents,
+                fixed=self._fixed_for(compiled, traits),
+                traffic_tables=self._traffic,
+                occ_cache=self._occ_entries,
+            )
+        return found
+
+    def price(self, cells) -> tuple[GpuLaunchTiming, ...]:
+        """Timings for each :class:`~repro.pricing.GpuLaunchCell`."""
+        cells = tuple(cells)
+        grouped: dict[tuple[int, int, int], tuple[LaunchPricer, list[int]]] = {}
+        for i, cell in enumerate(cells):
+            pricer = self.pricer(cell.compiled, cell.traits, cell.concurrent_agents)
+            gk = (id(cell.compiled), id(pricer.traits), cell.concurrent_agents)
+            grouped.setdefault(gk, (pricer, []))[1].append(i)
+        out: list[GpuLaunchTiming | None] = [None] * len(cells)
+        for pricer, idxs in grouped.values():
+            pricer.warm_slices([cells[i].n_items for i in idxs])
+            for i in idxs:
+                out[i] = pricer.price(cells[i].n_items, cells[i].local_size)
+        return tuple(out)  # type: ignore[arg-type]
+
+    def price_one(self, cell) -> GpuLaunchTiming:
+        """Single-cell convenience (same memo slots as the batch path)."""
+        return self.pricer(cell.compiled, cell.traits, cell.concurrent_agents).price(
+            cell.n_items, cell.local_size
+        )

@@ -27,7 +27,8 @@ snapshots :func:`counters` around each run and threads the deltas into
 Since PR 3 the content-keyed caches are **two-tier**: below the
 in-process LRU sits an optional disk-backed
 :class:`~repro.perf.persist.PersistentStore`
-(``configure(persist_dir=...)``), so campaign workers share warm state
+(``configure(config=PerfConfig(persist_dir=...))``), so campaign
+workers share warm state
 through the filesystem and a fresh process starts hot.  Only the
 caches whose keys are content-addressed persist (``compile``,
 ``analysis``, ``gpu_timing``, ``cpu_timing``, ``gpu_exec``); the
@@ -40,7 +41,8 @@ All cached functions are pure: a key is built only from frozen,
 content-hashable inputs (kernel IR trees, options, calibrated configs)
 or from content digests of NumPy arrays, so a cache hit returns exactly
 the object a fresh computation would have produced.  The whole lane can
-be switched off (``configure(enabled=False)`` or the :func:`disabled`
+be switched off (``configure(config=PerfConfig(enabled=False))`` or the
+:func:`disabled`
 context manager) to fall back to the unmemoized path — the two paths
 produce byte-identical :class:`~repro.experiments.runner.ResultSet`
 JSON, which ``benchmarks/test_perf_hotpath.py`` asserts at paper scale.
@@ -50,6 +52,7 @@ from __future__ import annotations
 
 import dataclasses
 import hashlib
+import warnings
 from collections import OrderedDict
 from contextlib import contextmanager
 from dataclasses import dataclass
@@ -65,12 +68,14 @@ __all__ = [
     "CacheStats",
     "MemoCache",
     "PERSISTED_CACHES",
+    "PerfConfig",
     "PersistentStore",
     "TierStats",
     "cache",
     "caches",
     "configure",
     "content_key",
+    "current_config",
     "counters",
     "counters_delta",
     "counters_merge",
@@ -97,16 +102,64 @@ _STORE: PersistentStore | None = None
 _UNSET = object()
 
 
-def configure(*, enabled: bool | None = None, persist_dir=_UNSET) -> None:
+@dataclass(frozen=True)
+class PerfConfig:
+    """The whole fast-lane configuration as one frozen value.
+
+    ``enabled`` switches both tiers on or off; ``persist_dir`` is the
+    disk tier — a path, an attached :class:`PersistentStore` (so a
+    caller can save and restore the store object, counters included), or
+    ``None`` for memory-only.  Pass to ``configure(config=...)``; read
+    the current state back with :func:`current_config`.  The dataclass
+    replaces ``configure``'s grown keyword set with one value that can be
+    captured, compared, and restored atomically.
+    """
+
+    enabled: bool = True
+    persist_dir: Any = None
+
+
+def current_config() -> PerfConfig:
+    """Snapshot of the live fast-lane state as a :class:`PerfConfig`.
+
+    ``persist_dir`` is the attached :class:`PersistentStore` object (not
+    the original path), so ``configure(config=current_config())`` is an
+    exact save/restore round trip.
+    """
+    return PerfConfig(enabled=_ENABLED, persist_dir=_STORE)
+
+
+def configure(
+    config: PerfConfig | None = None, *, enabled: bool | None = None, persist_dir=_UNSET
+) -> None:
     """Adjust the fast lane process-wide.
 
-    ``enabled`` switches both tiers on or off; ``persist_dir`` attaches
-    the disk tier at the given root — a path, an existing
-    :class:`PersistentStore` (so a caller can save and restore the
-    attached store object, counters included), or ``None`` to detach.
-    Omitted arguments leave the corresponding setting untouched.
+    The one supported path is ``configure(config=PerfConfig(...))``,
+    which applies the *whole* configuration atomically.  The legacy
+    keywords remain as a shim — ``enabled`` switches both tiers on or
+    off, ``persist_dir`` attaches the disk tier (a path, an existing
+    :class:`PersistentStore`, or ``None`` to detach), and omitted
+    keywords leave their setting untouched — but they emit a single
+    :class:`DeprecationWarning` and cannot be mixed with ``config``.
     """
     global _ENABLED, _STORE
+    if config is not None:
+        if enabled is not None or persist_dir is not _UNSET:
+            raise ValueError("pass either config= or the legacy keywords, not both")
+        _ENABLED = bool(config.enabled)
+        store = config.persist_dir
+        if store is None or isinstance(store, PersistentStore):
+            _STORE = store
+        else:
+            _STORE = PersistentStore(store)
+        return
+    if enabled is not None or persist_dir is not _UNSET:
+        warnings.warn(
+            "perf.configure(enabled=..., persist_dir=...) keywords are deprecated; "
+            "pass perf.configure(config=perf.PerfConfig(...))",
+            DeprecationWarning,
+            stacklevel=2,
+        )
     if enabled is not None:
         _ENABLED = bool(enabled)
     if persist_dir is not _UNSET:

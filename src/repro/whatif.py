@@ -12,7 +12,10 @@ builds the counterfactual platforms and runs them:
 * :func:`fixed_driver_platform` — the same SoC with the FP64 defect
   fixed, which finally yields the double-precision amcd numbers the
   paper could not print;
-* :func:`compare_platforms` — per-benchmark Opt runs across variants.
+* :func:`compare_platforms` — per-benchmark Opt runs across variants;
+* :func:`estimate_speedups` — the model-only variant: prices each
+  platform through its ``pricing_model()`` without functional runs,
+  the cheap currency of wide design-space sweeps.
 """
 
 from __future__ import annotations
@@ -113,6 +116,40 @@ def compare_platforms(
         runs=runs,
         serial_seconds=serial_seconds,
     )
+
+
+def estimate_speedups(
+    benchmark: str,
+    platforms: dict[str, ExynosPlatform],
+    precision: Precision = Precision.SINGLE,
+    scale: float = 0.5,
+    seed: int = 1234,
+) -> dict[str, float | None]:
+    """Model-only Opt-over-Serial speedup per platform variant.
+
+    The batched counterpart of :func:`compare_platforms`: every number
+    comes from ``platform.pricing_model()`` — tuner pricing for the Opt
+    candidate, the CPU pricer for the Serial baseline — with no
+    functional NumPy execution and no meter.  ``None`` marks a variant
+    where no Opt candidate is feasible (the paper's missing DP bars).
+    The Serial baseline is taken from the first platform, exactly like
+    :func:`compare_platforms`.
+    """
+    from .pricing.grid import estimate_cpu_seconds, estimate_opt_seconds
+
+    if not platforms:
+        raise ValueError("need at least one platform")
+    out: dict[str, float | None] = {}
+    serial_seconds = None
+    for name, platform in platforms.items():
+        bench = create(
+            benchmark, precision=precision, scale=scale, seed=seed, platform=platform
+        )
+        if serial_seconds is None:
+            serial_seconds = estimate_cpu_seconds(bench)
+        opt_seconds = estimate_opt_seconds(bench)
+        out[name] = None if opt_seconds is None else serial_seconds / opt_seconds
+    return out
 
 
 def run_fixed_driver_amcd(

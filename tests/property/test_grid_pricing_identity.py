@@ -1,0 +1,110 @@
+"""Campaign-level identity: batched pricing never changes a result byte.
+
+The tentpole guarantee of the batched cold path is that an entire
+campaign — full SP+DP grid, every version, tuner options included —
+serializes to exactly the same ``ResultSet.to_json()`` bytes whether
+cells are priced through the vectorized ``repro.pricing`` models or
+through the scalar reference implementations cell by cell, and whether
+the engine runs in-process or on a worker pool.
+
+The scalar world is forced by (a) ``perf.disabled()``, which drops
+``LaunchPricer.price`` to the uncached scalar GPU path and bypasses
+every memo tier, and (b) monkeypatching ``CpuPricingModel`` to the
+scalar ``_time_serial_scalar``/``_time_openmp_scalar`` references.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from unittest import mock
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import perf
+from repro.benchmarks.base import Precision, Version
+from repro.benchmarks.registry import PAPER_ORDER
+from repro.cpu.openmp import _time_openmp_scalar
+from repro.cpu.serial import _time_serial_scalar
+from repro.cpu.pricing import CpuPricingModel
+from repro.experiments.runner import run_grid
+from repro.pricing import MODE_SERIAL
+
+BOTH_PRECISIONS = (Precision.SINGLE, Precision.DOUBLE)
+
+
+def _scalar_price_one(self, cell):
+    fn = _time_serial_scalar if cell.mode == MODE_SERIAL else _time_openmp_scalar
+    return fn(cell.mix, cell.n_elements, cell.traits, self.config, self.dram, self.caches)
+
+
+def _scalar_price(self, cells):
+    return tuple(_scalar_price_one(self, cell) for cell in cells)
+
+
+@contextmanager
+def scalar_pricing():
+    """Every model evaluation through the scalar references, no caches."""
+    with perf.disabled():
+        with mock.patch.object(CpuPricingModel, "price_one", _scalar_price_one), \
+                mock.patch.object(CpuPricingModel, "price", _scalar_price):
+            yield
+
+
+@pytest.fixture(autouse=True)
+def _fresh_perf():
+    perf.reset()
+    yield
+    perf.reset()
+
+
+def _grid_json(*, benchmarks=PAPER_ORDER, versions=tuple(Version),
+               precisions=BOTH_PRECISIONS, jobs=1, scalar=False, scale=0.1):
+    perf.reset()
+    if scalar:
+        with scalar_pricing():
+            rs = run_grid(benchmarks, versions=versions, precisions=precisions,
+                          scale=scale, jobs=jobs, preprice=False)
+    else:
+        rs = run_grid(benchmarks, versions=versions, precisions=precisions,
+                      scale=scale, jobs=jobs)
+    return rs.to_json()
+
+
+def test_full_grid_byte_identity_scalar_vs_batched():
+    """Full SP+DP grid, all versions: scalar and batched bytes agree,
+    in-process and across a 4-worker pool."""
+    scalar = _grid_json(scalar=True)
+    batched_inline = _grid_json()
+    assert batched_inline == scalar
+    batched_pool = _grid_json(jobs=4)
+    assert batched_pool == scalar
+
+
+def test_preprice_off_is_still_identical():
+    perf.reset()
+    on = run_grid(("vecop", "hist"), precisions=BOTH_PRECISIONS, scale=0.1).to_json()
+    perf.reset()
+    off = run_grid(
+        ("vecop", "hist"), precisions=BOTH_PRECISIONS, scale=0.1, preprice=False
+    ).to_json()
+    assert on == off
+
+
+@given(
+    benchmarks=st.sets(st.sampled_from(PAPER_ORDER), min_size=1, max_size=2),
+    versions=st.sets(st.sampled_from(list(Version)), min_size=1, max_size=4),
+    precisions=st.sets(st.sampled_from(BOTH_PRECISIONS), min_size=1, max_size=2),
+)
+@settings(max_examples=6, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_random_cell_subset_byte_identity(benchmarks, versions, precisions):
+    """Any sub-grid prices to the same bytes scalar vs batched."""
+    benchmarks = tuple(sorted(benchmarks))
+    versions = tuple(v for v in Version if v in versions)
+    precisions = tuple(p for p in BOTH_PRECISIONS if p in precisions)
+    scalar = _grid_json(benchmarks=benchmarks, versions=versions,
+                        precisions=precisions, scalar=True)
+    batched = _grid_json(benchmarks=benchmarks, versions=versions,
+                         precisions=precisions)
+    assert batched == scalar

@@ -73,8 +73,8 @@ def test_smaller_window_never_misses_more(fp, t, window):
 @settings(max_examples=60)
 def test_transfer_time_positive_and_linear(nbytes):
     dram = DramModel(DramConfig())
-    t1 = dram.transfer_seconds("gpu", {AccessPattern.UNIT: nbytes})
-    t2 = dram.transfer_seconds("gpu", {AccessPattern.UNIT: 2 * nbytes})
+    t1 = dram.transfer_seconds("gpu", bytes_by_pattern={AccessPattern.UNIT: nbytes})
+    t2 = dram.transfer_seconds("gpu", bytes_by_pattern={AccessPattern.UNIT: 2 * nbytes})
     assert t1 > 0
     assert t2 == pytest.approx(2 * t1, rel=1e-9)
 
@@ -88,7 +88,7 @@ def test_effective_bandwidth_never_exceeds_cap(unit, gather):
     assume(unit + gather > 0)
     dram = DramModel(DramConfig())
     bw = dram.effective_bandwidth(
-        "gpu", {AccessPattern.UNIT: unit, AccessPattern.GATHER: gather}
+        "gpu", bytes_by_pattern={AccessPattern.UNIT: unit, AccessPattern.GATHER: gather}
     )
     assert 0 < bw <= dram.config.gpu_cap
 
@@ -100,9 +100,9 @@ def test_effective_bandwidth_never_exceeds_cap(unit, gather):
 @settings(max_examples=60)
 def test_adding_gather_bytes_never_speeds_transfer(unit, extra_gather):
     dram = DramModel(DramConfig())
-    base = dram.transfer_seconds("gpu", {AccessPattern.UNIT: unit})
+    base = dram.transfer_seconds("gpu", bytes_by_pattern={AccessPattern.UNIT: unit})
     mixed = dram.transfer_seconds(
-        "gpu", {AccessPattern.UNIT: unit, AccessPattern.GATHER: extra_gather}
+        "gpu", bytes_by_pattern={AccessPattern.UNIT: unit, AccessPattern.GATHER: extra_gather}
     )
     assert mixed >= base - 1e-12
 

@@ -22,6 +22,7 @@ PUBLIC_MODULES = [
     "repro.ocl",
     "repro.optimizations",
     "repro.power",
+    "repro.pricing",
     "repro.whatif",
     "repro.workload",
 ]

@@ -68,8 +68,8 @@ class TestMaliConfig:
 
     def test_fp64_costs_double(self):
         cfg = MaliConfig()
-        assert cfg.arith_issue_cost(OpKind.FMA, "f64", 1, 64) == pytest.approx(
-            2 * cfg.arith_issue_cost(OpKind.FMA, "f32", 1, 32)
+        assert cfg.arith_issue_cost(OpKind.FMA, base="f64", width=1, scalar_bits=64) == pytest.approx(
+            2 * cfg.arith_issue_cost(OpKind.FMA, base="f32", width=1, scalar_bits=32)
         )
 
     def test_describe_mentions_figure1_components(self):

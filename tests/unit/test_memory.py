@@ -163,22 +163,22 @@ class TestDramModel:
             self.dram.agent_cap("tpu")
 
     def test_transfer_time_scales_with_bytes(self):
-        t1 = self.dram.transfer_seconds("gpu", {AccessPattern.UNIT: 1e6})
-        t2 = self.dram.transfer_seconds("gpu", {AccessPattern.UNIT: 2e6})
+        t1 = self.dram.transfer_seconds("gpu", bytes_by_pattern={AccessPattern.UNIT: 1e6})
+        t2 = self.dram.transfer_seconds("gpu", bytes_by_pattern={AccessPattern.UNIT: 2e6})
         assert t2 == pytest.approx(2 * t1)
 
     def test_pattern_slows_transfer(self):
-        unit = self.dram.transfer_seconds("gpu", {AccessPattern.UNIT: 1e6})
-        strided = self.dram.transfer_seconds("gpu", {AccessPattern.STRIDED: 1e6})
+        unit = self.dram.transfer_seconds("gpu", bytes_by_pattern={AccessPattern.UNIT: 1e6})
+        strided = self.dram.transfer_seconds("gpu", bytes_by_pattern={AccessPattern.STRIDED: 1e6})
         assert strided > unit
 
     def test_contention_reduces_bandwidth(self):
-        alone = self.dram.effective_bandwidth("cpu1", {AccessPattern.UNIT: 1e6}, 1)
-        shared = self.dram.effective_bandwidth("cpu1", {AccessPattern.UNIT: 1e6}, 2)
+        alone = self.dram.effective_bandwidth("cpu1", bytes_by_pattern={AccessPattern.UNIT: 1e6}, concurrent_agents=1)
+        shared = self.dram.effective_bandwidth("cpu1", bytes_by_pattern={AccessPattern.UNIT: 1e6}, concurrent_agents=2)
         assert shared < alone
 
     def test_empty_transfer_is_free(self):
-        assert self.dram.transfer_seconds("gpu", {}) == 0.0
+        assert self.dram.transfer_seconds("gpu", bytes_by_pattern={}) == 0.0
 
     def test_achieved_fraction_below_one(self):
         frac = self.dram.achieved_fraction_of_peak("gpu", {AccessPattern.UNIT: 1e6})

@@ -1,0 +1,232 @@
+"""Unit surface of the ``repro.pricing`` redesign.
+
+Covers the ``PricingModel`` protocol conformance of every layer, the
+``PlatformPricing`` facade dispatch, the ``PerfConfig`` consolidation of
+``perf.configure``, the keyword-only signatures, campaign pre-pricing,
+and the model-only estimate helpers the what-if studies use.
+"""
+
+from __future__ import annotations
+
+import inspect
+
+import pytest
+
+from repro import perf, whatif
+from repro.benchmarks.base import (
+    Precision,
+    Version,
+    cpu_pricing_inputs,
+    run_version,
+)
+from repro.benchmarks.registry import create
+from repro.calibration.exynos5250 import default_platform
+from repro.calibration.sensitivity import probe_speedups
+from repro.ir.analysis import OpKind
+from repro.ir.nodes import AccessPattern
+from repro.power.rails import Activity, ActivityKind
+from repro.pricing import (
+    MODE_OPENMP,
+    MODE_SERIAL,
+    CpuCell,
+    PricingModel,
+    TraceCell,
+    TransferCell,
+)
+from repro.pricing.grid import (
+    PlatformPricing,
+    estimate_cpu_seconds,
+    estimate_opt_seconds,
+    seed_cpu_timing,
+)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_perf():
+    perf.reset()
+    yield
+    perf.reset()
+
+
+# ---------------------------------------------------------------------------
+# protocol + facade
+# ---------------------------------------------------------------------------
+
+
+class TestPricingProtocol:
+    def test_every_layer_implements_the_protocol(self):
+        pricing = default_platform().pricing_model()
+        for model in (pricing.gpu, pricing.cpu, pricing.dram, pricing.power, pricing):
+            assert isinstance(model, PricingModel)
+
+    def test_platform_accessor_returns_fresh_facade(self):
+        platform = default_platform()
+        pricing = platform.pricing_model()
+        assert isinstance(pricing, PlatformPricing)
+        assert pricing.platform is platform
+
+    def test_facade_dispatches_heterogeneous_cells_in_order(self):
+        platform = default_platform()
+        pricing = platform.pricing_model()
+        bench = create("vecop", scale=0.1, platform=platform)
+        _, mix, traits, n = cpu_pricing_inputs(bench)
+        cells = [
+            TransferCell(agent="gpu", bytes_by_pattern={AccessPattern.UNIT: 1e6}),
+            CpuCell(mix=mix, mode=MODE_SERIAL, n_elements=n, traits=traits),
+            TraceCell(activities=(Activity(kind=ActivityKind.IDLE, duration_s=1.0),)),
+            CpuCell(mix=mix, mode=MODE_OPENMP, n_elements=n, traits=traits),
+        ]
+        rows = pricing.price(cells)
+        assert len(rows) == 4
+        for cell, row in zip(cells, rows):
+            assert row == pricing.price_one(cell)
+
+    def test_facade_rejects_non_cells(self):
+        pricing = default_platform().pricing_model()
+        with pytest.raises(TypeError):
+            pricing.price(["not a cell"])
+
+
+# ---------------------------------------------------------------------------
+# perf.configure(config=PerfConfig(...))
+# ---------------------------------------------------------------------------
+
+
+class TestPerfConfig:
+    def test_round_trip(self, tmp_path):
+        before = perf.current_config()
+        assert before == perf.PerfConfig(enabled=True, persist_dir=None)
+        perf.configure(config=perf.PerfConfig(enabled=False, persist_dir=tmp_path))
+        assert not perf.is_enabled()
+        assert perf.persistent_store() is not None
+        snapshot = perf.current_config()
+        perf.configure(config=before)
+        assert perf.current_config() == before
+        # the snapshot restores the exact store object, not a re-open
+        perf.configure(config=snapshot)
+        assert perf.current_config() == snapshot
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            perf.current_config().enabled = False
+
+    def test_legacy_keywords_still_work_but_warn(self, tmp_path):
+        with pytest.warns(DeprecationWarning):
+            perf.configure(enabled=False)
+        assert not perf.is_enabled()
+        with pytest.warns(DeprecationWarning):
+            perf.configure(enabled=True, persist_dir=tmp_path)
+        assert perf.is_enabled()
+        assert perf.persistent_store() is not None
+
+    def test_config_and_keywords_are_exclusive(self):
+        with pytest.raises(ValueError):
+            perf.configure(config=perf.PerfConfig(), enabled=False)
+
+    def test_exported(self):
+        assert "PerfConfig" in perf.__all__
+        assert "current_config" in perf.__all__
+
+
+# ---------------------------------------------------------------------------
+# keyword-only signatures
+# ---------------------------------------------------------------------------
+
+
+class TestKeywordOnlySignatures:
+    def test_dram_methods_reject_positional_tail(self):
+        platform = default_platform()
+        dram = platform.dram_model()
+        mix = {AccessPattern.UNIT: 1e6}
+        with pytest.raises(TypeError):
+            dram.transfer_seconds("gpu", mix)
+        with pytest.raises(TypeError):
+            dram.effective_bandwidth("gpu", mix)
+        assert dram.transfer_seconds("gpu", bytes_by_pattern=mix) > 0.0
+
+    def test_mali_costs_reject_positional_tail(self):
+        mali = default_platform().mali
+        with pytest.raises(TypeError):
+            mali.arith_issue_cost(OpKind.FMA, "f32", 1, 32)
+        with pytest.raises(TypeError):
+            mali.ls_issue_cost(1, 32)
+        assert mali.arith_issue_cost(OpKind.FMA, base="f32", width=1, scalar_bits=32) > 0
+        assert mali.ls_issue_cost(1, scalar_bits=32) > 0
+
+    @pytest.mark.parametrize(
+        "func, n_positional",
+        [("effective_bandwidth", 2), ("transfer_seconds", 2)],
+    )
+    def test_signature_shape(self, func, n_positional):
+        from repro.memory.dram import DramModel
+
+        params = list(inspect.signature(getattr(DramModel, func)).parameters.values())
+        for param in params[n_positional:]:
+            assert param.kind is param.KEYWORD_ONLY
+
+
+# ---------------------------------------------------------------------------
+# campaign pre-pricing
+# ---------------------------------------------------------------------------
+
+
+class TestSeedCpuTiming:
+    def test_seeds_one_row_per_cpu_version(self):
+        bench = create("vecop", scale=0.1)
+        assert seed_cpu_timing(bench, list(Version)) == 2
+        # seeding twice is idempotent on the memo
+        assert seed_cpu_timing(bench, list(Version)) == 2
+
+    def test_gpu_only_groups_seed_nothing(self):
+        bench = create("vecop", scale=0.1)
+        assert seed_cpu_timing(bench, [Version.OPENCL, Version.OPENCL_OPT]) == 0
+
+    def test_noop_when_perf_disabled(self):
+        bench = create("vecop", scale=0.1)
+        with perf.disabled():
+            assert seed_cpu_timing(bench, list(Version)) == 0
+
+    def test_dispatch_hits_the_seeded_key(self):
+        bench = create("hist", scale=0.1)
+        seed_cpu_timing(bench, [Version.SERIAL, Version.OPENMP])
+        misses_before = perf.counters()["cpu_timing"]["misses"]
+        run_version(bench, version=Version.SERIAL)
+        run_version(bench, version=Version.OPENMP)
+        assert perf.counters()["cpu_timing"]["misses"] == misses_before
+
+
+# ---------------------------------------------------------------------------
+# model-only estimates (whatif / sensitivity seam)
+# ---------------------------------------------------------------------------
+
+
+class TestModelOnlyEstimates:
+    def test_cpu_estimate_matches_run(self):
+        bench = create("vecop", scale=0.1)
+        run = run_version(bench, version=Version.SERIAL)
+        assert estimate_cpu_seconds(bench) == run.elapsed_s
+
+    def test_opt_estimate_positive_or_none(self):
+        bench = create("vecop", scale=0.1)
+        opt_s = estimate_opt_seconds(bench)
+        assert opt_s is not None and opt_s > 0.0
+
+    def test_whatif_estimate_speedups(self):
+        platforms = {
+            "t604": default_platform(),
+            "t628": whatif.mali_t628_platform(),
+        }
+        speedups = whatif.estimate_speedups("vecop", platforms, scale=0.1)
+        assert set(speedups) == {"t604", "t628"}
+        for value in speedups.values():
+            assert value is None or value > 0.0
+
+    def test_whatif_estimate_requires_platforms(self):
+        with pytest.raises(ValueError):
+            whatif.estimate_speedups("vecop", {})
+
+    def test_sensitivity_probe_model_only(self):
+        speedups = probe_speedups(
+            default_platform(), benchmarks=("vecop",), scale=0.1, model_only=True
+        )
+        assert speedups["vecop"] > 0.0

@@ -56,14 +56,14 @@ class TestRepeatedStatistics:
 class TestNativeMath:
     def test_cost_reduction_only_for_transcendentals(self):
         cfg = MaliConfig()
-        assert cfg.arith_issue_cost(OpKind.EXP, "f32", 1, 32, native_math=True) < \
-            cfg.arith_issue_cost(OpKind.EXP, "f32", 1, 32)
-        assert cfg.arith_issue_cost(OpKind.FMA, "f32", 1, 32, native_math=True) == \
-            cfg.arith_issue_cost(OpKind.FMA, "f32", 1, 32)
+        assert cfg.arith_issue_cost(OpKind.EXP, base="f32", width=1, scalar_bits=32, native_math=True) < \
+            cfg.arith_issue_cost(OpKind.EXP, base="f32", width=1, scalar_bits=32)
+        assert cfg.arith_issue_cost(OpKind.FMA, base="f32", width=1, scalar_bits=32, native_math=True) == \
+            cfg.arith_issue_cost(OpKind.FMA, base="f32", width=1, scalar_bits=32)
 
     def test_native_cost_floor_is_one_cycle(self):
         cfg = MaliConfig()
-        assert cfg.arith_issue_cost(OpKind.RSQRT, "f32", 1, 32, native_math=True) >= 1.0
+        assert cfg.arith_issue_cost(OpKind.RSQRT, base="f32", width=1, scalar_bits=32, native_math=True) >= 1.0
 
     def test_amcd_speeds_up(self):
         bench = create("amcd", scale=0.1)
