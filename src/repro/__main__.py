@@ -9,6 +9,7 @@ Commands:
 * ``roofline``  — place every benchmark on the device rooflines
 * ``describe``  — print the simulated platform inventory
 * ``whatif``    — next-generation-hardware and fixed-driver studies
+* ``designspace`` — batch-price a SoC design space, print Pareto frontiers
 * ``cache``     — inspect or clear the run cache and persistent perf tier
 * ``resume``    — finish a journaled campaign whose process was killed
 """
@@ -174,6 +175,62 @@ def cmd_whatif(args) -> int:
               f"({r.options.describe()})")
     else:  # pragma: no cover - defensive
         print(f"  still failing: {r.failure}")
+    return 0
+
+
+def cmd_designspace(args) -> int:
+    from .calibration.socspace import EXYNOS_5250, default_space, load_configs
+    from .designspace import (
+        AGGREGATE,
+        equal_energy_speedup,
+        equal_time_energy,
+        evaluate_space,
+        frontier,
+    )
+
+    configs = load_configs(args.configs) if args.configs else default_space()
+    precisions = (
+        (Precision.SINGLE,) if args.sp_only else (Precision.SINGLE, Precision.DOUBLE)
+    )
+    result = evaluate_space(
+        configs, precisions=precisions, scale=args.scale, seed=args.seed,
+        jobs=args.jobs,
+    )
+    n_feasible = sum(p.feasible for p in result.points)
+    print(f"design space: {len(result.configs)} configs x "
+          f"{len(result.benchmarks)} benchmarks x {len(result.precisions)} "
+          f"precisions -> {len(result.points)} points ({n_feasible} feasible)")
+    benchmark = args.benchmark or AGGREGATE
+    for precision in result.precisions:
+        pool = result.select(benchmark=benchmark, precision=precision, version="Opt")
+        front = frontier(pool)
+        print(f"\nPareto frontier — {benchmark} [{precision}], Opt "
+              f"({len(front)} of {len(pool)} configs):")
+        print(f"  {'config':28s} {'seconds':>10s} {'watts':>7s} {'energy J':>9s}")
+        for p in front:
+            print(f"  {p.config_name:28s} {p.seconds:10.4f} {p.watts:7.2f} "
+                  f"{p.energy_j:9.4f}")
+        try:
+            ref = result.point(EXYNOS_5250.name, benchmark, precision, "Serial")
+        except KeyError:
+            continue
+        print(f"  vs exynos5250 Serial ({ref.seconds:.4f} s, {ref.energy_j:.4f} J):")
+        ees = equal_energy_speedup(pool, ref)
+        if ees is None:
+            print("    equal-energy speedup: none (every Opt spends more energy)")
+        else:
+            print(f"    equal-energy speedup: {ees[0]:.2f}x ({ees[1].config_name})")
+        ete = equal_time_energy(pool, ref)
+        if ete is None:
+            print("    equal-time energy: none (every Opt is slower)")
+        else:
+            print(f"    equal-time energy: {ete[0]:.4f} J ({ete[1].config_name})")
+    if args.output:
+        import json as _json
+
+        with open(args.output, "w", encoding="utf-8") as fh:
+            _json.dump(result.to_dict(), fh, indent=2)
+        print(f"\nwrote {args.output}")
     return 0
 
 
@@ -344,6 +401,31 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("whatif", help="future hardware / fixed driver studies")
     common(p, benchmark=True)
     p.set_defaults(func=cmd_whatif)
+
+    p = sub.add_parser(
+        "designspace",
+        help="batch-price a SoC design space, print Pareto frontiers",
+        description="Evaluates the (configs x benchmarks x versions x "
+                    "precisions) hypercube with the stacked pricing engine "
+                    "and prints energy/performance Pareto frontiers plus "
+                    "equal-energy / equal-time queries against the measured "
+                    "Exynos 5250 point.",
+    )
+    p.add_argument("--configs", default=None, metavar="FILE",
+                   help="JSON design-space file (default: the built-in "
+                        "64-config sweep)")
+    p.add_argument("--benchmark", default=None, choices=PAPER_ORDER,
+                   help="frontier of one benchmark (default: the "
+                        "across-benchmarks aggregate)")
+    p.add_argument("--scale", type=float, default=0.5)
+    p.add_argument("--seed", type=int, default=1234)
+    p.add_argument("--sp-only", action="store_true",
+                   help="single precision only")
+    p.add_argument("--jobs", type=_positive_int, default=1,
+                   help="parallel worker processes (1 = in-process)")
+    p.add_argument("--output", default=None, metavar="PATH",
+                   help="write every design point as JSON")
+    p.set_defaults(func=cmd_designspace)
 
     p = sub.add_parser("cache", help="inspect or clear the on-disk caches")
     p.add_argument("action", choices=("stats", "clear", "path"),

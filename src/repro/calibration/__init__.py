@@ -7,6 +7,16 @@ package cycle).
 """
 
 from .exynos5250 import ExynosPlatform, default_platform
+from .socspace import EXYNOS_5250, SoCConfig, config_grid, default_space, load_configs
 from .validation import validate_platform
 
-__all__ = ["ExynosPlatform", "default_platform", "validate_platform"]
+__all__ = [
+    "EXYNOS_5250",
+    "ExynosPlatform",
+    "SoCConfig",
+    "config_grid",
+    "default_platform",
+    "default_space",
+    "load_configs",
+    "validate_platform",
+]

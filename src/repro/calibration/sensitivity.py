@@ -104,16 +104,23 @@ def probe_speedups(
     """
     out = {}
     for name in benchmarks:
-        bench = create(name, precision=Precision.SINGLE, scale=scale, seed=seed,
-                       platform=platform)
         if model_only:
-            from ..pricing.grid import estimate_cpu_seconds, estimate_opt_seconds
+            from ..designspace import opt_over_serial
 
-            opt_s = estimate_opt_seconds(bench)
-            if opt_s is None:
+            sp = opt_over_serial(
+                name,
+                {"probe": platform},
+                precision=Precision.SINGLE,
+                scale=scale,
+                seed=seed,
+                serial="each",
+            )["probe"]
+            if sp is None:
                 raise RuntimeError(f"no feasible Opt candidate for probe {name!r}")
-            out[name] = estimate_cpu_seconds(bench) / opt_s
+            out[name] = sp
         else:
+            bench = create(name, precision=Precision.SINGLE, scale=scale, seed=seed,
+                           platform=platform)
             serial = run_version(bench, version=Version.SERIAL)
             opt = run_version(bench, version=Version.OPENCL_OPT)
             out[name] = serial.elapsed_s / opt.elapsed_s

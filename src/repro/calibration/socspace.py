@@ -1,0 +1,229 @@
+"""Declarative SoC design space around the Exynos 5250 calibration.
+
+The paper evaluates one fixed SoC.  This module lifts the hard-wired
+calibration into a parameterized family: each :class:`SoCConfig` names a
+hypothetical Mali + A15 SoC by its headline knobs — GPU core count and
+clock, A15 core count and clock, DRAM bandwidth, register-file size,
+rail-power scaling — and derives a full
+:class:`~repro.calibration.exynos5250.ExynosPlatform` from the measured
+Exynos 5250 baseline via ``dataclasses.replace``.
+
+Two invariants matter for the design-space driver:
+
+* **The baseline reproduces exactly.**  Every knob defaults to the
+  Exynos 5250 value and every derivation multiplies by a factor that is
+  exactly ``1.0`` at the default, so ``EXYNOS_5250.platform()``
+  compares equal to :func:`~repro.calibration.exynos5250.default_platform`
+  field for field — the measured SoC is a *point* of the space, not an
+  approximation of one.  (Clocks are stored in Hz for this reason:
+  ``1.7 * 1e9 != 1.7e9`` in float64.)
+* **Configs are content-addressed.**  :meth:`SoCConfig.digest` hashes
+  the *derived* hardware description (not the name), so two configs that
+  mean the same hardware share a digest and two that differ anywhere in
+  the derived configs never collide — the token the perf-memo layer
+  already picks up through its config-valued content keys.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+from dataclasses import dataclass, fields, replace
+
+from ..errors import CalibrationError
+from .exynos5250 import ExynosPlatform, default_platform
+
+#: validated (lo, hi) ranges per knob — wide enough for any plausible
+#: embedded SoC, tight enough to catch unit mistakes (MHz vs Hz, GB/s
+#: vs bytes/s)
+_RANGES = {
+    "gpu_cores": (1, 32),
+    "gpu_clock_hz": (100e6, 2e9),
+    "cpu_cores": (1, 16),
+    "cpu_clock_hz": (200e6, 4e9),
+    "dram_gbps": (1.0, 100.0),
+    "register_file_scale": (0.125, 4.0),
+    "rail_scale": (0.1, 10.0),
+}
+
+
+@dataclass(frozen=True)
+class SoCConfig:
+    """One point of the SoC design space (Exynos 5250 defaults)."""
+
+    name: str
+    #: Mali shader cores and clock
+    gpu_cores: int = 4
+    gpu_clock_hz: float = 533e6
+    #: Cortex-A15 cores and clock
+    cpu_cores: int = 2
+    cpu_clock_hz: float = 1.7e9
+    #: DRAM peak bandwidth, GB/s (per-agent caps scale proportionally)
+    dram_gbps: float = 12.8
+    #: GPU register-file capacity relative to the T604
+    register_file_scale: float = 1.0
+    #: scaling of the *dynamic* rail coefficients (CPU core, GPU pipes,
+    #: host polling); the board floor and DRAM energy/byte stay fixed
+    rail_scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise CalibrationError("SoCConfig needs a non-empty name")
+        for knob, (lo, hi) in _RANGES.items():
+            value = getattr(self, knob)
+            if not lo <= value <= hi:
+                raise CalibrationError(
+                    f"SoCConfig.{knob}={value!r} outside the validated range [{lo}, {hi}]"
+                )
+
+    # ------------------------------------------------------------------
+    def platform(self, base: ExynosPlatform | None = None) -> ExynosPlatform:
+        """The derived platform (``base`` defaults to the Exynos 5250)."""
+        if base is None:
+            base = default_platform()
+        mali = replace(
+            base.mali,
+            shader_cores=self.gpu_cores,
+            clock_hz=self.gpu_clock_hz,
+            register_file_scale=self.register_file_scale,
+        )
+        cpu = replace(base.cpu, cores=self.cpu_cores, clock_hz=self.cpu_clock_hz)
+        factor = (self.dram_gbps * 1e9) / base.dram.peak_bandwidth
+        dram = replace(
+            base.dram,
+            peak_bandwidth=base.dram.peak_bandwidth * factor,
+            cpu_single_core_cap=base.dram.cpu_single_core_cap * factor,
+            cpu_dual_core_cap=base.dram.cpu_dual_core_cap * factor,
+            gpu_cap=base.dram.gpu_cap * factor,
+        )
+        rails = replace(
+            base.rails,
+            cpu_core_base_w=base.rails.cpu_core_base_w * self.rail_scale,
+            cpu_core_ipc_w=base.rails.cpu_core_ipc_w * self.rail_scale,
+            gpu_base_w=base.rails.gpu_base_w * self.rail_scale,
+            gpu_alu_w=base.rails.gpu_alu_w * self.rail_scale,
+            gpu_ls_w=base.rails.gpu_ls_w * self.rail_scale,
+            host_polling_w=base.rails.host_polling_w * self.rail_scale,
+        )
+        return replace(base, mali=mali, cpu=cpu, dram=dram, rails=rails)
+
+    def digest(self, base: ExynosPlatform | None = None) -> str:
+        """Content digest of the *derived* hardware (name excluded)."""
+        platform = self.platform(base)
+        payload = repr(
+            (platform.mali, platform.cpu, platform.dram, platform.rails)
+        ).encode()
+        return hashlib.sha256(payload).hexdigest()[:16]
+
+    def describe(self) -> str:
+        return (
+            f"{self.name}: {self.gpu_cores}-core Mali @ {self.gpu_clock_hz / 1e6:g} MHz, "
+            f"{self.cpu_cores}x A15 @ {self.cpu_clock_hz / 1e9:g} GHz, "
+            f"{self.dram_gbps:g} GB/s DRAM, regfile x{self.register_file_scale:g}, "
+            f"rails x{self.rail_scale:g}"
+        )
+
+
+#: the measured board, as a point of the space
+EXYNOS_5250 = SoCConfig(name="exynos5250")
+
+
+def _axis_token(knob: str, value) -> str:
+    if knob == "gpu_cores":
+        return f"g{value}"
+    if knob == "gpu_clock_hz":
+        return f"{value / 1e6:g}MHz"
+    if knob == "cpu_cores":
+        return f"c{value}"
+    if knob == "cpu_clock_hz":
+        return f"{value / 1e9:g}GHz"
+    if knob == "dram_gbps":
+        return f"{value:g}GBs"
+    if knob == "register_file_scale":
+        return f"rf{value:g}"
+    return f"rs{value:g}"
+
+
+def config_grid(name_prefix: str = "soc", **axes) -> tuple[SoCConfig, ...]:
+    """Cross-product of knob value tuples, deterministically named.
+
+    Axes are any :class:`SoCConfig` knob; omitted knobs stay at the
+    Exynos 5250 default.  Names concatenate the prefix with a token per
+    *swept* axis (one with more than one value), in knob-declaration
+    order, so a grid's names are stable across runs.  A point matching
+    :data:`EXYNOS_5250` on every knob is renamed ``"exynos5250"``.
+    """
+    order = [f.name for f in fields(SoCConfig) if f.name != "name"]
+    unknown = set(axes) - set(order)
+    if unknown:
+        raise CalibrationError(f"unknown SoCConfig axes: {sorted(unknown)}")
+    swept = [k for k in order if k in axes]
+    values = [tuple(axes[k]) for k in swept]
+    for knob, vals in zip(swept, values):
+        if not vals:
+            raise CalibrationError(f"axis {knob!r} has no values")
+    named_axes = [k for k, vals in zip(swept, values) if len(vals) > 1]
+    configs = []
+    for combo in itertools.product(*values):
+        knobs = dict(zip(swept, combo))
+        tokens = [_axis_token(k, knobs[k]) for k in named_axes]
+        name = "-".join([name_prefix] + tokens) if tokens else name_prefix
+        cfg = SoCConfig(name=name, **knobs)
+        if replace(cfg, name=EXYNOS_5250.name) == EXYNOS_5250:
+            cfg = replace(cfg, name=EXYNOS_5250.name)
+        configs.append(cfg)
+    return tuple(configs)
+
+
+def default_space() -> tuple[SoCConfig, ...]:
+    """The default 64-config sweep: cores x GPU clock x DRAM bandwidth.
+
+    Clock and bandwidth points follow real Mali-T6xx-era SoCs (T604 at
+    416/533 MHz bins, T628 parts up to 600/700 MHz; LPDDR3 interfaces
+    from 8.5 to 16.5 GB/s).  The Exynos 5250 appears as the
+    ``"exynos5250"`` point.
+    """
+    return config_grid(
+        gpu_cores=(2, 4, 6, 8),
+        gpu_clock_hz=(416e6, 533e6, 600e6, 700e6),
+        dram_gbps=(8.5, 12.8, 14.9, 16.5),
+    )
+
+
+def load_configs(path) -> tuple[SoCConfig, ...]:
+    """Read a design-space config file (JSON).
+
+    Two shapes are accepted::
+
+        {"configs": [{"name": "big", "gpu_cores": 8, ...}, ...]}
+        {"grid": {"name_prefix": "soc", "gpu_cores": [4, 8], ...}}
+
+    A file may carry both; explicit configs precede grid points.
+    """
+    with open(path, encoding="utf-8") as fh:
+        data = json.load(fh)
+    if not isinstance(data, dict) or not ({"configs", "grid"} & set(data)):
+        raise CalibrationError(
+            f"{path}: expected a JSON object with 'configs' and/or 'grid'"
+        )
+    out: list[SoCConfig] = []
+    for entry in data.get("configs", ()):
+        if not isinstance(entry, dict) or "name" not in entry:
+            raise CalibrationError(f"{path}: each config needs at least a 'name'")
+        try:
+            out.append(SoCConfig(**entry))
+        except TypeError as exc:
+            raise CalibrationError(f"{path}: bad config {entry.get('name')!r}: {exc}") from None
+    grid = data.get("grid")
+    if grid is not None:
+        if not isinstance(grid, dict):
+            raise CalibrationError(f"{path}: 'grid' must be an object of axis lists")
+        kwargs = dict(grid)
+        prefix = kwargs.pop("name_prefix", "soc")
+        out.extend(config_grid(name_prefix=prefix, **kwargs))
+    names = [c.name for c in out]
+    if len(set(names)) != len(names):
+        dupes = sorted({n for n in names if names.count(n) > 1})
+        raise CalibrationError(f"{path}: duplicate config names {dupes}")
+    return tuple(out)

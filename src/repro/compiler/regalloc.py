@@ -169,6 +169,38 @@ def _threads_for_registers(registers: int) -> int:
     return max(MAX_THREADS_PER_CORE >> doublings, 8)
 
 
+def fits_register_file(report: RegisterReport, scale: float = 1.0) -> bool:
+    """Whether a compiled kernel can launch on a scaled register file.
+
+    ``scale`` is :attr:`~repro.mali.config.MaliConfig.register_file_scale`.
+    Compilation always enforces the baseline :data:`HARD_REGISTER_LIMIT`
+    (the compiler targets the T604 ISA); a *smaller* file re-checks the
+    kernel's raw demand against the shrunken capacity at launch time —
+    the design-space knob that turns register-hungry DP kernels into
+    ``CL_OUT_OF_RESOURCES`` on leaner SoC variants.
+    """
+    if scale == 1.0:
+        return True
+    return report.registers_128 <= HARD_REGISTER_LIMIT * scale
+
+
+def threads_for_scale(report: RegisterReport, scale: float = 1.0) -> int:
+    """Resident threads per core on a scaled register file.
+
+    The baseline path (``scale == 1.0``) is exactly the compile-time
+    :attr:`RegisterReport.threads_per_core`.  Otherwise the kernel's
+    effective register demand (post-spill, like the compile-time path)
+    shrinks proportionally to the larger file — more threads fit — or
+    grows on a smaller one.  Spill decisions themselves stay frozen at
+    compile time: the compiler does not know the launch target.
+    """
+    if scale == 1.0:
+        return report.threads_per_core
+    effective = SPILL_THRESHOLD if report.spilled_registers else report.registers_128
+    demand = max(1, math.ceil(effective / scale))
+    return _threads_for_registers(demand)
+
+
 def _spill_dtype():
     from ..ir.dtypes import DType
 

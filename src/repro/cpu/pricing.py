@@ -20,6 +20,7 @@ scalar per cell: routing those through libm-equivalent NumPy ufuncs is
 from __future__ import annotations
 
 import math
+from dataclasses import fields
 
 from ..ir.analysis import InstructionMix
 from ..ir.nodes import AccessPattern, MemSpace
@@ -540,3 +541,216 @@ class CpuPricingModel:
     def price_one(self, cell) -> CpuTiming:
         """Single-cell convenience (same vectorized tables)."""
         return self.price((cell,))[0]
+
+
+# ---------------------------------------------------------------------------
+# Config-axis stacking (design-space sweeps)
+
+#: A15Config fields a :class:`CpuConfigStack` treats as sweepable axes.
+#: They appear only in the Serial/OpenMP epilogues — never inside
+#: ``_core_cycles`` — so the hoisted cycle/instruction columns stay valid
+#: across every variant.
+_CPU_STACK_AXES = frozenset(
+    {"cores", "clock_hz", "mlp_overlap", "omp_region_overhead_s", "omp_chunk_overhead_s"}
+)
+
+
+def _cpu_stack_signature(config: A15Config) -> tuple:
+    """The config fields a stack bakes into its hoisted cycle columns."""
+    return tuple(
+        (f.name, getattr(config, f.name))
+        for f in fields(config)
+        if f.name not in _CPU_STACK_AXES
+    )
+
+
+class CpuStackRows:
+    """Row arrays of one (config, dram) design point over a cell stack.
+
+    One lane per cell, aligned with the stack's cell order.  CPU cells
+    have no feasibility axis — every config prices every cell.
+    """
+
+    __slots__ = ("seconds", "ipc", "active_cores", "dram_bandwidth", "dram_bytes")
+
+    def __init__(self, seconds, ipc, active_cores, dram_bandwidth, dram_bytes):
+        self.seconds = seconds
+        self.ipc = ipc
+        self.active_cores = active_cores
+        self.dram_bandwidth = dram_bandwidth
+        self.dram_bytes = dram_bytes
+
+
+class CpuConfigStack:
+    """Config-axis vectorization of a fixed set of CPU cells.
+
+    The core cycle/instruction counts of every cell are config-invariant
+    across the swept axes (:data:`_CPU_STACK_AXES`), so they are computed
+    once through the shared :class:`CpuPricer` machinery; each
+    :meth:`rows` call replays only the Serial/OpenMP epilogues as
+    whole-stack array passes.  Every lane is bitwise-identical to pricing
+    the cell through a per-config :class:`CpuPricingModel` facade — the
+    array expressions mirror the scalar epilogues operation by operation
+    (``math.log``/``math.sqrt`` of config scalars stay on ``math``; only
+    per-cell arithmetic is vectorized).
+    """
+
+    def __init__(
+        self,
+        cells,
+        config: A15Config,
+        dram: DramModel,
+        caches: CacheHierarchy,
+    ) -> None:
+        import numpy as np
+
+        cells = tuple(cells)
+        if not cells:
+            raise ValueError("CpuConfigStack needs at least one cell")
+        for cell in cells:
+            if cell.mode not in (MODE_SERIAL, MODE_OPENMP):
+                raise ValueError(f"unknown CPU pricing mode {cell.mode!r}")
+        self.cells = cells
+        self.config = config
+        self.dram = dram
+        self.caches = caches
+        self._sig = _cpu_stack_signature(config)
+        self._model = CpuPricingModel(config, dram, caches)
+
+        group_ord: dict[tuple[int, int], int] = {}
+        self._group_pricers: list[CpuPricer] = []
+        group_cells: list[list[int]] = []
+        gidx: list[int] = []
+        for i, cell in enumerate(cells):
+            pricer = self._model.pricer(cell.mix, cell.traits)
+            gk = (id(cell.mix), id(cell.traits))
+            g = group_ord.get(gk)
+            if g is None:
+                g = group_ord[gk] = len(self._group_pricers)
+                self._group_pricers.append(pricer)
+                group_cells.append([])
+            group_cells[g].append(i)
+            gidx.append(g)
+        self._gidx = np.asarray(gidx, dtype=np.intp)
+
+        width = len(cells)
+        cyc = np.empty(width)
+        instr = np.empty(width)
+        dram_bytes = np.empty(width)
+        for g, pricer in enumerate(self._group_pricers):
+            idxs = group_cells[g]
+            counts = pricer._prepare([cells[i].n_elements for i in idxs])
+            cyc_seq, instr_seq = pricer._core_cycles_for(counts)
+            for j, i in enumerate(idxs):
+                cyc[i] = float(cyc_seq[j])
+                instr[i] = float(instr_seq[j])
+                dram_bytes[i] = float(pricer._dram_bytes)
+        self._cycles = cyc
+        self._instructions = instr
+        self._dram_bytes = dram_bytes
+
+        self._n_f = np.asarray([float(int(c.n_elements)) for c in cells])
+        self._cv = np.asarray([c.traits.imbalance_cv for c in cells])
+        self._sf = np.asarray([c.traits.serial_fraction for c in cells])
+        self._launches = np.asarray([float(c.traits.launches) for c in cells])
+        self._serial = np.asarray(
+            [i for i, c in enumerate(cells) if c.mode == MODE_SERIAL], dtype=np.intp
+        )
+        self._openmp = np.asarray(
+            [i for i, c in enumerate(cells) if c.mode == MODE_OPENMP], dtype=np.intp
+        )
+        # dram.config -> (cpu1 dram_s per cell, cpu2 dram_s per cell)
+        self._dram_cache: dict = {}
+
+    # ------------------------------------------------------------------
+    def _dram_for(self, dram: DramModel) -> tuple:
+        import numpy as np
+
+        found = self._dram_cache.get(dram.config)
+        if found is None:
+            # a throwaway pricer per group reuses (and fills) the same
+            # process-global stream tables a facade on this DRAM would
+            tables = _stream_tables(dram, self.caches)
+            s1 = []
+            s2 = []
+            for pricer in self._group_pricers:
+                p = CpuPricer(
+                    pricer.mix, pricer.traits, self.config, dram, self.caches,
+                    stream_tables=tables,
+                )
+                s1.append(p._agent_dram_s("cpu1"))
+                s2.append(p._agent_dram_s("cpu2"))
+            found = self._dram_cache[dram.config] = (
+                np.asarray(s1, dtype=np.float64)[self._gidx],
+                np.asarray(s2, dtype=np.float64)[self._gidx],
+            )
+        return found
+
+    # ------------------------------------------------------------------
+    def rows(self, config: A15Config, dram: DramModel) -> CpuStackRows:
+        """Price every cell under one ``(config, dram)`` design point."""
+        import numpy as np
+
+        if _cpu_stack_signature(config) != self._sig:
+            raise ValueError(
+                "config differs from the stack base outside the stacked axes "
+                f"({', '.join(sorted(_CPU_STACK_AXES))})"
+            )
+        ds_serial, ds_openmp = self._dram_for(dram)
+        clock = config.clock_hz
+        n_cores = config.cores
+        width = len(self.cells)
+        seconds = np.empty(width)
+        ipc = np.empty(width)
+        active = np.empty(width, dtype=np.int64)
+
+        si = self._serial
+        if si.size:
+            cyc = self._cycles[si]
+            instr = self._instructions[si]
+            ds = ds_serial[si]
+            compute_s = cyc / clock
+            total = np.maximum(compute_s, ds) + (
+                (1.0 - config.mlp_overlap) * np.minimum(compute_s, ds)
+            )
+            with np.errstate(divide="ignore", invalid="ignore"):
+                rate = instr / (total * clock)
+            seconds[si] = total
+            ipc[si] = np.where(total > 0, rate, 0.0)
+            active[si] = 1
+
+        oi = self._openmp
+        if oi.size:
+            cyc = self._cycles[oi]
+            instr = self._instructions[oi]
+            ds = ds_openmp[oi]
+            cv = self._cv[oi]
+            serial_cycles = cyc * self._sf[oi]
+            parallel_cycles = cyc - serial_cycles
+            log_cores = math.log(max(n_cores, 2))
+            sqrt_cores = math.sqrt(n_cores)
+            chunks = np.maximum(self._n_f[oi] / n_cores, 1.0)
+            imbalance = np.where(
+                cv > 0.0,
+                1.0 + cv * np.sqrt((2.0 * log_cores) / chunks),
+                1.0,
+            )
+            imbalance = np.maximum(imbalance, 1.0 + (0.35 * cv) / sqrt_cores)
+            compute_s = (serial_cycles + (parallel_cycles / n_cores) * imbalance) / clock
+            total = np.maximum(compute_s, ds) + (
+                (1.0 - config.mlp_overlap) * np.minimum(compute_s, ds)
+            )
+            overhead = self._launches[oi] * (
+                config.omp_region_overhead_s + n_cores * config.omp_chunk_overhead_s
+            )
+            total = total + overhead
+            with np.errstate(divide="ignore", invalid="ignore"):
+                rate = instr / (total * clock * n_cores)
+            seconds[oi] = total
+            ipc[oi] = np.where(total > 0, rate, 0.0)
+            active[oi] = n_cores
+
+        with np.errstate(divide="ignore", invalid="ignore"):
+            bw = self._dram_bytes / seconds
+        dram_bw = np.where(seconds > 0, bw, 0.0)
+        return CpuStackRows(seconds, ipc, active, dram_bw, self._dram_bytes)

@@ -1,0 +1,730 @@
+"""Design-space hypercube: batch-price many SoC configs, emit Pareto data.
+
+The ROADMAP's question — *"what Mali would beat the 2×A15 at equal
+energy?"* — needs the full (configs × benchmarks × versions ×
+vector-widths × precision) hypercube priced cheaply.  Looping the
+per-config :class:`~repro.pricing.grid.PlatformPricing` facade is
+correct but pays the whole grid walk once per config; this module
+evaluates the hypercube as *stacked* NumPy evaluations instead:
+
+* the cell grid (CPU Serial/OpenMP cells + every autotuner candidate of
+  every benchmark, compiled once — kernels are config-independent) is
+  built a single time by :class:`DesignSpace`;
+* :class:`~repro.mali.timing.GpuConfigStack` and
+  :class:`~repro.cpu.pricing.CpuConfigStack` hoist every config-invariant
+  quantity, so each SoC config costs a few whole-grid array passes;
+* board power comes from :func:`~repro.power.rails.stack_watts` over the
+  row arrays.
+
+Every lane is bitwise-identical to pricing the same cell through the
+facade of that config's platform (``facade_rows`` *is* that loop, kept
+as the reference engine and the benchmark baseline).
+
+The **Opt** version of a (config, benchmark, precision) point is the
+feasible candidate minimizing ``seconds × launches`` — the autotuner's
+currency over the main-kernel candidate set.  Multi-kernel benchmarks
+(hist's merge stage, red's second stage) price their main kernel here;
+the full multi-stage ``iteration_pricer`` refinement stays the
+campaign path's job.  Candidates whose kernels exceed a config's scaled
+register file are infeasible on that config (``CL_OUT_OF_RESOURCES``),
+which is how the paper's DP register-exhaustion collapse shows up
+across the space.
+
+On top sit deterministic Pareto helpers: :func:`dominates`,
+:func:`frontier`, :func:`dominated`, :func:`equal_energy_speedup` and
+:func:`equal_time_energy`.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+
+from .benchmarks.base import Precision, cpu_pricing_inputs
+from .benchmarks.registry import PAPER_ORDER, create
+from .calibration.exynos5250 import ExynosPlatform, default_platform
+from .calibration.socspace import SoCConfig, default_space
+from .compiler.regalloc import fits_register_file
+from .errors import CLError, CompilerError
+from .power.rails import Activity, ActivityKind, stack_watts
+from .pricing.cells import MODE_OPENMP, MODE_SERIAL, CpuCell, GpuLaunchCell, TraceCell
+
+#: version labels of a design point (Opt = best feasible GPU candidate)
+VERSIONS = ("Serial", "OpenMP", "Opt")
+#: pseudo-benchmark name of the across-benchmarks sum
+AGGREGATE = "aggregate"
+
+_PRECISIONS_DEFAULT = (Precision.SINGLE, Precision.DOUBLE)
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One (config, benchmark, precision, version) cell of the hypercube.
+
+    ``seconds`` is one timed iteration (``× launches`` for GPU
+    versions); ``energy_j`` is ``seconds × watts`` of the meterless
+    board-power model.  Infeasible points (no Opt candidate fits the
+    config) carry ``inf`` seconds/energy and zero watts.
+    """
+
+    config_name: str
+    benchmark: str
+    precision: str
+    version: str
+    seconds: float
+    watts: float
+    energy_j: float
+    feasible: bool = True
+
+
+class _BenchCells:
+    """Cell spans of one (benchmark, precision) group in the flat grid."""
+
+    __slots__ = ("name", "precision", "cpu_start", "gpu_start", "gpu_stop", "launches")
+
+    def __init__(self, name, precision, cpu_start, gpu_start, gpu_stop, launches):
+        self.name = name
+        self.precision = precision
+        self.cpu_start = cpu_start
+        self.gpu_start = gpu_start
+        self.gpu_stop = gpu_stop
+        self.launches = launches
+
+
+class SpaceRows:
+    """Aligned row arrays of one config over a :class:`DesignSpace` grid.
+
+    GPU lanes follow the space's GPU cell order, CPU lanes its CPU cell
+    order ([Serial, OpenMP] per group).  ``gpu_iter_seconds`` is
+    ``seconds × launches`` (the Opt currency); infeasible GPU lanes are
+    ``inf`` seconds/energy, zero watts.
+    """
+
+    __slots__ = (
+        "gpu_feasible",
+        "gpu_seconds",
+        "gpu_iter_seconds",
+        "gpu_watts",
+        "gpu_energy",
+        "cpu_seconds",
+        "cpu_watts",
+        "cpu_energy",
+    )
+
+    def __init__(self, **arrays):
+        for name in self.__slots__:
+            setattr(self, name, arrays[name])
+
+
+class DesignSpace:
+    """The prepared hypercube: one cell grid + config stacks, many configs.
+
+    Construction compiles every autotuner candidate once (candidates
+    whose kernels cannot allocate at all — the hard
+    ``CL_OUT_OF_RESOURCES`` limit — are dropped for every config, same
+    as the tuner) and builds the GPU/CPU config stacks.
+    ``stacked_rows`` then prices one config in a few array passes;
+    ``facade_rows`` prices the identical cells through that config's
+    :class:`~repro.pricing.grid.PlatformPricing` facade, bitwise equal
+    lane for lane.
+    """
+
+    def __init__(
+        self,
+        benchmarks=PAPER_ORDER,
+        precisions=_PRECISIONS_DEFAULT,
+        scale: float = 0.5,
+        seed: int = 1234,
+        base: ExynosPlatform | None = None,
+    ) -> None:
+        import numpy as np
+
+        from .compiler.pipeline import compile_kernel
+        from .cpu.pricing import CpuConfigStack
+        from .mali.timing import GpuConfigStack
+        from .ocl.driver import default_quirks, driver_local_size
+        from .optimizations.autotune import _candidates
+
+        self.base = base if base is not None else default_platform()
+        self.benchmarks = tuple(benchmarks)
+        self.precisions = tuple(precisions)
+        self.scale = scale
+        self.seed = seed
+
+        quirks = (
+            self.base.driver_quirks
+            if self.base.driver_quirks is not None
+            else default_quirks()
+        )
+        groups: list[_BenchCells] = []
+        cpu_cells: list[CpuCell] = []
+        gpu_cells: list[GpuLaunchCell] = []
+        launches: list[int] = []
+        for name in self.benchmarks:
+            for precision in self.precisions:
+                bench = create(
+                    name, precision=precision, scale=scale, seed=seed, platform=self.base
+                )
+                _, mix, traits, n = cpu_pricing_inputs(bench)
+                cpu_start = len(cpu_cells)
+                cpu_cells.append(
+                    CpuCell(mix=mix, mode=MODE_SERIAL, n_elements=n, traits=traits)
+                )
+                cpu_cells.append(
+                    CpuCell(mix=mix, mode=MODE_OPENMP, n_elements=n, traits=traits)
+                )
+                gpu_start = len(gpu_cells)
+                for options, local in _candidates(bench, include_naive=True):
+                    try:
+                        compiled = compile_kernel(
+                            bench.kernel_ir(options), options, quirks=quirks
+                        )
+                    except (CompilerError, CLError):
+                        continue  # infeasible on every config (baseline ISA)
+                    base_items = max(1, -(-bench.elements() // compiled.elems_per_item))
+                    loc = local or driver_local_size(
+                        base_items, self.base.mali.max_work_group_size
+                    )
+                    n_items = -(-base_items // loc) * loc
+                    gtraits = bench.gpu_traits(options)
+                    gpu_cells.append(
+                        GpuLaunchCell(
+                            compiled=compiled,
+                            traits=gtraits,
+                            n_items=n_items,
+                            local_size=loc,
+                        )
+                    )
+                    launches.append(gtraits.launches)
+                groups.append(
+                    _BenchCells(
+                        name,
+                        precision.value,
+                        cpu_start,
+                        gpu_start,
+                        len(gpu_cells),
+                        tuple(launches[gpu_start:]),
+                    )
+                )
+        self.groups = groups
+        self.cpu_cells = tuple(cpu_cells)
+        self.gpu_cells = tuple(gpu_cells)
+        self._launches_f = np.asarray([float(l) for l in launches])
+
+        dram = self.base.dram_model()
+        self._gpu_stack = (
+            GpuConfigStack(self.gpu_cells, self.base.mali, dram, self.base.gpu_caches())
+            if self.gpu_cells
+            else None
+        )
+        self._cpu_stack = CpuConfigStack(
+            self.cpu_cells, self.base.cpu, dram, self.base.cpu_caches()
+        )
+
+    # ------------------------------------------------------------------
+    def stacked_rows(self, config: SoCConfig) -> SpaceRows:
+        """Row arrays of one config via the config-axis stacks."""
+        import numpy as np
+
+        platform = config.platform(self.base)
+        dram = platform.dram_model()
+        rails = platform.rails
+
+        c = self._cpu_stack.rows(platform.cpu, dram)
+        cpu_watts = stack_watts(
+            rails,
+            ActivityKind.CPU,
+            dram_bandwidth=c.dram_bandwidth,
+            active_cpu_cores=c.active_cores,
+            cpu_ipc=c.ipc,
+        )
+        cpu_energy = c.seconds * cpu_watts
+
+        if self._gpu_stack is not None:
+            g = self._gpu_stack.rows(platform.mali, dram)
+            watts = stack_watts(
+                rails,
+                ActivityKind.GPU_KERNEL,
+                dram_bandwidth=g.dram_bandwidth,
+                gpu_alu_utilization=g.alu_utilization,
+                gpu_ls_utilization=g.ls_utilization,
+            )
+            gpu_watts = np.where(g.feasible, watts, 0.0)
+            gpu_iter = g.seconds * self._launches_f
+            with np.errstate(invalid="ignore"):
+                gpu_energy = np.where(g.feasible, gpu_iter * gpu_watts, np.inf)
+            gpu_feasible = g.feasible
+            gpu_seconds = g.seconds
+        else:
+            gpu_feasible = np.zeros(0, dtype=bool)
+            gpu_seconds = gpu_iter = gpu_watts = gpu_energy = np.zeros(0)
+        return SpaceRows(
+            gpu_feasible=gpu_feasible,
+            gpu_seconds=gpu_seconds,
+            gpu_iter_seconds=gpu_iter,
+            gpu_watts=gpu_watts,
+            gpu_energy=gpu_energy,
+            cpu_seconds=c.seconds,
+            cpu_watts=cpu_watts,
+            cpu_energy=cpu_energy,
+        )
+
+    def facade_rows(self, config: SoCConfig) -> SpaceRows:
+        """Row arrays of one config via its per-platform pricing facade.
+
+        The loop-over-facades reference engine: one
+        :class:`~repro.pricing.grid.PlatformPricing` per config, cells
+        pre-filtered by the same register-file predicate the stack uses,
+        power through the facade's batched trace pricing.
+        """
+        import numpy as np
+
+        platform = config.platform(self.base)
+        pricing = platform.pricing_model()
+        rf_scale = platform.mali.register_file_scale
+
+        cpu_rows = pricing.cpu.price(self.cpu_cells)
+        feasible = [
+            fits_register_file(cell.compiled.registers, rf_scale)
+            for cell in self.gpu_cells
+        ]
+        idx = [i for i, ok in enumerate(feasible) if ok]
+        timings = pricing.gpu.price([self.gpu_cells[i] for i in idx])
+
+        trace_cells = []
+        for i, t in zip(idx, timings):
+            duration = t.seconds * self.gpu_cells[i].traits.launches
+            trace_cells.append(
+                TraceCell(
+                    (
+                        Activity(
+                            kind=ActivityKind.GPU_KERNEL,
+                            duration_s=duration,
+                            gpu_alu_utilization=t.alu_utilization,
+                            gpu_ls_utilization=t.ls_utilization,
+                            dram_bandwidth=t.dram_bandwidth,
+                        ),
+                    )
+                )
+            )
+        for r in cpu_rows:
+            trace_cells.append(
+                TraceCell(
+                    (
+                        Activity(
+                            kind=ActivityKind.CPU,
+                            duration_s=r.seconds,
+                            active_cpu_cores=r.active_cores,
+                            cpu_ipc=r.ipc,
+                            dram_bandwidth=r.dram_bandwidth,
+                        ),
+                    )
+                )
+            )
+        traces = pricing.power.price(trace_cells)
+
+        width = len(self.gpu_cells)
+        gpu_feasible = np.asarray(feasible, dtype=bool)
+        gpu_seconds = np.full(width, np.inf)
+        gpu_iter = np.full(width, np.inf)
+        gpu_watts = np.zeros(width)
+        gpu_energy = np.full(width, np.inf)
+        for k, (i, t) in enumerate(zip(idx, timings)):
+            trace = traces[k]
+            gpu_seconds[i] = t.seconds
+            gpu_iter[i] = t.seconds * self.gpu_cells[i].traits.launches
+            gpu_watts[i] = trace.segments[0].watts
+            gpu_energy[i] = trace.energy_j
+        cpu_seconds = np.asarray([r.seconds for r in cpu_rows])
+        cpu_watts = np.asarray(
+            [traces[len(idx) + j].segments[0].watts for j in range(len(cpu_rows))]
+        )
+        cpu_energy = np.asarray(
+            [traces[len(idx) + j].energy_j for j in range(len(cpu_rows))]
+        )
+        return SpaceRows(
+            gpu_feasible=gpu_feasible,
+            gpu_seconds=gpu_seconds,
+            gpu_iter_seconds=gpu_iter,
+            gpu_watts=gpu_watts,
+            gpu_energy=gpu_energy,
+            cpu_seconds=cpu_seconds,
+            cpu_watts=cpu_watts,
+            cpu_energy=cpu_energy,
+        )
+
+    def rows(self, config: SoCConfig, engine: str = "stacked") -> SpaceRows:
+        if engine == "stacked":
+            return self.stacked_rows(config)
+        if engine == "facade":
+            return self.facade_rows(config)
+        raise ValueError(f"unknown engine {engine!r}; expected 'stacked' or 'facade'")
+
+    # ------------------------------------------------------------------
+    def points(self, config: SoCConfig, rows: SpaceRows) -> list[DesignPoint]:
+        """Design points of one config from its row arrays.
+
+        Shared by both engines, so point equality reduces to row
+        identity.  Emits [Serial, OpenMP, Opt] per (benchmark,
+        precision) group, then per-precision aggregates (sums across
+        benchmarks; an aggregate Opt is infeasible if any benchmark's
+        is).
+        """
+        import numpy as np
+
+        pts: list[DesignPoint] = []
+        agg: dict[tuple[str, str], list] = {}  # (precision, version) -> [s, e, ok]
+        for bc in self.groups:
+            for version, lane in (("Serial", bc.cpu_start), ("OpenMP", bc.cpu_start + 1)):
+                seconds = float(rows.cpu_seconds[lane])
+                watts = float(rows.cpu_watts[lane])
+                energy = float(rows.cpu_energy[lane])
+                pts.append(
+                    DesignPoint(
+                        config_name=config.name,
+                        benchmark=bc.name,
+                        precision=bc.precision,
+                        version=version,
+                        seconds=seconds,
+                        watts=watts,
+                        energy_j=energy,
+                    )
+                )
+                acc = agg.setdefault((bc.precision, version), [0.0, 0.0, True])
+                acc[0] += seconds
+                acc[1] += energy
+            span = slice(bc.gpu_start, bc.gpu_stop)
+            feas = rows.gpu_feasible[span]
+            if feas.size and bool(feas.any()):
+                j = int(np.argmin(rows.gpu_iter_seconds[span]))
+                seconds = float(rows.gpu_iter_seconds[span][j])
+                watts = float(rows.gpu_watts[span][j])
+                energy = float(rows.gpu_energy[span][j])
+                ok = True
+            else:
+                seconds, watts, energy, ok = float("inf"), 0.0, float("inf"), False
+            pts.append(
+                DesignPoint(
+                    config_name=config.name,
+                    benchmark=bc.name,
+                    precision=bc.precision,
+                    version="Opt",
+                    seconds=seconds,
+                    watts=watts,
+                    energy_j=energy,
+                    feasible=ok,
+                )
+            )
+            acc = agg.setdefault((bc.precision, "Opt"), [0.0, 0.0, True])
+            acc[0] += seconds
+            acc[1] += energy
+            acc[2] = acc[2] and ok
+        for precision in dict.fromkeys(bc.precision for bc in self.groups):
+            for version in VERSIONS:
+                seconds, energy, ok = agg[(precision, version)]
+                watts = energy / seconds if ok and seconds > 0 else 0.0
+                pts.append(
+                    DesignPoint(
+                        config_name=config.name,
+                        benchmark=AGGREGATE,
+                        precision=precision,
+                        version=version,
+                        seconds=seconds,
+                        watts=watts,
+                        energy_j=energy,
+                        feasible=ok,
+                    )
+                )
+        return pts
+
+    # ------------------------------------------------------------------
+    def evaluate(
+        self, configs, engine: str = "stacked"
+    ) -> tuple[DesignPoint, ...]:
+        """Points of many configs, in config order (single process)."""
+        out: list[DesignPoint] = []
+        for config in configs:
+            out.extend(self.points(config, self.rows(config, engine)))
+        return tuple(out)
+
+
+# ---------------------------------------------------------------------------
+# multi-process driver
+# ---------------------------------------------------------------------------
+
+
+def _eval_worker(payload) -> tuple[DesignPoint, ...]:
+    """Worker: rebuild the space locally, evaluate a config chunk."""
+    benchmarks, precision_values, scale, seed, engine, configs = payload
+    space = DesignSpace(
+        benchmarks=benchmarks,
+        precisions=tuple(Precision(v) for v in precision_values),
+        scale=scale,
+        seed=seed,
+    )
+    return space.evaluate(configs, engine)
+
+
+@dataclass(frozen=True)
+class DesignSpaceResult:
+    """The evaluated hypercube: configs, digests and every design point."""
+
+    configs: tuple[SoCConfig, ...]
+    digests: tuple[str, ...]
+    points: tuple[DesignPoint, ...]
+    benchmarks: tuple[str, ...]
+    precisions: tuple[str, ...]
+    scale: float
+    seed: int
+
+    def select(
+        self,
+        benchmark: str = AGGREGATE,
+        precision: str = "single",
+        version: str | None = "Opt",
+        feasible_only: bool = False,
+    ) -> tuple[DesignPoint, ...]:
+        """Points of one hypercube slice, in evaluation order."""
+        return tuple(
+            p
+            for p in self.points
+            if p.benchmark == benchmark
+            and p.precision == precision
+            and (version is None or p.version == version)
+            and (not feasible_only or p.feasible)
+        )
+
+    def point(self, config_name, benchmark, precision, version) -> DesignPoint:
+        for p in self.points:
+            if (
+                p.config_name == config_name
+                and p.benchmark == benchmark
+                and p.precision == precision
+                and p.version == version
+            ):
+                return p
+        raise KeyError(
+            f"no point ({config_name!r}, {benchmark!r}, {precision!r}, {version!r})"
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-ready form (CLI output; ``inf`` encoded as null)."""
+
+        def num(x):
+            return x if x == x and x not in (float("inf"), float("-inf")) else None
+
+        return {
+            "benchmarks": list(self.benchmarks),
+            "precisions": list(self.precisions),
+            "scale": self.scale,
+            "seed": self.seed,
+            "configs": [
+                {
+                    "name": c.name,
+                    "digest": d,
+                    "gpu_cores": c.gpu_cores,
+                    "gpu_clock_hz": c.gpu_clock_hz,
+                    "cpu_cores": c.cpu_cores,
+                    "cpu_clock_hz": c.cpu_clock_hz,
+                    "dram_gbps": c.dram_gbps,
+                    "register_file_scale": c.register_file_scale,
+                    "rail_scale": c.rail_scale,
+                }
+                for c, d in zip(self.configs, self.digests)
+            ],
+            "points": [
+                {
+                    "config": p.config_name,
+                    "benchmark": p.benchmark,
+                    "precision": p.precision,
+                    "version": p.version,
+                    "seconds": num(p.seconds),
+                    "watts": num(p.watts),
+                    "energy_j": num(p.energy_j),
+                    "feasible": p.feasible,
+                }
+                for p in self.points
+            ],
+        }
+
+
+def evaluate_space(
+    configs=None,
+    benchmarks=PAPER_ORDER,
+    precisions=_PRECISIONS_DEFAULT,
+    scale: float = 0.5,
+    seed: int = 1234,
+    jobs: int = 1,
+    engine: str = "stacked",
+) -> DesignSpaceResult:
+    """Evaluate the full hypercube over a config family.
+
+    ``configs`` defaults to :func:`~repro.calibration.socspace.default_space`
+    (64 SoCs around the Exynos 5250).  ``jobs > 1`` shards configs over
+    a process pool; each worker rebuilds the cell grid locally, and the
+    output is byte-identical to ``jobs=1`` (configs are independent and
+    reassembled in input order).
+    """
+    configs = tuple(configs) if configs is not None else default_space()
+    if not configs:
+        raise ValueError("need at least one SoCConfig")
+    names = [c.name for c in configs]
+    if len(set(names)) != len(names):
+        raise ValueError("SoCConfig names must be unique")
+    precisions = tuple(precisions)
+    if jobs > 1 and len(configs) > 1:
+        shards = min(jobs, len(configs))
+        size = -(-len(configs) // shards)
+        chunks = [configs[i : i + size] for i in range(0, len(configs), size)]
+        payloads = [
+            (
+                tuple(benchmarks),
+                tuple(p.value for p in precisions),
+                scale,
+                seed,
+                engine,
+                chunk,
+            )
+            for chunk in chunks
+        ]
+        points: list[DesignPoint] = []
+        with ProcessPoolExecutor(max_workers=shards) as pool:
+            for chunk_points in pool.map(_eval_worker, payloads):
+                points.extend(chunk_points)
+        points = tuple(points)
+    else:
+        space = DesignSpace(
+            benchmarks=benchmarks, precisions=precisions, scale=scale, seed=seed
+        )
+        points = space.evaluate(configs, engine)
+    digests = tuple(c.digest() for c in configs)
+    return DesignSpaceResult(
+        configs=configs,
+        digests=digests,
+        points=tuple(points),
+        benchmarks=tuple(benchmarks),
+        precisions=tuple(p.value for p in precisions),
+        scale=scale,
+        seed=seed,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Pareto helpers (minimize seconds and energy)
+# ---------------------------------------------------------------------------
+
+
+def dominates(a: DesignPoint, b: DesignPoint) -> bool:
+    """Pareto domination on (seconds, energy_j), both minimized."""
+    return (
+        a.seconds <= b.seconds
+        and a.energy_j <= b.energy_j
+        and (a.seconds < b.seconds or a.energy_j < b.energy_j)
+    )
+
+
+def _sort_key(p: DesignPoint):
+    return (p.seconds, p.energy_j, p.config_name, p.version)
+
+
+def frontier(points) -> tuple[DesignPoint, ...]:
+    """The non-dominated feasible points, deterministically ordered.
+
+    Sorted by (seconds, energy, config name, version); duplicate
+    (seconds, energy) pairs all survive (none strictly dominates the
+    other), so equal designs stay visible.
+    """
+    feasible = [p for p in points if p.feasible]
+    front = [
+        p
+        for p in feasible
+        if not any(dominates(q, p) for q in feasible)
+    ]
+    return tuple(sorted(front, key=_sort_key))
+
+
+def dominated(points) -> tuple[DesignPoint, ...]:
+    """The feasible points *not* on the frontier, same ordering."""
+    front = set(map(id, frontier(points)))
+    return tuple(
+        sorted((p for p in points if p.feasible and id(p) not in front), key=_sort_key)
+    )
+
+
+def equal_energy_speedup(points, ref: DesignPoint):
+    """Best speedup over ``ref`` among points spending no more energy.
+
+    Returns ``(speedup, point)`` for the fastest feasible point with
+    ``energy_j <= ref.energy_j`` (ties broken by the deterministic sort
+    key), or ``None`` when nothing qualifies.
+    """
+    viable = sorted(
+        (p for p in points if p.feasible and p.energy_j <= ref.energy_j),
+        key=_sort_key,
+    )
+    if not viable:
+        return None
+    best = viable[0]
+    return ref.seconds / best.seconds, best
+
+
+def equal_time_energy(points, ref: DesignPoint):
+    """Least energy among points at least as fast as ``ref``.
+
+    Returns ``(energy_j, point)`` for the most frugal feasible point
+    with ``seconds <= ref.seconds`` (deterministic tie-break), or
+    ``None`` when nothing qualifies.
+    """
+    viable = sorted(
+        (p for p in points if p.feasible and p.seconds <= ref.seconds),
+        key=lambda p: (p.energy_j, p.seconds, p.config_name, p.version),
+    )
+    if not viable:
+        return None
+    best = viable[0]
+    return best.energy_j, best
+
+
+# ---------------------------------------------------------------------------
+# model-only speedup helper (the whatif/sensitivity seam)
+# ---------------------------------------------------------------------------
+
+
+def opt_over_serial(
+    benchmark: str,
+    platforms: dict,
+    *,
+    precision: Precision = Precision.SINGLE,
+    scale: float = 0.5,
+    seed: int = 1234,
+    serial: str = "first",
+) -> dict:
+    """Model-only Opt-over-Serial speedup per platform variant.
+
+    The single batched-pricing path behind :func:`repro.whatif.estimate_speedups`
+    and the sensitivity probes: every number comes from each platform's
+    ``pricing_model()`` — tuner pricing for the Opt candidate, the CPU
+    pricer for the Serial baseline — with no functional NumPy execution
+    and no meter.  ``serial="first"`` takes the baseline from the first
+    platform (comparable speedups across variants, the what-if
+    convention); ``serial="each"`` re-prices it per platform (the
+    sensitivity convention, where the CPU side is perturbed too).
+    ``None`` marks a variant with no feasible Opt candidate.
+    """
+    from .pricing.grid import estimate_cpu_seconds, estimate_opt_seconds
+
+    if not platforms:
+        raise ValueError("need at least one platform")
+    if serial not in ("first", "each"):
+        raise ValueError(f"serial must be 'first' or 'each', got {serial!r}")
+    out: dict = {}
+    serial_seconds = None
+    for name, platform in platforms.items():
+        bench = create(
+            benchmark, precision=precision, scale=scale, seed=seed, platform=platform
+        )
+        if serial == "each" or serial_seconds is None:
+            serial_seconds = estimate_cpu_seconds(bench)
+        opt_seconds = estimate_opt_seconds(bench)
+        out[name] = None if opt_seconds is None else serial_seconds / opt_seconds
+    return out

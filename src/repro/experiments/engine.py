@@ -304,7 +304,7 @@ def _worker_loss_result(task: RunTask, exc: BaseException, attempts: int) -> Run
     )
 
 
-def _preprice_group(bench: Benchmark, tasks: tuple[RunTask, ...]) -> None:
+def _preprice_group(bench: Benchmark, tasks: tuple[RunTask, ...]) -> int:
     """Batch-price a version group's CPU timings before dispatch.
 
     One vectorized pricing pass seeds the ``cpu_timing`` memo under the
@@ -312,14 +312,16 @@ def _preprice_group(bench: Benchmark, tasks: tuple[RunTask, ...]) -> None:
     cells all hit warm.  Strictly an optimization: the seeded rows are
     bitwise what the per-cell path computes, and any pricing error is
     swallowed here so the cell itself reports it through the normal
-    crash-capture machinery.
+    crash-capture machinery.  Returns the number of seeded timings (0
+    when the perf memo is disabled or seeding failed), so the campaign
+    report can record sweep provenance.
     """
     from ..pricing.grid import seed_cpu_timing
 
     try:
-        seed_cpu_timing(bench, [task.version for task in tasks])
+        return seed_cpu_timing(bench, [task.version for task in tasks])
     except Exception:  # noqa: BLE001 — the cell's own run surfaces errors
-        pass
+        return 0
 
 
 def _safe_run(bench: Benchmark, task: RunTask) -> RunResult:
@@ -341,7 +343,7 @@ def _safe_run(bench: Benchmark, task: RunTask) -> RunResult:
 def _execute_family(
     groups: tuple[tuple[RunTask, ...], ...],
     preprice: bool = True,
-) -> tuple[tuple[tuple[RunResult, dict], ...], dict]:
+) -> tuple[tuple[tuple[RunResult, dict], ...], dict, int]:
     """Pool entry for one benchmark *family* (all its pending groups).
 
     Cache-affinity scheduling: every pending (precision) version-group
@@ -362,11 +364,13 @@ def _execute_family(
 
     Returns each group's ``(run, per-run perf delta)`` pairs plus the
     family-level perf delta (which also covers setup/verification work
-    outside the per-run windows), so the parent can fold worker cache
-    activity into :attr:`CampaignReport.perf` and the trace.
+    outside the per-run windows) and the number of prepriced timings,
+    so the parent can fold worker cache activity into
+    :attr:`CampaignReport.perf` and the trace.
     """
     family_before = perf.counters()
     out: list[tuple[tuple[RunResult, dict], ...]] = []
+    prepriced = 0
     for tasks in groups:
         first = tasks[0]
         bench: Benchmark | None = None
@@ -382,7 +386,7 @@ def _execute_family(
         except Exception as exc:  # noqa: BLE001 — setup crash capture
             bench_exc = exc
         if bench is not None and preprice:
-            _preprice_group(bench, tasks)
+            prepriced += _preprice_group(bench, tasks)
         runs: list[tuple[RunResult, dict]] = []
         for task in tasks:
             before = perf.counters()
@@ -393,7 +397,7 @@ def _execute_family(
             runs.append((run, perf.counters_delta(before, perf.counters())))
         out.append(tuple(runs))
     family_delta = perf.counters_delta(family_before, perf.counters())
-    return tuple(out), family_delta
+    return tuple(out), family_delta, prepriced
 
 
 @dataclass(frozen=True)
@@ -530,6 +534,10 @@ class CampaignReport:
     #: on-disk cache tiers that degraded after resource exhaustion
     #: (``"run_cache: ..."`` / ``"perf_store: ..."`` reason strings)
     degraded: tuple[str, ...] = ()
+    #: CPU timings batch-priced into the memo ahead of dispatch
+    prepriced: int = 0
+    #: whether group pre-pricing was enabled for this run
+    preprice: bool = True
 
     @property
     def hit_rate(self) -> float:
@@ -548,6 +556,10 @@ class CampaignReport:
         ]
         if self.replayed:
             lines.append(f"  resumed: {self.replayed} cells replayed from the journal")
+        lines.append(
+            f"  preprice={'on' if self.preprice else 'off'}"
+            f" ({self.prepriced} timings seeded ahead of dispatch)"
+        )
         if self.crashed_runs or self.retries or self.pool_restarts or self.timeout_runs:
             lines.append(
                 f"  recovery: {len(self.crashed_runs)} crashed, "
@@ -680,6 +692,7 @@ class Campaign:
         self._replayed = 0
         self._retries = 0
         self._pool_restarts = 0
+        self._prepriced = 0
         self._degraded_traced: set[str] = set()
         #: populated by :meth:`run`
         self.report: CampaignReport | None = None
@@ -757,6 +770,7 @@ class Campaign:
             "cache": str(self.cache.root) if self.cache else "off",
             "perf_cache": str(self.perf_dir) if self.perf_dir else "off",
             "retries": self.retries,
+            "preprice": self.preprice,
         }
         if journal is not None:
             detail["journal"] = str(journal.root)
@@ -779,6 +793,7 @@ class Campaign:
         self._replayed = 0
         self._retries = 0
         self._pool_restarts = 0
+        self._prepriced = 0
         self._degraded_traced: set[str] = set()
         results: dict[tuple, RunResult] = {}
         try:
@@ -802,6 +817,7 @@ class Campaign:
                     "replayed": self.report.replayed,
                     "retries": self.report.retries,
                     "pool_restarts": self.report.pool_restarts,
+                    "prepriced": self.report.prepriced,
                     "wall_s": round(self.report.wall_s, 3),
                     "perf": self.report.perf,
                 },
@@ -883,6 +899,8 @@ class Campaign:
             timeout_runs=tuple(t.cell for t in completed if results[t.cell].timed_out),
             replayed=self._replayed,
             degraded=self._degraded_tiers(),
+            prepriced=self._prepriced,
+            preprice=self.preprice,
         )
 
     def _degraded_tiers(self) -> tuple[str, ...]:
@@ -1028,7 +1046,7 @@ class Campaign:
                     bench_exc[bkey] = exc
                 else:
                     if self.preprice:
-                        _preprice_group(
+                        self._prepriced += _preprice_group(
                             benches[bkey],
                             tuple(
                                 t
@@ -1209,7 +1227,7 @@ class Campaign:
         the failure exception, if any.  An expired future that actually
         completed keeps its real result — the kill raced a finish."""
         try:
-            group_runs, family_delta = future.result()
+            group_runs, family_delta, prepriced = future.result()
         except Exception as exc:  # noqa: BLE001 — worker-death recovery
             if timed_out:
                 self._handle_timeout(chunk, queue, tracer, results)
@@ -1217,6 +1235,7 @@ class Campaign:
                 self._requeue(chunk, exc, failures, queue, tracer, results)
             return exc
         self._worker_deltas.append(family_delta)
+        self._prepriced += prepriced
         for group, runs in zip(chunk, group_runs):
             for (task, key), (run, delta) in zip(group, runs):
                 self._finish(task, key, run, results, tracer, perf_delta=delta)
@@ -1313,7 +1332,9 @@ class Campaign:
         try:
             future = probe.submit(_execute_family, ((task,),), self.preprice)
             try:
-                group_runs, family_delta = future.result(timeout=self.cell_timeout_s)
+                group_runs, family_delta, prepriced = future.result(
+                    timeout=self.cell_timeout_s
+                )
             except FuturesTimeout:
                 _kill_pool_processes(probe)
                 run = RunResult.timeout(
@@ -1327,6 +1348,7 @@ class Campaign:
                 self._finish(task, key, run, results, tracer)
                 return
             self._worker_deltas.append(family_delta)
+            self._prepriced += prepriced
             ((run, delta),) = group_runs[0]
             self._finish(task, key, run, results, tracer, perf_delta=delta)
         finally:

@@ -98,12 +98,23 @@ class MaliConfig:
     #: otherwise leave empty — §III-B: "using types wider than the
     #: underlying hardware can improve the instruction-level scheduling"
     wide_type_ilp_bonus: float = 0.08
+    #: register-file capacity relative to the T604 (1.0 = the baseline
+    #: 32×128-bit allocation budget).  A design-space axis: a larger file
+    #: keeps more threads resident for register-hungry kernels, a smaller
+    #: one turns the paper's DP register-exhaustion collapse into a hard
+    #: ``CL_OUT_OF_RESOURCES`` earlier.  Compile-time spill decisions are
+    #: untouched (the compiler targets the baseline ISA); only runtime
+    #: residency and launchability scale — see
+    #: :func:`repro.compiler.regalloc.threads_for_scale`.
+    register_file_scale: float = 1.0
 
     def __post_init__(self) -> None:
         if self.shader_cores < 1 or self.arith_pipes_per_core < 1 or self.ls_pipes_per_core < 1:
             raise CalibrationError("Mali core/pipe counts must be >= 1")
         if self.clock_hz <= 0:
             raise CalibrationError("clock must be positive")
+        if self.register_file_scale <= 0:
+            raise CalibrationError("register_file_scale must be positive")
         missing = [op for op in OpKind if op not in self.op_cost]
         if missing:
             raise CalibrationError(f"op_cost missing entries for {missing}")

@@ -20,10 +20,12 @@ leaks past the overlap (threads cannot always cover both).
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
 
 from .. import perf
 from ..compiler.pipeline import CompiledKernel
+from ..compiler.regalloc import fits_register_file, threads_for_scale
+from ..errors import CLOutOfResources
 from ..ir.analysis import InstructionMix
 from ..ir.dtypes import scalar_bits
 from ..ir.nodes import AccessPattern, MemSpace
@@ -32,7 +34,35 @@ from ..memory.dram import DramModel
 from ..workload import WorkloadTraits
 from .config import MaliConfig
 from .job_manager import Distribution, distribute
-from .occupancy import Occupancy, derive_occupancy
+from .occupancy import (
+    FULL_BANDWIDTH_THREADS,
+    FULL_HIDING_THREADS,
+    MIN_HIDING,
+    Occupancy,
+    derive_occupancy,
+)
+
+
+def _threads_per_core(compiled: CompiledKernel, config: MaliConfig) -> int:
+    """Register-limited resident threads of a kernel on one config.
+
+    The baseline register file returns exactly the compile-time
+    ``threads_per_core`` (the historical bitwise path); a scaled file
+    recomputes the tier from the kernel's effective register demand, or
+    raises ``CL_OUT_OF_RESOURCES`` when the kernel no longer fits — the
+    launch-time failure mode design-space sweeps use to mark candidates
+    infeasible on leaner SoC variants.
+    """
+    scale = config.register_file_scale
+    if scale == 1.0:
+        return compiled.registers.threads_per_core
+    report = compiled.registers
+    if not fits_register_file(report, scale):
+        raise CLOutOfResources(
+            f"kernel needs {report.registers_128} 128-bit registers, "
+            f"exceeding the {scale}x-scaled register file"
+        )
+    return threads_for_scale(report, scale)
 
 
 @dataclass(frozen=True)
@@ -458,7 +488,7 @@ class LaunchPricer:
         self.caches = caches
         self.concurrent_agents = concurrent_agents
         self._traffic_tables = traffic_tables
-        self._tpc = compiled.registers.threads_per_core
+        self._tpc = _threads_per_core(compiled, config)
         # hoisted memo-key prefix: content_key of a tuple is the tuple of
         # element content_keys, so assembling per-candidate keys from the
         # fixed parts yields keys equal to time_launch's historical ones
@@ -749,7 +779,7 @@ def _time_launch_uncached(
     mix = compiled.mix
     totals = mix.scaled(float(n_items))
 
-    occ = derive_occupancy(compiled.registers.threads_per_core, local_size)
+    occ = derive_occupancy(_threads_per_core(compiled, config), local_size)
     dist, imbalance = distribute(n_items, local_size, config, traits.imbalance_cv)
 
     clock = config.clock_hz
@@ -941,3 +971,300 @@ class GpuPricingModel:
         return self.pricer(cell.compiled, cell.traits, cell.concurrent_agents).price(
             cell.n_items, cell.local_size
         )
+
+
+# ---------------------------------------------------------------------------
+# Config-axis stacking (design-space sweeps)
+
+#: MaliConfig fields a :class:`GpuConfigStack` treats as sweepable axes.
+#: Everything else is baked into the stack's hoisted per-cell tables
+#: (issue-cost columns, access-width efficiency, launch overheads), so a
+#: variant config must match the base on every other field.
+_STACK_AXES = frozenset({"shader_cores", "clock_hz", "register_file_scale"})
+
+
+def _stack_signature(config: MaliConfig) -> tuple:
+    """The config fields a stack bakes into its hoisted tables."""
+    return tuple(
+        (f.name, getattr(config, f.name))
+        for f in fields(config)
+        if f.name not in _STACK_AXES
+    )
+
+
+class GpuStackRows:
+    """Row arrays of one (config, dram) design point over a cell stack.
+
+    One float64 lane per cell, aligned with the stack's cell order.
+    ``feasible`` is False where the kernel no longer fits the config's
+    scaled register file (the facade path raises ``CL_OUT_OF_RESOURCES``
+    there); infeasible lanes carry ``inf`` seconds and zero utilization.
+    """
+
+    __slots__ = (
+        "feasible",
+        "seconds",
+        "alu_utilization",
+        "ls_utilization",
+        "dram_bandwidth",
+        "dram_bytes",
+    )
+
+    def __init__(
+        self, feasible, seconds, alu_utilization, ls_utilization, dram_bandwidth, dram_bytes
+    ):
+        self.feasible = feasible
+        self.seconds = seconds
+        self.alu_utilization = alu_utilization
+        self.ls_utilization = ls_utilization
+        self.dram_bandwidth = dram_bandwidth
+        self.dram_bytes = dram_bytes
+
+
+class GpuConfigStack:
+    """Config-axis vectorization of a fixed set of GPU launch cells.
+
+    A design-space sweep prices the *same* grid of cells under many SoC
+    variants.  Everything that does not depend on the swept config axes
+    (:data:`_STACK_AXES`: core count, clock, register-file scale) — the
+    instruction-mix slices, DRAM traffic, work-group counts, atomic and
+    barrier weights — is hoisted into per-cell NumPy columns once; each
+    :meth:`rows` call then prices one ``(config, dram)`` point with a
+    handful of whole-stack array passes instead of a per-cell Python walk.
+
+    Bitwise contract: every array expression is the elementwise twin of
+    the scalar model — same operand values, same IEEE-754 operation
+    order (``np.sqrt``/``np.ceil``/``np.maximum`` match their ``math``
+    counterparts lane-wise; the first-wins roofline max equals the
+    ``np.maximum`` chain by value) — so each lane equals the
+    corresponding :class:`GpuLaunchTiming` field from pricing that cell
+    through a per-config :class:`GpuPricingModel` facade (asserted in
+    ``tests/property/test_grid_pricing_identity.py``).  The stack and
+    the facades also share the process-global traffic tables, keyed by
+    cache/DRAM config values.
+    """
+
+    def __init__(
+        self,
+        cells,
+        config: MaliConfig,
+        dram: DramModel,
+        caches: CacheHierarchy,
+    ) -> None:
+        import numpy as np
+
+        cells = tuple(cells)
+        if not cells:
+            raise ValueError("GpuConfigStack needs at least one cell")
+        self.cells = cells
+        self.config = config
+        self.dram = dram
+        self.caches = caches
+        self._sig = _stack_signature(config)
+        self._model = GpuPricingModel(config, dram, caches)
+
+        group_ord: dict[tuple[int, int, int], int] = {}
+        self._group_pricers: list[LaunchPricer] = []
+        self._group_streams: list[tuple[WorkloadTraits, int]] = []
+        self._group_regs = []
+        group_cells: list[list[int]] = []
+        gidx: list[int] = []
+        for i, cell in enumerate(cells):
+            if cell.n_items < 1:
+                raise ValueError(f"n_items must be >= 1, got {cell.n_items}")
+            pricer = self._model.pricer(cell.compiled, cell.traits, cell.concurrent_agents)
+            gk = (id(cell.compiled), id(pricer.traits), cell.concurrent_agents)
+            g = group_ord.get(gk)
+            if g is None:
+                g = group_ord[gk] = len(self._group_pricers)
+                self._group_pricers.append(pricer)
+                self._group_streams.append((pricer.traits, cell.concurrent_agents))
+                self._group_regs.append(cell.compiled.registers)
+                group_cells.append([])
+            group_cells[g].append(i)
+            gidx.append(g)
+        self._gidx = np.asarray(gidx, dtype=np.intp)
+
+        # mix-dependent slices: one bulk pass per kernel group, gathered
+        # into per-cell columns (bitwise-identical by warm_slices' contract)
+        width = len(cells)
+        arith = np.empty(width)
+        ls = np.empty(width)
+        eff = np.empty(width)
+        dram_bytes = np.empty(width)
+        for g, pricer in enumerate(self._group_pricers):
+            idxs = group_cells[g]
+            pricer.warm_slices([cells[i].n_items for i in idxs])
+            group_bytes = float(pricer._ensure_tables().dram_bytes)
+            for i in idxs:
+                a, l, e = pricer._slice(cells[i].n_items)
+                arith[i] = a
+                ls[i] = l
+                eff[i] = e
+                dram_bytes[i] = group_bytes
+        self._arith_raw = arith
+        self._ls_raw = ls
+        self._access_eff = eff
+        self._dram_bytes = dram_bytes
+
+        self._n_f = np.asarray([float(c.n_items) for c in cells])
+        self._local = np.asarray([c.local_size for c in cells], dtype=np.int64)
+        self._maxlocal_f = np.asarray([float(max(c.local_size, 1)) for c in cells])
+        # work-group count is config-independent: same int the scalar
+        # distribute() computes, converted exactly to float64
+        self._n_wg_f = np.asarray(
+            [float(max(1, math.ceil(c.n_items / c.local_size))) for c in cells]
+        )
+        self._atomic_w = np.asarray(
+            [c.compiled.mix.atomic_contention_weight for c in cells]
+        )
+        self._atomic_wl = np.asarray(
+            [c.compiled.mix.atomic_contention_weight_local for c in cells]
+        )
+        self._barriers = np.asarray([c.compiled.mix.barriers for c in cells])
+        self._cv = np.asarray([c.traits.imbalance_cv for c in cells])
+
+        # per-scale (feasible, threads-per-core) group arrays; per-DRAM
+        # per-cell base transfer seconds
+        self._tpc_cache: dict[float, tuple] = {}
+        self._transfer_cache: dict = {}
+
+    # ------------------------------------------------------------------
+    def _tpc_for(self, scale: float) -> tuple:
+        import numpy as np
+
+        found = self._tpc_cache.get(scale)
+        if found is None:
+            feas = []
+            tpcs = []
+            for report in self._group_regs:
+                if fits_register_file(report, scale):
+                    feas.append(True)
+                    tpcs.append(threads_for_scale(report, scale))
+                else:
+                    feas.append(False)
+                    tpcs.append(1)  # placeholder lane; masked out of rows
+            found = self._tpc_cache[scale] = (
+                np.asarray(feas, dtype=bool),
+                np.asarray(tpcs, dtype=np.int64),
+            )
+        return found
+
+    def _transfer_for(self, dram: DramModel):
+        import numpy as np
+
+        found = self._transfer_cache.get(dram.config)
+        if found is None:
+            # same construction (and the same process-global table entry)
+            # as _MixTables on a facade for this DRAM config
+            tables = _traffic_tables(dram, self.caches)
+            per_group = []
+            for traits, agents in self._group_streams:
+                tkey = (traits.streams, agents)
+                entry = tables.get(tkey)
+                if entry is None:
+                    traffic = self.caches.dram_traffic(list(traits.streams))
+                    nbytes = sum(traffic.values())
+                    transfer_s = (
+                        dram.transfer_seconds(
+                            "gpu", bytes_by_pattern=traffic, concurrent_agents=agents
+                        )
+                        if nbytes > 0
+                        else 0.0
+                    )
+                    entry = tables[tkey] = (tuple(traffic.items()), nbytes, transfer_s)
+                per_group.append(entry[2])
+            found = self._transfer_cache[dram.config] = np.asarray(
+                per_group, dtype=np.float64
+            )[self._gidx]
+        return found
+
+    # ------------------------------------------------------------------
+    def rows(self, config: MaliConfig, dram: DramModel) -> GpuStackRows:
+        """Price every cell under one ``(config, dram)`` design point."""
+        import numpy as np
+
+        if _stack_signature(config) != self._sig:
+            raise ValueError(
+                "config differs from the stack base outside the stacked axes "
+                f"({', '.join(sorted(_STACK_AXES))})"
+            )
+        feas_g, tpc_g = self._tpc_for(config.register_file_scale)
+        feasible = feas_g[self._gidx]
+        tpc = tpc_g[self._gidx]
+        transfer = self._transfer_for(dram)
+
+        clock = config.clock_hz
+        n_cores = config.shader_cores
+        cores_f = float(n_cores)
+        log_cores = math.log(max(n_cores, 2))
+        arith_denom = float(n_cores * config.arith_pipes_per_core)
+        ls_denom = float(n_cores * config.ls_pipes_per_core)
+
+        # derive_occupancy, vectorized: resident threads then the two
+        # sqrt hiding factors (int(x) on a positive float == floor)
+        wg_groups = tpc // self._local
+        resident = np.where(
+            wg_groups >= 1,
+            wg_groups * self._local,
+            np.maximum((tpc * 0.6).astype(np.int64), 1),
+        )
+        res_f = resident.astype(np.float64)
+        hiding = np.where(
+            resident >= FULL_HIDING_THREADS,
+            1.0,
+            np.maximum(MIN_HIDING, np.sqrt(res_f / float(FULL_HIDING_THREADS))),
+        )
+        bandwidth_hiding = np.where(
+            resident >= FULL_BANDWIDTH_THREADS,
+            1.0,
+            np.maximum(MIN_HIDING, np.sqrt(res_f / float(FULL_BANDWIDTH_THREADS))),
+        )
+
+        # distribute(), vectorized (per_core > 0 always: n_wg >= 1)
+        per_core = self._n_wg_f / cores_f
+        quantization = np.ceil(per_core) / per_core
+        ragged = np.where(
+            self._cv > 0.0,
+            1.0 + self._cv * np.sqrt((2.0 * log_cores) / np.maximum(per_core, 1.0)),
+            1.0,
+        )
+        imbalance = quantization * ragged
+        schedule_s = self._n_wg_f * config.wg_schedule_cycles / clock
+
+        arith_s = self._arith_raw / arith_denom / clock / hiding
+        ls_s = self._ls_raw / ls_denom / clock / hiding
+        # transfer is 0.0 exactly where dram_bytes == 0, so the division
+        # chain lands on the scalar path's literal 0.0
+        dram_s = transfer / bandwidth_hiding / self._access_eff
+
+        atomic_s = (
+            (self._atomic_w * self._n_f) * config.atomic_cycles
+            + (self._atomic_wl * self._n_f) * config.atomic_local_cycles / cores_f
+        ) / clock
+        barrier_s = (
+            (self._barriers * self._n_f) / self._maxlocal_f
+            * config.barrier_cycles
+            / clock
+            / cores_f
+        )
+
+        peak = np.maximum(np.maximum(np.maximum(arith_s, ls_s), dram_s), atomic_s)
+        leak = config.overlap_leak * ((((arith_s + ls_s) + dram_s) + atomic_s) - peak)
+        parallel_s = (peak + leak) * imbalance + barrier_s
+        seconds = parallel_s + schedule_s + config.launch_overhead_s
+
+        with np.errstate(divide="ignore", invalid="ignore"):
+            pos = seconds > 0.0
+            alu = np.where(pos, np.minimum(arith_s / seconds, 1.0), 0.0)
+            lsu = np.where(pos, np.minimum(ls_s / seconds, 1.0), 0.0)
+            dram_bw = np.where(pos, self._dram_bytes / seconds, 0.0)
+
+        if not feasible.all():
+            bad = ~feasible
+            seconds = np.where(bad, np.inf, seconds)
+            alu = np.where(bad, 0.0, alu)
+            lsu = np.where(bad, 0.0, lsu)
+            dram_bw = np.where(bad, 0.0, dram_bw)
+
+        return GpuStackRows(feasible, seconds, alu, lsu, dram_bw, self._dram_bytes)

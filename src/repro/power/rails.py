@@ -103,3 +103,38 @@ class PowerRailConfig:
             p += self.gpu_ls_w * activity.gpu_ls_utilization
             return p
         raise ValueError(f"unknown activity kind {activity.kind!r}")  # pragma: no cover
+
+
+def stack_watts(
+    rails: PowerRailConfig,
+    kind: ActivityKind,
+    *,
+    dram_bandwidth,
+    active_cpu_cores=None,
+    cpu_ipc=None,
+    gpu_alu_utilization=None,
+    gpu_ls_utilization=None,
+):
+    """Vectorized twin of :meth:`PowerRailConfig.power` over row arrays.
+
+    All operands are float64 arrays (or scalars broadcasting over them);
+    each lane performs exactly the scalar method's addition chain, so a
+    lane equals ``rails.power(Activity(...))`` of the same row values
+    bit for bit.  ``active_cpu_cores`` lanes must already be >= 1 (the
+    scalar ``max(cores, 1)`` clamp is the caller's job when a lane could
+    be zero).
+    """
+    import numpy as np
+
+    base = rails.board_idle_w + ((rails.dram_w_per_gbps * np.asarray(dram_bandwidth)) / 1e9)
+    if kind == ActivityKind.IDLE:
+        return base
+    if kind in (ActivityKind.CPU, ActivityKind.HOST_COPY):
+        cores = np.maximum(np.asarray(active_cpu_cores), 1)
+        return base + cores * (rails.cpu_core_base_w + rails.cpu_core_ipc_w * np.asarray(cpu_ipc))
+    if kind == ActivityKind.GPU_KERNEL:
+        return (
+            ((base + rails.host_polling_w) + rails.gpu_base_w)
+            + rails.gpu_alu_w * np.asarray(gpu_alu_utilization)
+        ) + rails.gpu_ls_w * np.asarray(gpu_ls_utilization)
+    raise ValueError(f"unknown activity kind {kind!r}")

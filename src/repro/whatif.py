@@ -134,22 +134,20 @@ def estimate_speedups(
     where no Opt candidate is feasible (the paper's missing DP bars).
     The Serial baseline is taken from the first platform, exactly like
     :func:`compare_platforms`.
-    """
-    from .pricing.grid import estimate_cpu_seconds, estimate_opt_seconds
 
-    if not platforms:
-        raise ValueError("need at least one platform")
-    out: dict[str, float | None] = {}
-    serial_seconds = None
-    for name, platform in platforms.items():
-        bench = create(
-            benchmark, precision=precision, scale=scale, seed=seed, platform=platform
-        )
-        if serial_seconds is None:
-            serial_seconds = estimate_cpu_seconds(bench)
-        opt_seconds = estimate_opt_seconds(bench)
-        out[name] = None if opt_seconds is None else serial_seconds / opt_seconds
-    return out
+    Thin wrapper over :func:`repro.designspace.opt_over_serial`, the one
+    batched-pricing path shared with the sensitivity probes.
+    """
+    from .designspace import opt_over_serial
+
+    return opt_over_serial(
+        benchmark,
+        platforms,
+        precision=precision,
+        scale=scale,
+        seed=seed,
+        serial="first",
+    )
 
 
 def run_fixed_driver_amcd(

@@ -108,3 +108,78 @@ def test_random_cell_subset_byte_identity(benchmarks, versions, precisions):
     batched = _grid_json(benchmarks=benchmarks, versions=versions,
                          precisions=precisions)
     assert batched == scalar
+
+
+# ---------------------------------------------------------------------------
+# design-space hypercube: stacked config axis vs loop-over-facades
+# ---------------------------------------------------------------------------
+
+
+_SOC_KNOBS = st.fixed_dictionaries(
+    {},
+    optional={
+        "gpu_cores": st.sampled_from((1, 2, 4, 8)),
+        "gpu_clock_hz": st.sampled_from((416e6, 533e6, 700e6)),
+        "cpu_cores": st.sampled_from((1, 2, 4)),
+        "cpu_clock_hz": st.sampled_from((1.0e9, 1.7e9)),
+        "dram_gbps": st.sampled_from((6.4, 12.8, 16.5)),
+        "register_file_scale": st.sampled_from((0.125, 0.5, 1.0, 2.0)),
+        "rail_scale": st.sampled_from((0.5, 1.0, 2.0)),
+    },
+)
+
+
+def _assert_rows_bitwise(stacked, facade):
+    import numpy as np
+
+    for field in stacked.__slots__:
+        a = np.asarray(getattr(stacked, field))
+        b = np.asarray(getattr(facade, field))
+        if a.dtype == np.float64:
+            # bitwise, not tolerance: inf lanes and signed zeros included
+            assert np.array_equal(a.view(np.uint64), b.view(np.uint64)), field
+        else:
+            assert np.array_equal(a, b), field
+
+
+@given(knob_sets=st.lists(_SOC_KNOBS, min_size=1, max_size=4, unique_by=repr))
+@settings(max_examples=8, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_random_soc_configs_stacked_rows_match_facade(knob_sets):
+    """Random SoCConfig subsets: every stacked row is bitwise the row the
+    per-config ``PlatformPricing`` facade computes — including configs
+    whose scaled register file makes candidates infeasible."""
+    from repro.calibration.socspace import SoCConfig
+    from repro.designspace import DesignSpace
+
+    configs = [SoCConfig(name=f"p{i}", **knobs) for i, knobs in enumerate(knob_sets)]
+    perf.reset()
+    space = DesignSpace(benchmarks=("vecop", "red"), scale=0.1)
+    for config in configs:
+        _assert_rows_bitwise(space.stacked_rows(config), space.facade_rows(config))
+
+
+def test_design_space_jobs_pool_matches_inline():
+    """jobs=4 shards configs over a process pool; the reassembled points
+    are exactly the jobs=1 points (both engines)."""
+    from repro.calibration.socspace import config_grid
+    from repro.designspace import evaluate_space
+
+    configs = config_grid(gpu_cores=(2, 4), register_file_scale=(0.25, 1.0))
+    for engine in ("stacked", "facade"):
+        perf.reset()
+        inline = evaluate_space(
+            configs, benchmarks=("vecop", "hist"), scale=0.1, jobs=1, engine=engine
+        )
+        perf.reset()
+        pooled = evaluate_space(
+            configs, benchmarks=("vecop", "hist"), scale=0.1, jobs=4, engine=engine
+        )
+        assert pooled.points == inline.points
+
+    perf.reset()
+    stacked = evaluate_space(configs, benchmarks=("vecop", "hist"), scale=0.1)
+    perf.reset()
+    facade = evaluate_space(
+        configs, benchmarks=("vecop", "hist"), scale=0.1, engine="facade"
+    )
+    assert stacked.points == facade.points

@@ -1,0 +1,345 @@
+"""Design-space hypercube: SoCConfig family, Pareto logic, key hygiene."""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+
+from repro import perf
+from repro.benchmarks.base import Precision, cpu_pricing_inputs, cpu_pricing_key
+from repro.benchmarks.registry import create
+from repro.calibration.exynos5250 import default_platform
+from repro.calibration.socspace import (
+    EXYNOS_5250,
+    SoCConfig,
+    config_grid,
+    default_space,
+    load_configs,
+)
+from repro.compiler.regalloc import (
+    HARD_REGISTER_LIMIT,
+    fits_register_file,
+    threads_for_scale,
+)
+from repro.designspace import (
+    AGGREGATE,
+    DesignPoint,
+    DesignSpace,
+    dominated,
+    dominates,
+    equal_energy_speedup,
+    equal_time_energy,
+    evaluate_space,
+    frontier,
+    opt_over_serial,
+)
+from repro.errors import CalibrationError, CLOutOfResources
+from repro.perf.persist import key_digest
+
+
+@pytest.fixture(autouse=True)
+def _fresh_perf():
+    perf.reset()
+    yield
+    perf.reset()
+
+
+# ---------------------------------------------------------------------------
+# SoCConfig family
+# ---------------------------------------------------------------------------
+
+
+def test_exynos_point_reproduces_default_platform_exactly():
+    assert EXYNOS_5250.platform() == default_platform()
+
+
+def test_soc_config_validates_ranges():
+    with pytest.raises(CalibrationError):
+        SoCConfig(name="bad", gpu_cores=0)
+    with pytest.raises(CalibrationError):
+        SoCConfig(name="bad", gpu_clock_hz=533.0)  # MHz-vs-Hz mistake
+    with pytest.raises(CalibrationError):
+        SoCConfig(name="bad", dram_gbps=12.8e9)  # bytes/s-vs-GB/s mistake
+    with pytest.raises(CalibrationError):
+        SoCConfig(name="")
+
+
+def test_soc_digest_is_content_addressed():
+    # name excluded: same hardware, different label -> same digest
+    a = SoCConfig(name="a", gpu_cores=8)
+    b = SoCConfig(name="b", gpu_cores=8)
+    assert a.digest() == b.digest()
+    # any knob change -> different digest
+    knobs = {
+        "gpu_cores": 8,
+        "gpu_clock_hz": 700e6,
+        "cpu_cores": 4,
+        "cpu_clock_hz": 1.0e9,
+        "dram_gbps": 16.5,
+        "register_file_scale": 2.0,
+        "rail_scale": 0.5,
+    }
+    digests = {EXYNOS_5250.digest()}
+    for knob, value in knobs.items():
+        d = SoCConfig(name="x", **{knob: value}).digest()
+        assert d not in digests, knob
+        digests.add(d)
+
+
+def test_config_grid_names_and_exynos_rename():
+    grid = config_grid(gpu_cores=(2, 4), dram_gbps=(12.8,))
+    assert [c.name for c in grid] == ["soc-g2", "exynos5250"]
+    assert len(default_space()) == 64
+    names = [c.name for c in default_space()]
+    assert len(set(names)) == 64 and "exynos5250" in names
+
+
+def test_config_grid_rejects_unknown_axis():
+    with pytest.raises(CalibrationError):
+        config_grid(warp_size=(32,))
+
+
+def test_load_configs_roundtrip(tmp_path):
+    path = tmp_path / "space.json"
+    path.write_text(
+        json.dumps(
+            {
+                "configs": [{"name": "big", "gpu_cores": 8}],
+                "grid": {"name_prefix": "p", "dram_gbps": [8.5, 16.5]},
+            }
+        )
+    )
+    configs = load_configs(path)
+    assert [c.name for c in configs] == ["big", "p-8.5GBs", "p-16.5GBs"]
+    path.write_text(json.dumps({"configs": [{"name": "x"}, {"name": "x"}]}))
+    with pytest.raises(CalibrationError):
+        load_configs(path)
+    path.write_text(json.dumps({"unrelated": 1}))
+    with pytest.raises(CalibrationError):
+        load_configs(path)
+
+
+# ---------------------------------------------------------------------------
+# register-file scaling
+# ---------------------------------------------------------------------------
+
+
+def test_register_scale_feasibility_and_occupancy():
+    bench = create("nbody", precision=Precision.DOUBLE, scale=0.1)
+    from repro.compiler.options import NAIVE
+    from repro.compiler.pipeline import compile_kernel
+    from repro.ocl.driver import default_quirks
+
+    compiled = compile_kernel(bench.kernel_ir(NAIVE), NAIVE, quirks=default_quirks())
+    report = compiled.registers
+    # scale 1.0 is the historical bitwise path
+    assert fits_register_file(report, 1.0)
+    assert threads_for_scale(report, 1.0) == report.threads_per_core
+    # a big enough file never loses occupancy; a tiny one loses it or
+    # rejects the kernel outright
+    assert threads_for_scale(report, 4.0) >= report.threads_per_core
+    if fits_register_file(report, 0.25):
+        assert threads_for_scale(report, 0.25) <= report.threads_per_core
+    heavy = report.registers_128
+    assert not fits_register_file(report, (heavy - 0.5) / HARD_REGISTER_LIMIT)
+
+
+def test_launch_pricer_raises_on_register_exhaustion():
+    import dataclasses
+
+    from repro.compiler.options import NAIVE
+    from repro.compiler.pipeline import compile_kernel
+    from repro.mali.timing import LaunchPricer
+    from repro.ocl.driver import default_quirks
+
+    platform = default_platform()
+    bench = create("nbody", precision=Precision.DOUBLE, scale=0.1)
+    compiled = compile_kernel(bench.kernel_ir(NAIVE), NAIVE, quirks=default_quirks())
+    scale = (compiled.registers.registers_128 - 0.5) / HARD_REGISTER_LIMIT
+    tiny = dataclasses.replace(platform.mali, register_file_scale=scale)
+    with pytest.raises(CLOutOfResources):
+        LaunchPricer(
+            compiled,
+            bench.gpu_traits(NAIVE),
+            tiny,
+            platform.dram_model(),
+            platform.gpu_caches(),
+        )
+
+
+def test_soc_configs_sharing_a_kernel_get_distinct_memo_keys():
+    """Satellite regression: the perf memo and persistent tier never mix
+    two SoC configs' entries for the same compiled kernel."""
+    from repro.compiler.options import NAIVE
+    from repro.compiler.pipeline import compile_kernel
+    from repro.mali.timing import LaunchPricer
+    from repro.ocl.driver import default_quirks
+
+    bench = create("vecop", precision=Precision.SINGLE, scale=0.1)
+    compiled = compile_kernel(bench.kernel_ir(NAIVE), NAIVE, quirks=default_quirks())
+    traits = bench.gpu_traits(NAIVE)
+    a = SoCConfig(name="a", gpu_clock_hz=533e6).platform()
+    b = SoCConfig(name="b", gpu_clock_hz=700e6).platform()
+    c = SoCConfig(name="c", register_file_scale=2.0).platform()
+    keys = []
+    for p in (a, b, c):
+        pricer = LaunchPricer(
+            compiled, traits, p.mali, p.dram_model(), p.gpu_caches()
+        )
+        keys.append(pricer.key(1024, 64))
+    assert len(set(keys)) == 3
+    assert len({key_digest(k) for k in keys}) == 3
+
+    # CPU side: distinct A15 clocks -> distinct cpu_timing keys
+    from repro.benchmarks.base import Version
+
+    keys = []
+    for cfg in (SoCConfig(name="a"), SoCConfig(name="b", cpu_clock_hz=1.0e9)):
+        bench = create(
+            "vecop", precision=Precision.SINGLE, scale=0.1, platform=cfg.platform()
+        )
+        ir, _, traits, n = cpu_pricing_inputs(bench)
+        keys.append(
+            cpu_pricing_key(
+                bench, ir, Version.SERIAL, n, traits, bench.platform.pricing_model()
+            )
+        )
+    assert keys[0] != keys[1]
+    assert key_digest(keys[0]) != key_digest(keys[1])
+
+
+# ---------------------------------------------------------------------------
+# Pareto logic (synthetic points)
+# ---------------------------------------------------------------------------
+
+
+def _pt(name, seconds, energy, feasible=True, version="Opt"):
+    return DesignPoint(
+        config_name=name,
+        benchmark=AGGREGATE,
+        precision="single",
+        version=version,
+        seconds=seconds,
+        watts=0.0 if not feasible else energy / seconds,
+        energy_j=energy,
+        feasible=feasible,
+    )
+
+
+def test_dominates_is_strict_pareto():
+    assert dominates(_pt("a", 1.0, 1.0), _pt("b", 2.0, 2.0))
+    assert dominates(_pt("a", 1.0, 2.0), _pt("b", 2.0, 2.0))
+    assert not dominates(_pt("a", 1.0, 1.0), _pt("b", 1.0, 1.0))  # equal
+    assert not dominates(_pt("a", 1.0, 3.0), _pt("b", 2.0, 2.0))  # trade-off
+    assert not dominates(_pt("b", 2.0, 2.0), _pt("a", 1.0, 3.0))
+
+
+def test_frontier_is_deterministic_and_excludes_dominated():
+    pts = [
+        _pt("slow-frugal", 4.0, 1.0),
+        _pt("fast-hungry", 1.0, 4.0),
+        _pt("dominated", 4.0, 4.0),
+        _pt("middle", 2.0, 2.0),
+        _pt("broken", 0.1, 0.1, feasible=False),
+    ]
+    front = frontier(pts)
+    assert [p.config_name for p in front] == ["fast-hungry", "middle", "slow-frugal"]
+    assert frontier(list(reversed(pts))) == front  # order-independent
+    dom = dominated(pts)
+    assert [p.config_name for p in dom] == ["dominated"]
+    # equal (seconds, energy) points both survive
+    twins = [_pt("a", 1.0, 1.0), _pt("b", 1.0, 1.0)]
+    assert [p.config_name for p in frontier(twins)] == ["a", "b"]
+
+
+def test_equal_energy_and_equal_time_queries():
+    ref = _pt("ref", 2.0, 2.0, version="Serial")
+    pts = [
+        _pt("fast-hungry", 0.5, 3.0),   # faster but over the energy budget
+        _pt("fast-frugal", 1.0, 1.5),
+        _pt("slower-frugal", 1.6, 1.0),
+        _pt("broken", 0.1, 0.1, feasible=False),
+    ]
+    speedup, best = equal_energy_speedup(pts, ref)
+    assert best.config_name == "fast-frugal" and speedup == 2.0
+    energy, best = equal_time_energy(pts, ref)
+    assert best.config_name == "slower-frugal" and energy == 1.0
+    assert equal_energy_speedup([_pt("x", 1.0, 9.9)], ref) is None
+    assert equal_time_energy([_pt("x", 9.9, 1.0)], ref) is None
+
+
+# ---------------------------------------------------------------------------
+# hypercube evaluation
+# ---------------------------------------------------------------------------
+
+
+def test_opt_point_matches_tuner_estimate_exactly():
+    space = DesignSpace(benchmarks=("vecop",), precisions=(Precision.SINGLE,),
+                        scale=0.25)
+    pts = space.points(EXYNOS_5250, space.stacked_rows(EXYNOS_5250))
+    opt = next(p for p in pts if p.version == "Opt" and p.benchmark == "vecop")
+    from repro.pricing.grid import estimate_opt_seconds
+
+    bench = create("vecop", precision=Precision.SINGLE, scale=0.25)
+    assert opt.seconds == estimate_opt_seconds(bench)
+
+
+def test_evaluate_space_shapes_and_dp_collapse():
+    configs = config_grid(register_file_scale=(0.125, 1.0))
+    result = evaluate_space(configs, benchmarks=("nbody",), scale=0.1)
+    # 2 configs x (3 bench versions + 3 aggregate) x 2 precisions
+    assert len(result.points) == 2 * 6 * 2
+    assert result.digests == tuple(c.digest() for c in configs)
+    # the tiny register file kills the DP Opt (register exhaustion:
+    # nbody DP's leanest candidate wants 7 x 128-bit registers, an
+    # eighth of the file holds 4) but the measured point keeps it
+    tiny_dp = result.point("soc-rf0.125", "nbody", "double", "Opt")
+    base_dp = result.point("exynos5250", "nbody", "double", "Opt")
+    assert not tiny_dp.feasible and math.isinf(tiny_dp.seconds)
+    assert tiny_dp.watts == 0.0 and math.isinf(tiny_dp.energy_j)
+    assert base_dp.feasible
+    # infeasible Opt poisons that config's aggregate
+    assert not result.point("soc-rf0.125", AGGREGATE, "double", "Opt").feasible
+    assert result.point("soc-rf0.125", AGGREGATE, "double", "Serial").feasible
+    # aggregate sums the per-benchmark points
+    agg = result.point("exynos5250", AGGREGATE, "double", "Serial")
+    per = result.point("exynos5250", "nbody", "double", "Serial")
+    assert agg.seconds == per.seconds and agg.energy_j == per.energy_j
+
+    data = result.to_dict()
+    assert len(data["points"]) == len(result.points)
+    row = next(r for r in data["points"]
+               if r["config"] == "soc-rf0.125" and r["version"] == "Opt"
+               and r["precision"] == "double" and r["benchmark"] == "nbody")
+    assert row["seconds"] is None and row["feasible"] is False
+    json.dumps(data)  # inf never leaks into the JSON form
+
+
+def test_evaluate_space_validates_inputs():
+    with pytest.raises(ValueError):
+        evaluate_space(())
+    with pytest.raises(ValueError):
+        evaluate_space((EXYNOS_5250, SoCConfig(name="exynos5250", gpu_cores=8)))
+    space = DesignSpace(benchmarks=("vecop",), scale=0.1)
+    with pytest.raises(ValueError):
+        space.rows(EXYNOS_5250, engine="quantum")
+
+
+def test_opt_over_serial_matches_whatif_and_sensitivity():
+    from repro.calibration.sensitivity import probe_speedups
+    from repro.whatif import estimate_speedups, mali_t628_platform
+
+    platforms = {"t604": default_platform(), "t628": mali_t628_platform()}
+    sp = estimate_speedups("vecop", platforms, scale=0.1)
+    assert set(sp) == {"t604", "t628"}
+    direct = opt_over_serial("vecop", platforms, scale=0.1, serial="first")
+    assert sp == direct
+    with pytest.raises(ValueError):
+        estimate_speedups("vecop", {})
+    with pytest.raises(ValueError):
+        opt_over_serial("vecop", platforms, serial="sometimes")
+    probes = probe_speedups(default_platform(), benchmarks=("vecop",),
+                            scale=0.1, model_only=True)
+    assert probes["vecop"] > 0
