@@ -77,7 +77,7 @@ from .errors import (
     ReproError,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "BENCHMARKS",

@@ -185,6 +185,7 @@ def cmd_designspace(args) -> int:
         equal_energy_speedup,
         equal_time_energy,
         evaluate_space,
+        export_frontier,
         frontier,
     )
 
@@ -192,15 +193,13 @@ def cmd_designspace(args) -> int:
     precisions = (
         (Precision.SINGLE,) if args.sp_only else (Precision.SINGLE, Precision.DOUBLE)
     )
+    benchmark = args.benchmark or AGGREGATE
     result = evaluate_space(
         configs, precisions=precisions, scale=args.scale, seed=args.seed,
-        jobs=args.jobs,
+        jobs=args.jobs, stream=args.stream, chunk_size=args.chunk_size,
+        prune=not args.no_prune, target_benchmark=benchmark, trace=args.trace,
     )
-    n_feasible = sum(p.feasible for p in result.points)
-    print(f"design space: {len(result.configs)} configs x "
-          f"{len(result.benchmarks)} benchmarks x {len(result.precisions)} "
-          f"precisions -> {len(result.points)} points ({n_feasible} feasible)")
-    benchmark = args.benchmark or AGGREGATE
+    print(result.describe())
     for precision in result.precisions:
         pool = result.select(benchmark=benchmark, precision=precision, version="Opt")
         front = frontier(pool)
@@ -225,6 +224,12 @@ def cmd_designspace(args) -> int:
             print("    equal-time energy: none (every Opt is slower)")
         else:
             print(f"    equal-time energy: {ete[0]:.4f} J ({ete[1].config_name})")
+    if args.export_frontier:
+        n_rows = export_frontier(
+            result, args.export_frontier, benchmark=benchmark,
+            include_dominated=args.export_dominated,
+        )
+        print(f"\nwrote {n_rows} frontier rows to {args.export_frontier}")
     if args.output:
         import json as _json
 
@@ -423,6 +428,25 @@ def build_parser() -> argparse.ArgumentParser:
                    help="single precision only")
     p.add_argument("--jobs", type=_positive_int, default=1,
                    help="parallel worker processes (1 = in-process)")
+    p.add_argument("--stream", action="store_true",
+                   help="chunked streaming evaluation with bound-based "
+                        "pruning: memory stays O(chunk + frontier) instead "
+                        "of O(space); same frontier as a full evaluation")
+    p.add_argument("--chunk-size", type=_positive_int, default=256,
+                   metavar="N", help="configs priced per streaming chunk "
+                                     "(default: 256)")
+    p.add_argument("--no-prune", action="store_true",
+                   help="stream without the roofline/rail lower-bound "
+                        "config pruning")
+    p.add_argument("--trace", default=None, metavar="PATH",
+                   help="append JSONL space_started / space_chunk_finished "
+                        "/ space_finished progress events")
+    p.add_argument("--export-frontier", default=None, metavar="PATH",
+                   help="write the frontier for plotting (.csv, or JSON "
+                        "otherwise) with config digests")
+    p.add_argument("--export-dominated", action="store_true",
+                   help="include dominated points (flagged "
+                        "on_frontier=false) in --export-frontier")
     p.add_argument("--output", default=None, metavar="PATH",
                    help="write every design point as JSON")
     p.set_defaults(func=cmd_designspace)

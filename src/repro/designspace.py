@@ -31,22 +31,39 @@ which is how the paper's DP register-exhaustion collapse shows up
 across the space.
 
 On top sit deterministic Pareto helpers: :func:`dominates`,
-:func:`frontier`, :func:`dominated`, :func:`equal_energy_speedup` and
+:func:`frontier` (the O(n log n) :func:`repro.pareto.skyline`),
+:func:`dominated`, :func:`equal_energy_speedup` and
 :func:`equal_time_energy`.
+
+Large spaces run through **streaming evaluation**
+(``evaluate_space(stream=True)``): configs are priced in fixed-size
+chunks, each chunk's target-slice points feed per-precision
+:class:`~repro.pareto.OnlineFrontier` accumulators, and dominated
+points are dropped immediately — peak memory is O(chunk + frontier)
+instead of O(space).  Before pricing, a vectorized roofline/rail
+**lower bound** (:meth:`DesignSpace.opt_bounds`) prunes configs whose
+best case is already dominated by the current frontier; pruning never
+changes the frontier (the bound under-estimates both objectives, and
+domination is transitive).  ``jobs=N`` shards configs over workers
+that each reduce locally and ship back only frontier candidates,
+merged to results byte-identical to ``jobs=1``.
 """
 
 from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
+from pathlib import Path
 
 from .benchmarks.base import Precision, cpu_pricing_inputs
 from .benchmarks.registry import PAPER_ORDER, create
 from .calibration.exynos5250 import ExynosPlatform, default_platform
-from .calibration.socspace import SoCConfig, default_space
+from .calibration.socspace import EXYNOS_5250, SoCConfig, default_space
 from .compiler.regalloc import fits_register_file
 from .errors import CLError, CompilerError
-from .power.rails import Activity, ActivityKind, stack_watts
+from .experiments.trace import JsonlTraceSink, Tracer, TraceSink
+from .pareto import OnlineFrontier, point_key, skyline, skyline_reference
+from .power.rails import Activity, ActivityKind, gpu_floor_watts, stack_watts
 from .pricing.cells import MODE_OPENMP, MODE_SERIAL, CpuCell, GpuLaunchCell, TraceCell
 
 #: version labels of a design point (Opt = best feasible GPU candidate)
@@ -220,6 +237,7 @@ class DesignSpace:
         self._cpu_stack = CpuConfigStack(
             self.cpu_cells, self.base.cpu, dram, self.base.cpu_caches()
         )
+        self._bounds = None  # lazy opt_bounds tables
 
     # ------------------------------------------------------------------
     def stacked_rows(self, config: SoCConfig) -> SpaceRows:
@@ -447,6 +465,132 @@ class DesignSpace:
             out.extend(self.points(config, self.rows(config, engine)))
         return tuple(out)
 
+    # ------------------------------------------------------------------
+    def _bound_tables(self):
+        """Lazy per-group tables behind :meth:`opt_bounds`."""
+        import numpy as np
+
+        tables = self._bounds
+        if tables is None:
+            starts = np.asarray([bc.gpu_start for bc in self.groups], dtype=np.intp)
+            empty = np.asarray(
+                [bc.gpu_stop == bc.gpu_start for bc in self.groups], dtype=bool
+            )
+            by_prec: dict[str, list[int]] = {}
+            for g, bc in enumerate(self.groups):
+                by_prec.setdefault(bc.precision, []).append(g)
+            tables = self._bounds = (starts, empty, by_prec, {}, {})
+        return tables
+
+    def _group_infeasible(self, register_file_scale: float):
+        """Per-group flag: no candidate fits this register-file scale.
+
+        Exact, not a bound — :meth:`points` marks a group's Opt
+        infeasible iff no cell of its span is feasible, and feasibility
+        depends on the config only through ``register_file_scale``
+        (the same :meth:`~repro.mali.timing.GpuConfigStack._tpc_for`
+        predicate the pricing path evaluates).
+        """
+        import numpy as np
+
+        starts, empty, _, _, infeas_cache = self._bound_tables()
+        found = infeas_cache.get(register_file_scale)
+        if found is None:
+            feas_g, _ = self._gpu_stack._tpc_for(register_file_scale)
+            feas = feas_g[self._gpu_stack._gidx]
+            any_feas = np.logical_or.reduceat(feas, starts)
+            found = infeas_cache[register_file_scale] = ~any_feas | empty
+        return found
+
+    def opt_bounds(self, configs, benchmark: str = AGGREGATE):
+        """Vectorized per-config lower bounds on the Opt design points.
+
+        Returns ``{precision: (seconds_lb, energy_lb)}`` — float64
+        arrays aligned with ``configs`` — such that for every config
+        the ``(benchmark, precision, "Opt")`` point of *either* engine
+        satisfies ``seconds_lb <= point.seconds`` and ``energy_lb <=
+        point.energy_j`` rigorously in IEEE-754 (infeasible points are
+        ``inf``, trivially above any bound).  This is the pruning
+        oracle: if a bound is strictly dominated by a real evaluated
+        point, the config's actual Opt point is strictly dominated too
+        (strict inequalities carry through ``bound <= actual``), so
+        skipping it can never change the frontier.
+
+        Construction per config: the group minimum over the stack's
+        roofline floor (:meth:`~repro.mali.timing.GpuConfigStack.floor_seconds`
+        times launches) bounds the group's Opt seconds — the minimum
+        over *all* candidates under-estimates the minimum over the
+        feasible subset; the rail floor
+        (:func:`~repro.power.rails.gpu_floor_watts` of the rail-scaled
+        config) bounds its watts; per-precision aggregates accumulate
+        in the exact group order :meth:`points` uses, so the same-order
+        float sums stay monotone term for term.
+        """
+        import numpy as np
+
+        configs = tuple(configs)
+        starts, empty, by_prec, dram_cache, _ = self._bound_tables()
+        n = len(configs)
+        if self._gpu_stack is None or not n:
+            inf = np.full(n, np.inf)
+            return {prec: (inf, inf.copy()) for prec in by_prec}
+
+        rails = self.base.rails
+        rail_scale = np.asarray([c.rail_scale for c in configs])
+        # gpu_floor_watts over the rail-scaled configs, vectorized in
+        # the same operation order socspace's replace() + the scalar
+        # helper produce (board_idle stays unscaled)
+        wfloor = (
+            rails.board_idle_w + rails.host_polling_w * rail_scale
+        ) + rails.gpu_base_w * rail_scale
+
+        cores = np.asarray([float(c.gpu_cores) for c in configs])
+        clock = np.asarray([c.gpu_clock_hz for c in configs])
+        gmin = np.empty((n, len(self.groups)))
+        by_dram: dict[tuple, list[int]] = {}
+        for i, c in enumerate(configs):
+            by_dram.setdefault((c.dram_gbps, c.register_file_scale), []).append(i)
+        for (gbps, rf_scale), idxs in by_dram.items():
+            dram = dram_cache.get(gbps)
+            if dram is None:
+                dram = dram_cache[gbps] = (
+                    configs[idxs[0]].platform(self.base).dram_model()
+                )
+            floor = self._gpu_stack.floor_seconds(
+                dram,
+                shader_cores=cores[idxs],
+                clock_hz=clock[idxs],
+                register_file_scale=rf_scale,
+            )
+            iter_floor = floor * self._launches_f[None, :]
+            # groups tile the gpu-cell axis contiguously in order, so a
+            # reduceat over the starts is the per-group min; empty
+            # groups (reduceat would alias the next span) are masked
+            gmin[idxs, :] = np.minimum.reduceat(iter_floor, starts, axis=1)
+        if empty.any():
+            gmin[:, empty] = np.inf
+        # provable register-file infeasibility: the group's Opt point
+        # is exactly infeasible (inf seconds), not merely bounded
+        by_rf: dict[float, list[int]] = {}
+        for i, c in enumerate(configs):
+            by_rf.setdefault(c.register_file_scale, []).append(i)
+        for rf_scale, idxs in by_rf.items():
+            infeasible = self._group_infeasible(rf_scale)
+            if infeasible.any():
+                gmin[np.ix_(idxs, np.flatnonzero(infeasible))] = np.inf
+
+        out: dict[str, tuple] = {}
+        for prec, gids in by_prec.items():
+            if benchmark != AGGREGATE:
+                gids = [g for g in gids if self.groups[g].name == benchmark]
+            t = np.zeros(n)
+            e = np.zeros(n)
+            for g in gids:
+                t = t + gmin[:, g]
+                e = e + gmin[:, g] * wfloor
+            out[prec] = (t, e)
+        return out
+
 
 # ---------------------------------------------------------------------------
 # multi-process driver
@@ -465,9 +609,249 @@ def _eval_worker(payload) -> tuple[DesignPoint, ...]:
     return space.evaluate(configs, engine)
 
 
+# ---------------------------------------------------------------------------
+# streaming driver (chunked evaluation + pruning + online reduction)
+# ---------------------------------------------------------------------------
+
+
+def _resolve_trace(trace):
+    """Normalize ``trace`` (sink, path or None) like the campaign engine."""
+    if trace is None:
+        return TraceSink(), False
+    if isinstance(trace, (str, Path)):
+        return JsonlTraceSink(trace), True
+    return trace, False
+
+
+def _stream_shard(
+    space: DesignSpace,
+    configs,
+    *,
+    engine: str,
+    chunk_size: int,
+    prune: bool,
+    target_benchmark: str,
+    target_version: str,
+    keep_names: frozenset,
+    frontiers: dict | None = None,
+    tracer: Tracer | None = None,
+):
+    """Stream one config shard through chunked pricing + online reduction.
+
+    Returns ``(kept_points, frontiers, evaluated, pruned, peak)``:
+    full point lists of the ``keep_names`` configs (shard order), one
+    :class:`~repro.pareto.OnlineFrontier` per precision over the
+    ``(target_benchmark, precision, target_version)`` slice,
+    evaluated/pruned config counts and the peak number of simultaneously
+    resident :class:`DesignPoint` objects (chunk + kept + frontier) —
+    the O(chunk + frontier) memory-model witness.
+    """
+    if frontiers is None:
+        frontiers = {p.value: OnlineFrontier(key=_sort_key) for p in space.precisions}
+    evaluated = 0
+    pruned = 0
+    peak = 0
+    kept_by_name: dict[str, list[DesignPoint]] = {}
+    can_prune = prune and target_version == "Opt"
+    inf = float("inf")
+    n_kept = 0
+
+    def _evaluate(config) -> int:
+        nonlocal evaluated, n_kept
+        pts = space.points(config, space.rows(config, engine))
+        evaluated += 1
+        if config.name in keep_names:
+            kept_by_name[config.name] = pts
+            n_kept += len(pts)
+        for p in pts:
+            if p.benchmark == target_benchmark and p.version == target_version:
+                frontiers[p.precision].add(p)
+        return len(pts)
+
+    # bound-only first pass: cache each chunk's bounds and seed the
+    # frontier with the most promising configs (per precision, the
+    # bound-time and bound-energy argmins), so the main sweep prunes
+    # against a near-final frontier from its very first chunk.  Probe
+    # choice only affects *which* dominated configs get skipped — the
+    # frontier itself is order-independent and pruning is sound — so
+    # any probe set yields the same result points.
+    chunk_starts = range(0, len(configs), chunk_size)
+    chunk_bounds: list[dict] = []
+    probe_idx: list[int] = []
+    if can_prune:
+        best: dict[tuple, tuple] = {}  # (precision, axis) -> (value, index)
+        for start in chunk_starts:
+            chunk = configs[start : start + chunk_size]
+            bounds = space.opt_bounds(chunk, benchmark=target_benchmark)
+            chunk_bounds.append(bounds)
+            for prec, (t, e) in bounds.items():
+                for axis, arr in (("t", t), ("e", e)):
+                    i = int(arr.argmin())
+                    value = float(arr[i])
+                    if value < inf and value < best.get((prec, axis), (inf,))[0]:
+                        best[(prec, axis)] = (value, start + i)
+        probe_idx = sorted({i for _, i in best.values()})
+        probe_points = sum(_evaluate(configs[i]) for i in probe_idx)
+        peak = probe_points + sum(len(f) for f in frontiers.values())
+    probes = set(probe_idx)
+
+    for chunk_no, start in enumerate(chunk_starts):
+        chunk = configs[start : start + chunk_size]
+        chunk_pruned = 0
+        if can_prune:
+            bounds = chunk_bounds[chunk_no]
+            survivors = []
+            for i, config in enumerate(chunk):
+                if start + i in probes:
+                    continue  # already evaluated while seeding
+                # skippable iff, for every precision, the config's
+                # target point provably cannot join the frontier:
+                # either its bound is exactly infeasible, or a real
+                # frontier member strictly dominates the bound (and by
+                # transitivity the actual point, bound <= actual)
+                if config.name not in keep_names and all(
+                    t[i] == inf
+                    or (
+                        len(frontiers[prec])
+                        and frontiers[prec].strictly_dominates(
+                            float(t[i]), float(e[i])
+                        )
+                    )
+                    for prec, (t, e) in bounds.items()
+                ):
+                    pruned += 1
+                    chunk_pruned += 1
+                else:
+                    survivors.append(config)
+        else:
+            survivors = list(chunk)
+        chunk_points = sum(_evaluate(config) for config in survivors)
+        resident = chunk_points + n_kept + sum(len(f) for f in frontiers.values())
+        peak = max(peak, resident)
+        if tracer is not None:
+            tracer.emit(
+                "space_chunk_finished",
+                detail={
+                    "configs": len(chunk),
+                    "evaluated": len(survivors),
+                    "pruned": chunk_pruned,
+                    "frontier": {p: len(f) for p, f in frontiers.items()},
+                    "resident_points": resident,
+                },
+            )
+    # kept points come back in input-config order regardless of the
+    # evaluation order above
+    kept = [p for c in configs if c.name in kept_by_name for p in kept_by_name[c.name]]
+    return kept, frontiers, evaluated, pruned, peak
+
+
+def _stream_worker(payload):
+    """Worker: rebuild the space, stream a shard, ship candidates only.
+
+    The shipped payload is the worker's local frontier (the only points
+    that can still reach the global frontier: local pruning and local
+    eviction both discard only globally-dominated points) plus the full
+    point lists of the keep configs — O(chunk + frontier) data instead
+    of the shard's whole hypercube.
+    """
+    (
+        benchmarks,
+        precision_values,
+        scale,
+        seed,
+        engine,
+        configs,
+        chunk_size,
+        prune,
+        target_benchmark,
+        target_version,
+        keep_names,
+    ) = payload
+    space = DesignSpace(
+        benchmarks=benchmarks,
+        precisions=tuple(Precision(v) for v in precision_values),
+        scale=scale,
+        seed=seed,
+    )
+    kept, frontiers, evaluated, pruned, peak = _stream_shard(
+        space,
+        configs,
+        engine=engine,
+        chunk_size=chunk_size,
+        prune=prune,
+        target_benchmark=target_benchmark,
+        target_version=target_version,
+        keep_names=frozenset(keep_names),
+    )
+    candidates = {prec: f.points() for prec, f in frontiers.items()}
+    return tuple(kept), candidates, evaluated, pruned, peak
+
+
+def _stream_result(
+    configs,
+    benchmarks,
+    precisions,
+    frontiers,
+    kept,
+    keep_names,
+    *,
+    scale,
+    seed,
+    evaluated,
+    pruned,
+    peak,
+    chunk_size,
+    target_benchmark,
+    target_version,
+) -> DesignSpaceResult:
+    """Assemble the streamed result (shared by jobs=1 and jobs=N).
+
+    Retained points are the keep configs' full lists (input config
+    order) followed by each precision's frontier (``precisions``
+    order, keep configs' entries deduplicated); retained configs are
+    the input-order subset that still owns at least one point.
+    """
+    points: list[DesignPoint] = list(kept)
+    front_names: set[str] = set()
+    for precision in precisions:
+        for p in frontiers[precision.value].points():
+            front_names.add(p.config_name)
+            if p.config_name not in keep_names:
+                points.append(p)
+    retained = tuple(
+        c for c in configs if c.name in keep_names or c.name in front_names
+    )
+    return DesignSpaceResult(
+        configs=retained,
+        digests=tuple(c.digest() for c in retained),
+        points=tuple(points),
+        benchmarks=tuple(benchmarks),
+        precisions=tuple(p.value for p in precisions),
+        scale=scale,
+        seed=seed,
+        mode="stream",
+        evaluated=evaluated,
+        pruned=pruned,
+        peak_resident=peak,
+        chunk_size=chunk_size,
+        target_benchmark=target_benchmark,
+        target_version=target_version,
+    )
+
+
 @dataclass(frozen=True)
 class DesignSpaceResult:
-    """The evaluated hypercube: configs, digests and every design point."""
+    """The evaluated hypercube: configs, digests and every design point.
+
+    ``mode`` is ``"materialize"`` (every point of every config) or
+    ``"stream"`` (only the kept configs' full point lists plus the
+    per-precision target-slice frontiers survive; everything else was
+    discarded while streaming).  In stream mode ``configs`` /
+    ``digests`` cover only the retained configs, ``evaluated`` +
+    ``pruned`` equals the size of the swept space, and
+    ``peak_resident`` is the observed memory-model witness (max
+    simultaneously resident points: chunk + kept + frontier).
+    """
 
     configs: tuple[SoCConfig, ...]
     digests: tuple[str, ...]
@@ -476,6 +860,51 @@ class DesignSpaceResult:
     precisions: tuple[str, ...]
     scale: float
     seed: int
+    mode: str = "materialize"
+    evaluated: int = 0
+    pruned: int = 0
+    peak_resident: int = 0
+    chunk_size: int | None = None
+    target_benchmark: str | None = None
+    target_version: str | None = None
+
+    def frontier_points(
+        self, precision: str = "single", benchmark: str | None = None,
+        version: str | None = None,
+    ) -> tuple[DesignPoint, ...]:
+        """Frontier of one slice (defaults to the streamed target slice)."""
+        return frontier(
+            self.select(
+                benchmark=benchmark or self.target_benchmark or AGGREGATE,
+                precision=precision,
+                version=version or self.target_version or "Opt",
+            )
+        )
+
+    def describe(self) -> str:
+        """Human summary: space shape, prune counts, frontier sizes."""
+        total = self.evaluated + self.pruned
+        lines = [
+            f"design space: {total} configs x {len(self.benchmarks)} benchmarks"
+            f" x {len(self.precisions)} precisions, mode={self.mode}"
+        ]
+        if self.mode == "stream":
+            lines.append(
+                f"  streamed {self.target_benchmark}/{self.target_version}"
+                f" in chunks of {self.chunk_size}: {self.evaluated} evaluated,"
+                f" {self.pruned} pruned"
+                f" ({100.0 * self.pruned / total if total else 0.0:.1f}%),"
+                f" peak resident points {self.peak_resident}"
+            )
+        else:
+            lines.append(
+                f"  materialized {len(self.points)} points"
+                f" ({sum(p.feasible for p in self.points)} feasible)"
+            )
+        for precision in self.precisions:
+            front = self.frontier_points(precision=precision)
+            lines.append(f"  frontier[{precision}]: {len(front)} points")
+        return "\n".join(lines)
 
     def select(
         self,
@@ -518,6 +947,13 @@ class DesignSpaceResult:
             "precisions": list(self.precisions),
             "scale": self.scale,
             "seed": self.seed,
+            "mode": self.mode,
+            "evaluated": self.evaluated,
+            "pruned": self.pruned,
+            "peak_resident": self.peak_resident,
+            "chunk_size": self.chunk_size,
+            "target_benchmark": self.target_benchmark,
+            "target_version": self.target_version,
             "configs": [
                 {
                     "name": c.name,
@@ -556,6 +992,14 @@ def evaluate_space(
     seed: int = 1234,
     jobs: int = 1,
     engine: str = "stacked",
+    stream: bool = False,
+    chunk_size: int = 256,
+    prune: bool = True,
+    target_benchmark: str = AGGREGATE,
+    target_version: str = "Opt",
+    keep_configs=(EXYNOS_5250.name,),
+    trace=None,
+    space: DesignSpace | None = None,
 ) -> DesignSpaceResult:
     """Evaluate the full hypercube over a config family.
 
@@ -564,6 +1008,29 @@ def evaluate_space(
     a process pool; each worker rebuilds the cell grid locally, and the
     output is byte-identical to ``jobs=1`` (configs are independent and
     reassembled in input order).
+
+    ``stream=True`` switches to the chunked large-space driver: configs
+    are priced ``chunk_size`` at a time, only the
+    ``(target_benchmark, precision, target_version)`` slice feeds
+    per-precision :class:`~repro.pareto.OnlineFrontier` reducers, and
+    non-frontier points are discarded immediately — peak memory is
+    O(chunk + frontier), not O(space).  ``prune=True`` additionally
+    skips pricing configs whose :meth:`DesignSpace.opt_bounds` lower
+    bound is already strictly dominated on *every* precision (sound
+    only for the Opt version; other targets evaluate everything).  The
+    result retains the full point lists of ``keep_configs`` (reference
+    points for the equal-energy/equal-time queries; never pruned) plus
+    the frontier points; the streamed frontier is identical to
+    ``frontier()`` over a materialized run — pruned and discarded
+    points are all strictly dominated.  ``trace`` (a
+    :class:`~repro.experiments.trace.TraceSink` or a JSONL path) gets
+    ``space_started`` / ``space_chunk_finished`` / ``space_finished``
+    progress events.
+
+    ``space`` optionally reuses a prebuilt :class:`DesignSpace` (same
+    benchmarks/precisions/scale/seed) so repeated sweeps over one grid
+    pay the compile-and-hoist build once; workers of ``jobs > 1`` runs
+    still rebuild locally.
     """
     configs = tuple(configs) if configs is not None else default_space()
     if not configs:
@@ -572,41 +1039,189 @@ def evaluate_space(
     if len(set(names)) != len(names):
         raise ValueError("SoCConfig names must be unique")
     precisions = tuple(precisions)
-    if jobs > 1 and len(configs) > 1:
-        shards = min(jobs, len(configs))
-        size = -(-len(configs) // shards)
-        chunks = [configs[i : i + size] for i in range(0, len(configs), size)]
-        payloads = [
-            (
-                tuple(benchmarks),
-                tuple(p.value for p in precisions),
-                scale,
-                seed,
-                engine,
-                chunk,
-            )
-            for chunk in chunks
-        ]
-        points: list[DesignPoint] = []
-        with ProcessPoolExecutor(max_workers=shards) as pool:
-            for chunk_points in pool.map(_eval_worker, payloads):
-                points.extend(chunk_points)
-        points = tuple(points)
-    else:
-        space = DesignSpace(
-            benchmarks=benchmarks, precisions=precisions, scale=scale, seed=seed
+    benchmarks = tuple(benchmarks)
+    if space is not None and (
+        space.benchmarks != benchmarks
+        or space.precisions != precisions
+        or space.scale != scale
+        or space.seed != seed
+    ):
+        raise ValueError(
+            "prebuilt space does not match the requested grid "
+            "(benchmarks/precisions/scale/seed)"
         )
-        points = space.evaluate(configs, engine)
-    digests = tuple(c.digest() for c in configs)
-    return DesignSpaceResult(
-        configs=configs,
-        digests=digests,
-        points=tuple(points),
-        benchmarks=tuple(benchmarks),
-        precisions=tuple(p.value for p in precisions),
-        scale=scale,
-        seed=seed,
-    )
+    if not stream:
+        if jobs > 1 and len(configs) > 1:
+            shards = min(jobs, len(configs))
+            size = -(-len(configs) // shards)
+            chunks = [configs[i : i + size] for i in range(0, len(configs), size)]
+            payloads = [
+                (
+                    benchmarks,
+                    tuple(p.value for p in precisions),
+                    scale,
+                    seed,
+                    engine,
+                    chunk,
+                )
+                for chunk in chunks
+            ]
+            points: list[DesignPoint] = []
+            with ProcessPoolExecutor(max_workers=shards) as pool:
+                for chunk_points in pool.map(_eval_worker, payloads):
+                    points.extend(chunk_points)
+            points = tuple(points)
+        else:
+            if space is None:
+                space = DesignSpace(
+                    benchmarks=benchmarks, precisions=precisions, scale=scale,
+                    seed=seed,
+                )
+            points = space.evaluate(configs, engine)
+        digests = tuple(c.digest() for c in configs)
+        return DesignSpaceResult(
+            configs=configs,
+            digests=digests,
+            points=tuple(points),
+            benchmarks=benchmarks,
+            precisions=tuple(p.value for p in precisions),
+            scale=scale,
+            seed=seed,
+            evaluated=len(configs),
+            peak_resident=len(points),
+        )
+
+    # ---- streaming mode ---------------------------------------------
+    if chunk_size < 1:
+        raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+    if target_version not in VERSIONS:
+        raise ValueError(f"target_version must be one of {VERSIONS}")
+    if target_benchmark != AGGREGATE and target_benchmark not in benchmarks:
+        raise ValueError(
+            f"target_benchmark {target_benchmark!r} not in the evaluated "
+            f"benchmarks (or {AGGREGATE!r})"
+        )
+    keep_names = frozenset(keep_configs or ())
+    sink, owns_sink = _resolve_trace(trace)
+    tracer = Tracer(sink)
+    try:
+        tracer.emit(
+            "space_started",
+            detail={
+                "configs": len(configs),
+                "chunk_size": chunk_size,
+                "prune": bool(prune),
+                "jobs": jobs,
+                "target": f"{target_benchmark}/{target_version}",
+            },
+        )
+        if jobs > 1 and len(configs) > 1:
+            shards = min(jobs, len(configs))
+            size = -(-len(configs) // shards)
+            shard_configs = [
+                configs[i : i + size] for i in range(0, len(configs), size)
+            ]
+            payloads = [
+                (
+                    benchmarks,
+                    tuple(p.value for p in precisions),
+                    scale,
+                    seed,
+                    engine,
+                    shard,
+                    chunk_size,
+                    prune,
+                    target_benchmark,
+                    target_version,
+                    tuple(keep_names),
+                )
+                for shard in shard_configs
+            ]
+            # merge order cannot matter: an OnlineFrontier's final set
+            # is order-independent, and each worker ships every point
+            # that can still reach the global frontier (local pruning
+            # and eviction only discard globally-dominated points) —
+            # so the merged frontier is byte-identical to jobs=1
+            frontiers = {
+                p.value: OnlineFrontier(key=_sort_key) for p in precisions
+            }
+            kept: list[DesignPoint] = []
+            evaluated = pruned = peak = 0
+            candidates = 0
+            with ProcessPoolExecutor(max_workers=shards) as pool:
+                for shard_no, (w_kept, w_cands, w_eval, w_pruned, w_peak) in enumerate(
+                    pool.map(_stream_worker, payloads)
+                ):
+                    kept.extend(w_kept)
+                    for prec, pts in w_cands.items():
+                        frontiers[prec].update(pts)
+                    evaluated += w_eval
+                    pruned += w_pruned
+                    peak = max(peak, w_peak)
+                    candidates += sum(len(pts) for pts in w_cands.values())
+                    tracer.emit(
+                        "space_chunk_finished",
+                        detail={
+                            "shard": shard_no,
+                            "configs": len(shard_configs[shard_no]),
+                            "evaluated": w_eval,
+                            "pruned": w_pruned,
+                            "frontier": {
+                                p: len(f) for p, f in frontiers.items()
+                            },
+                            "resident_points": w_peak,
+                        },
+                    )
+            # the merge itself holds every shipped candidate at once
+            peak = max(peak, candidates + len(kept))
+        else:
+            if space is None:
+                space = DesignSpace(
+                    benchmarks=benchmarks, precisions=precisions, scale=scale,
+                    seed=seed,
+                )
+            kept, frontiers, evaluated, pruned, peak = _stream_shard(
+                space,
+                configs,
+                engine=engine,
+                chunk_size=chunk_size,
+                prune=prune,
+                target_benchmark=target_benchmark,
+                target_version=target_version,
+                keep_names=keep_names,
+                tracer=tracer,
+            )
+        result = _stream_result(
+            configs,
+            benchmarks,
+            precisions,
+            frontiers,
+            kept,
+            keep_names,
+            scale=scale,
+            seed=seed,
+            evaluated=evaluated,
+            pruned=pruned,
+            peak=peak,
+            chunk_size=chunk_size,
+            target_benchmark=target_benchmark,
+            target_version=target_version,
+        )
+        tracer.emit(
+            "space_finished",
+            detail={
+                "evaluated": result.evaluated,
+                "pruned": result.pruned,
+                "peak_resident": result.peak_resident,
+                "frontier": {
+                    p: len(f.points()) for p, f in frontiers.items()
+                },
+            },
+        )
+        return result
+    finally:
+        if owns_sink:
+            sink.close()
 
 
 # ---------------------------------------------------------------------------
@@ -623,8 +1238,8 @@ def dominates(a: DesignPoint, b: DesignPoint) -> bool:
     )
 
 
-def _sort_key(p: DesignPoint):
-    return (p.seconds, p.energy_j, p.config_name, p.version)
+#: the deterministic point ordering shared by every Pareto helper
+_sort_key = point_key
 
 
 def frontier(points) -> tuple[DesignPoint, ...]:
@@ -632,22 +1247,31 @@ def frontier(points) -> tuple[DesignPoint, ...]:
 
     Sorted by (seconds, energy, config name, version); duplicate
     (seconds, energy) pairs all survive (none strictly dominates the
-    other), so equal designs stay visible.
+    other), so equal designs stay visible.  O(n log n) sort-based
+    skyline, same point set as :func:`frontier_reference`.
     """
-    feasible = [p for p in points if p.feasible]
-    front = [
-        p
-        for p in feasible
-        if not any(dominates(q, p) for q in feasible)
-    ]
-    return tuple(sorted(front, key=_sort_key))
+    return skyline(points, key=_sort_key)
+
+
+def frontier_reference(points) -> tuple[DesignPoint, ...]:
+    """The O(n²) all-pairs frontier — oracle and benchmark baseline."""
+    return skyline_reference(points, key=_sort_key)
 
 
 def dominated(points) -> tuple[DesignPoint, ...]:
-    """The feasible points *not* on the frontier, same ordering."""
-    front = set(map(id, frontier(points)))
+    """The feasible points *not* on the frontier, same ordering.
+
+    Membership is by sort key (value), not object identity: an
+    equal-valued copy of a frontier point is itself a frontier tie and
+    never lands in both sets.
+    """
+    points = tuple(points)
+    front = set(map(_sort_key, frontier(points)))
     return tuple(
-        sorted((p for p in points if p.feasible and id(p) not in front), key=_sort_key)
+        sorted(
+            (p for p in points if p.feasible and _sort_key(p) not in front),
+            key=_sort_key,
+        )
     )
 
 
@@ -683,6 +1307,88 @@ def equal_time_energy(points, ref: DesignPoint):
         return None
     best = viable[0]
     return best.energy_j, best
+
+
+# ---------------------------------------------------------------------------
+# frontier export (plotting interchange)
+# ---------------------------------------------------------------------------
+
+
+def export_frontier(
+    result: DesignSpaceResult,
+    path,
+    *,
+    benchmark: str | None = None,
+    version: str | None = None,
+    include_dominated: bool = False,
+) -> int:
+    """Write one slice's Pareto data for external plotting tools.
+
+    One row per point and precision: config name, its content digest,
+    the objective values and an ``on_frontier`` flag.  Format follows
+    the extension — ``.csv`` writes CSV, anything else a JSON document
+    ``{"benchmark", "version", "points": [...]}``.  ``benchmark`` /
+    ``version`` default to the result's streamed target slice (or
+    aggregate/Opt).  ``include_dominated`` adds the dominated feasible
+    points the result still holds — the full story in materialize
+    mode; in stream mode only the kept configs' dominated points
+    remain (the rest were discarded while streaming).  Returns the row
+    count.
+    """
+    import csv
+    import json
+
+    benchmark = benchmark or result.target_benchmark or AGGREGATE
+    version = version or result.target_version or "Opt"
+    digest_by_name = {c.name: d for c, d in zip(result.configs, result.digests)}
+    rows = []
+    for precision in result.precisions:
+        pool = result.select(benchmark=benchmark, precision=precision, version=version)
+        entries = [(p, True) for p in frontier(pool)]
+        if include_dominated:
+            entries.extend((p, False) for p in dominated(pool))
+        for p, on_front in entries:
+            rows.append(
+                {
+                    "config": p.config_name,
+                    "digest": digest_by_name.get(p.config_name, ""),
+                    "benchmark": p.benchmark,
+                    "precision": p.precision,
+                    "version": p.version,
+                    "seconds": p.seconds,
+                    "watts": p.watts,
+                    "energy_j": p.energy_j,
+                    "on_frontier": on_front,
+                }
+            )
+    path = Path(path)
+    if path.suffix.lower() == ".csv":
+        with open(path, "w", newline="", encoding="utf-8") as fh:
+            writer = csv.DictWriter(
+                fh,
+                fieldnames=[
+                    "config",
+                    "digest",
+                    "benchmark",
+                    "precision",
+                    "version",
+                    "seconds",
+                    "watts",
+                    "energy_j",
+                    "on_frontier",
+                ],
+            )
+            writer.writeheader()
+            writer.writerows(rows)
+    else:
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(
+                {"benchmark": benchmark, "version": version, "points": rows},
+                fh,
+                indent=2,
+            )
+            fh.write("\n")
+    return len(rows)
 
 
 # ---------------------------------------------------------------------------

@@ -1125,9 +1125,11 @@ class GpuConfigStack:
         self._cv = np.asarray([c.traits.imbalance_cv for c in cells])
 
         # per-scale (feasible, threads-per-core) group arrays; per-DRAM
-        # per-cell base transfer seconds
+        # per-cell base transfer seconds; per-scale hiding factors for
+        # the floor_seconds pruning bound
         self._tpc_cache: dict[float, tuple] = {}
         self._transfer_cache: dict = {}
+        self._hiding_cache: dict[float, tuple] = {}
 
     # ------------------------------------------------------------------
     def _tpc_for(self, scale: float) -> tuple:
@@ -1178,6 +1180,101 @@ class GpuConfigStack:
                 per_group, dtype=np.float64
             )[self._gidx]
         return found
+
+    # ------------------------------------------------------------------
+    def _hiding_for(self, scale: float) -> tuple:
+        """Per-cell (hiding, bandwidth hiding, dram seconds divisor) at
+        one register-file scale — exactly the :meth:`rows` occupancy
+        chain, which depends on the config only through the scale."""
+        import numpy as np
+
+        found = self._hiding_cache.get(scale)
+        if found is None:
+            _, tpc_g = self._tpc_for(scale)
+            tpc = tpc_g[self._gidx]
+            wg_groups = tpc // self._local
+            resident = np.where(
+                wg_groups >= 1,
+                wg_groups * self._local,
+                np.maximum((tpc * 0.6).astype(np.int64), 1),
+            )
+            res_f = resident.astype(np.float64)
+            hiding = np.where(
+                resident >= FULL_HIDING_THREADS,
+                1.0,
+                np.maximum(MIN_HIDING, np.sqrt(res_f / float(FULL_HIDING_THREADS))),
+            )
+            bandwidth_hiding = np.where(
+                resident >= FULL_BANDWIDTH_THREADS,
+                1.0,
+                np.maximum(
+                    MIN_HIDING, np.sqrt(res_f / float(FULL_BANDWIDTH_THREADS))
+                ),
+            )
+            found = self._hiding_cache[scale] = (hiding, bandwidth_hiding)
+        return found
+
+    def floor_seconds(
+        self, dram: DramModel, *, shader_cores, clock_hz, register_file_scale=None
+    ):
+        """Rigorous per-cell lower bound on :meth:`rows` ``seconds``.
+
+        The roofline floor along the config axis (the stacked twin of
+        :func:`roofline_floor_seconds`'s idea):
+        ``max(arith_s, ls_s, dram_s) + schedule_s + launch_overhead``,
+        dropping only the terms that can only increase the result —
+        the atomic lane of the roofline max, the overlap leak and
+        barrier additions (non-negative) and the imbalance multiplier
+        (>= 1).  With ``register_file_scale`` given, the arith/LS/DRAM
+        terms carry the *exact* occupancy-hiding and access-efficiency
+        divisors of :meth:`rows` (they depend on the config only
+        through the register-file scale); without it they assume
+        perfect hiding (divisors of one, still a valid floor since
+        every divisor is <= 1) and the additive tail is skipped.
+
+        ``shader_cores`` / ``clock_hz`` may be scalars (returns a
+        ``(cells,)`` array) or aligned arrays of k configs (returns
+        ``(k, cells)``).  Bitwise rigor: each term is an exact
+        operation-prefix of the :meth:`rows` chain for the same lane
+        (same operand order), the omissions are monotone under IEEE-754
+        rounding, so ``floor <= rows(...).seconds`` holds lane for
+        lane, including infeasible lanes (their seconds are ``inf``).
+        """
+        import numpy as np
+
+        transfer = self._transfer_for(dram)
+        cores = np.asarray(shader_cores, dtype=np.float64)
+        clock = np.asarray(clock_hz, dtype=np.float64)
+        scalar = cores.ndim == 0
+        if scalar:
+            cores = cores.reshape(1)
+            clock = clock.reshape(1)
+        arith = (
+            self._arith_raw[None, :]
+            / (cores * float(self.config.arith_pipes_per_core))[:, None]
+            / clock[:, None]
+        )
+        ls = (
+            self._ls_raw[None, :]
+            / (cores * float(self.config.ls_pipes_per_core))[:, None]
+            / clock[:, None]
+        )
+        if register_file_scale is None:
+            floor = np.maximum(np.maximum(arith, ls), transfer[None, :])
+        else:
+            hiding, bandwidth_hiding = self._hiding_for(register_file_scale)
+            # transfer is 0.0 exactly where there is no DRAM traffic,
+            # so the division chain matches rows()'s literal 0.0 lane
+            dram_s = transfer / bandwidth_hiding / self._access_eff
+            floor = np.maximum(
+                np.maximum(arith / hiding[None, :], ls / hiding[None, :]),
+                dram_s[None, :],
+            )
+            schedule_s = (
+                self._n_wg_f[None, :] * self.config.wg_schedule_cycles / clock[:, None]
+            )
+            floor = (floor + schedule_s) + self.config.launch_overhead_s
+        return floor[0] if scalar else floor
 
     # ------------------------------------------------------------------
     def rows(self, config: MaliConfig, dram: DramModel) -> GpuStackRows:

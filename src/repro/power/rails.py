@@ -138,3 +138,19 @@ def stack_watts(
             + rails.gpu_alu_w * np.asarray(gpu_alu_utilization)
         ) + rails.gpu_ls_w * np.asarray(gpu_ls_utilization)
     raise ValueError(f"unknown activity kind {kind!r}")
+
+
+def gpu_floor_watts(rails: PowerRailConfig) -> float:
+    """Rigorous lower bound on any GPU-kernel lane of :func:`stack_watts`.
+
+    Exactly the zero-bandwidth, zero-utilization prefix of the GPU
+    addition chain — ``(board_idle_w + host_polling_w) + gpu_base_w``
+    in the same IEEE-754 operation order (``base`` collapses to the
+    literal ``board_idle_w`` when the DRAM term is zero).  The omitted
+    terms (DRAM traffic, ALU/LS utilization) are all non-negative and
+    float rounding is monotone, so every real lane is >= this floor bit
+    for bit.  The design-space pruning bound
+    (:meth:`repro.designspace.DesignSpace.opt_bounds`) vectorizes this
+    chain over rail-scaled configs.
+    """
+    return (rails.board_idle_w + rails.host_polling_w) + rails.gpu_base_w

@@ -55,7 +55,7 @@ def test_public_callables_documented(module_name):
 
 
 def test_version_string():
-    assert repro.__version__ == "1.1.0"
+    assert repro.__version__ == "1.2.0"
 
 
 def test_paper_order_is_the_figure_axis():

@@ -32,7 +32,9 @@ from repro.designspace import (
     equal_energy_speedup,
     equal_time_energy,
     evaluate_space,
+    export_frontier,
     frontier,
+    frontier_reference,
     opt_over_serial,
 )
 from repro.errors import CalibrationError, CLOutOfResources
@@ -254,6 +256,28 @@ def test_frontier_is_deterministic_and_excludes_dominated():
     assert [p.config_name for p in frontier(twins)] == ["a", "b"]
 
 
+def test_dominated_compares_by_value_not_identity():
+    """Satellite regression: ``dominated`` used to test frontier
+    membership by object identity, so a value-equal *copy* of a frontier
+    point was misfiled as dominated.  Membership is by sort key now."""
+    import copy
+
+    a = _pt("a", 1.0, 1.0)
+    twin = copy.deepcopy(a)  # equal value, different object identity
+    loser = _pt("loser", 2.0, 2.0)
+    assert [p.config_name for p in dominated([a, twin, loser])] == ["loser"]
+    assert [p.config_name for p in frontier([a, twin, loser])] == ["a", "a"]
+    # iterator inputs are materialized once, not consumed twice
+    assert [p.config_name for p in dominated(iter([a, loser]))] == ["loser"]
+    # frontier + dominated partition the feasible points
+    pts = [_pt(f"p{i}", float(1 + i % 3), float(3 - i % 3)) for i in range(9)]
+    pts.append(_pt("broken", 0.1, 0.1, feasible=False))
+    front, dom = frontier(pts), dominated(pts)
+    assert len(front) + len(dom) == 9
+    assert not set(map(id, front)) & set(map(id, dom))
+    assert frontier_reference(pts) == front
+
+
 def test_equal_energy_and_equal_time_queries():
     ref = _pt("ref", 2.0, 2.0, version="Serial")
     pts = [
@@ -343,3 +367,212 @@ def test_opt_over_serial_matches_whatif_and_sensitivity():
     probes = probe_speedups(default_platform(), benchmarks=("vecop",),
                             scale=0.1, model_only=True)
     assert probes["vecop"] > 0
+
+
+# ---------------------------------------------------------------------------
+# streaming evaluation: chunking, pruning, export, trace
+# ---------------------------------------------------------------------------
+
+
+def _stream_grid():
+    return config_grid(
+        gpu_cores=(2, 4, 8),
+        rail_scale=(0.5, 1.0, 2.0),
+        register_file_scale=(0.125, 1.0),
+    )
+
+
+def test_stream_matches_materialize_and_reports_counts():
+    configs = _stream_grid()
+    mat = evaluate_space(configs, benchmarks=("vecop",), scale=0.1)
+    st = evaluate_space(
+        configs, benchmarks=("vecop",), scale=0.1, stream=True, chunk_size=4
+    )
+    assert mat.mode == "materialize" and st.mode == "stream"
+    for precision in ("single", "double"):
+        assert st.frontier_points(precision) == mat.frontier_points(precision)
+    # every config was either priced or provably skipped
+    assert st.evaluated + st.pruned == len(configs)
+    assert st.pruned > 0  # this grid has dominated / rf-infeasible configs
+    assert st.chunk_size == 4
+    assert st.target_benchmark == AGGREGATE and st.target_version == "Opt"
+    # memory-model witness: far below the materialized space, never zero
+    assert 0 < st.peak_resident < mat.peak_resident
+    # the kept measured config retains its full point list (all versions)
+    kept = [p for p in st.points if p.config_name == EXYNOS_5250.name]
+    assert {p.version for p in kept} == {"Serial", "OpenMP", "Opt"}
+    assert st.point(EXYNOS_5250.name, AGGREGATE, "single", "Serial").feasible
+    # retained configs/digests stay aligned
+    assert st.digests == tuple(c.digest() for c in st.configs)
+    assert {p.config_name for p in st.points} <= {c.name for c in st.configs}
+
+    text = st.describe()
+    assert "mode=stream" in text and "peak resident points" in text
+    assert f"{st.evaluated} evaluated, {st.pruned} pruned" in text
+    data = st.to_dict()
+    json.dumps(data)
+    for key in ("mode", "evaluated", "pruned", "peak_resident", "chunk_size"):
+        assert key in data
+
+
+def test_stream_jobs_pool_matches_inline_bytes():
+    configs = _stream_grid()
+    perf.reset()
+    inline = evaluate_space(
+        configs, benchmarks=("vecop",), scale=0.1, stream=True, chunk_size=4
+    )
+    perf.reset()
+    pooled = evaluate_space(
+        configs, benchmarks=("vecop",), scale=0.1, stream=True, chunk_size=4, jobs=4
+    )
+    a, b = inline.to_dict(), pooled.to_dict()
+    # evaluated/pruned may differ (each worker probes its own shard);
+    # the surviving data must be byte-identical
+    for key in ("points", "configs"):
+        assert json.dumps(a[key]) == json.dumps(b[key]), key
+    for precision in ("single", "double"):
+        assert pooled.frontier_points(precision) == inline.frontier_points(precision)
+    assert pooled.evaluated + pooled.pruned == len(configs)
+
+
+def test_stream_single_benchmark_target_and_keep_override():
+    configs = _stream_grid()
+    st = evaluate_space(
+        configs,
+        benchmarks=("vecop", "hist"),
+        scale=0.1,
+        stream=True,
+        chunk_size=7,
+        target_benchmark="vecop",
+        keep_configs=("soc-g2-rf1-rs0.5",),
+    )
+    mat = evaluate_space(configs, benchmarks=("vecop", "hist"), scale=0.1)
+    for precision in ("single", "double"):
+        assert st.frontier_points(precision) == frontier(
+            mat.select(benchmark="vecop", precision=precision, version="Opt")
+        )
+    assert {p.version for p in st.points if p.config_name == "soc-g2-rf1-rs0.5"} == {"Serial", "OpenMP", "Opt"}
+
+
+def test_stream_trace_events(tmp_path):
+    from repro.experiments.trace import ListTraceSink, read_trace
+
+    configs = _stream_grid()
+    sink = ListTraceSink()
+    evaluate_space(
+        configs, benchmarks=("vecop",), scale=0.1, stream=True, chunk_size=5,
+        trace=sink,
+    )
+    names = [e.event for e in sink.events]
+    assert names[0] == "space_started" and names[-1] == "space_finished"
+    chunks = [e for e in sink.events if e.event == "space_chunk_finished"]
+    assert len(chunks) == -(-len(configs) // 5)  # ceil(n / chunk_size)
+    assert sink.events[0].detail["configs"] == len(configs)
+    for e in chunks:
+        for key in ("configs", "evaluated", "pruned", "frontier", "resident_points"):
+            assert key in e.detail
+    # chunk events cover the whole shard except the frontier-seeding
+    # probes (at most argmin-time + argmin-energy per precision),
+    # which are priced before the chunked pass
+    covered = sum(e.detail["evaluated"] + e.detail["pruned"] for e in chunks)
+    probes = len(configs) - covered
+    assert 0 <= probes <= 4
+
+    # a path means an owned JSONL sink, parseable by read_trace
+    trace_path = tmp_path / "space.jsonl"
+    evaluate_space(
+        configs[:6], benchmarks=("vecop",), scale=0.1, stream=True, chunk_size=3,
+        trace=trace_path,
+    )
+    events = read_trace(trace_path)
+    assert [e.event for e in events][0] == "space_started"
+    assert events[-1].event == "space_finished"
+
+
+def test_evaluate_space_reuses_a_prebuilt_space():
+    configs = _stream_grid()[:4]
+    space = DesignSpace(benchmarks=("vecop",), scale=0.1)
+    direct = evaluate_space(configs, benchmarks=("vecop",), scale=0.1)
+    reused = evaluate_space(configs, benchmarks=("vecop",), scale=0.1, space=space)
+    assert reused.points == direct.points
+    streamed = evaluate_space(
+        configs, benchmarks=("vecop",), scale=0.1, stream=True, chunk_size=2,
+        space=space,
+    )
+    assert streamed.frontier_points("single") == direct.frontier_points("single")
+    # a space built for a different grid is rejected, not silently used
+    with pytest.raises(ValueError):
+        evaluate_space(configs, benchmarks=("vecop",), scale=0.25, space=space)
+    with pytest.raises(ValueError):
+        evaluate_space(configs, benchmarks=("vecop", "hist"), scale=0.1, space=space)
+
+
+def test_stream_validates_inputs():
+    configs = _stream_grid()[:2]
+    with pytest.raises(ValueError):
+        evaluate_space(configs, benchmarks=("vecop",), scale=0.1, stream=True,
+                       chunk_size=0)
+    with pytest.raises(ValueError):
+        evaluate_space(configs, benchmarks=("vecop",), scale=0.1, stream=True,
+                       target_version="Fastest")
+    with pytest.raises(ValueError):
+        evaluate_space(configs, benchmarks=("vecop",), scale=0.1, stream=True,
+                       target_benchmark="nbody")  # not in benchmarks
+
+
+def test_export_frontier_csv_and_json(tmp_path):
+    import csv
+
+    configs = _stream_grid()
+    result = evaluate_space(configs, benchmarks=("vecop",), scale=0.1)
+    digests = dict(zip((c.name for c in result.configs), result.digests))
+
+    csv_path = tmp_path / "frontier.csv"
+    n = export_frontier(result, csv_path)
+    with csv_path.open() as fh:
+        rows = list(csv.DictReader(fh))
+    assert len(rows) == n == sum(
+        len(result.frontier_points(p)) for p in result.precisions
+    )
+    for row in rows:
+        assert row["on_frontier"] == "True"
+        assert row["digest"] == digests[row["config"]]
+        assert row["benchmark"] == AGGREGATE and row["version"] == "Opt"
+        float(row["seconds"]), float(row["energy_j"])  # parseable objectives
+
+    json_path = tmp_path / "frontier.json"
+    n_all = export_frontier(result, json_path, include_dominated=True)
+    data = json.loads(json_path.read_text())
+    assert data["benchmark"] == AGGREGATE and data["version"] == "Opt"
+    assert len(data["points"]) == n_all > n
+    flags = {p["on_frontier"] for p in data["points"]}
+    assert flags == {True, False}
+    on = [p for p in data["points"] if p["on_frontier"]]
+    assert len(on) == n
+
+    # explicit slice selection
+    m = export_frontier(result, tmp_path / "serial.json", version="Serial")
+    assert m == sum(
+        len(frontier(result.select(precision=p, version="Serial")))
+        for p in result.precisions
+    )
+
+
+def test_cli_designspace_stream_and_export(tmp_path, capsys):
+    from repro.__main__ import main
+
+    out_json = tmp_path / "space.json"
+    front_csv = tmp_path / "front.csv"
+    trace = tmp_path / "trace.jsonl"
+    code = main([
+        "designspace", "--sp-only", "--scale", "0.1", "--stream",
+        "--chunk-size", "16", "--trace", str(trace),
+        "--export-frontier", str(front_csv), "--output", str(out_json),
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "mode=stream" in out and "Pareto frontier" in out
+    assert "wrote" in out and "frontier rows" in out
+    assert front_csv.exists() and trace.exists()
+    data = json.loads(out_json.read_text())
+    assert data["mode"] == "stream" and data["evaluated"] + data["pruned"] == 64
