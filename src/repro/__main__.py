@@ -4,6 +4,7 @@ Commands:
 
 * ``figures``   — run the grid and print Figures 2/3/4 + the summary
 * ``run``       — run one benchmark's four versions
+* ``dvfs``      — DVFS governors and race/pace energy policies per benchmark
 * ``tune``      — show the autotuner sweep for one benchmark
 * ``sweep``     — problem-size sweep (Serial vs Opt crossover)
 * ``roofline``  — place every benchmark on the device rooflines
@@ -40,7 +41,20 @@ def cmd_figures(args) -> int:
     precisions = (
         (Precision.SINGLE,) if args.sp_only else (Precision.SINGLE, Precision.DOUBLE)
     )
-    spec = CampaignSpec(scale=args.scale, precisions=precisions)
+    extra = {}
+    if args.governors:
+        governors = tuple(args.governors)
+        # the figure builders normalize against the fixed-frequency
+        # rows, so the fixed plane always rides along
+        if "fixed" not in governors:
+            governors = ("fixed",) + governors
+        extra["governors"] = governors
+    spec = CampaignSpec(
+        scale=args.scale,
+        precisions=precisions,
+        energy_deadline_s=args.energy_deadline,
+        **extra,
+    )
     campaign = Campaign(
         spec,
         cache_dir=None if args.no_cache else args.cache_dir,
@@ -57,6 +71,31 @@ def cmd_figures(args) -> int:
     print(format_summary(summarize(results)))
     print()
     print(campaign.report.describe())
+    if args.governors:
+        governed = sorted(
+            ((key, run) for key, run in results.results.items() if len(key) > 3),
+            key=lambda kv: (kv[0][0], kv[0][1].value, kv[0][2].value, kv[0][3]),
+        )
+        if governed:
+            print()
+            print("governed runs (time/energy vs the fixed row):")
+            for key, run in governed:
+                benchmark, version, precision, governor = key
+                if not run.ok:
+                    print(
+                        f"  {benchmark:8s} {version.value:11s} "
+                        f"[{precision.label}] {governor:16s} FAILED: {run.failure}"
+                    )
+                    continue
+                fixed = results.get(benchmark, version, precision)
+                t_ratio = run.elapsed_s / fixed.elapsed_s if fixed.ok else float("nan")
+                e_ratio = run.energy_j / fixed.energy_j if fixed.ok else float("nan")
+                print(
+                    f"  {benchmark:8s} {version.value:11s} [{precision.label}] "
+                    f"{governor:16s} {run.elapsed_s * 1e3:9.3f} ms "
+                    f"{run.energy_j:10.5f} J  (x{t_ratio:.2f} time, "
+                    f"x{e_ratio:.2f} energy)"
+                )
     return 0
 
 
@@ -77,6 +116,70 @@ def cmd_run(args) -> int:
             f"  {version.value:11s} {r.elapsed_s * 1e3:9.3f} ms  "
             f"{r.mean_power_w:5.2f} W  speedup {speedup:6.2f}  energy {energy:5.2f}  {tag}"
         )
+    return 0
+
+
+def cmd_dvfs(args) -> int:
+    """Per-benchmark DVFS study: governors and race/pace policies.
+
+    The deadline of the energy policies defaults to ``--deadline-factor``
+    times the benchmark's own fixed-frequency elapsed time, so every
+    benchmark gets a feasible-but-tight budget; ``--deadline`` overrides
+    it with one absolute figure.
+    """
+    from .power import dvfs
+
+    precision = _precision(args)
+    version = Version(args.version)
+    governors = tuple(args.governors)
+    for governor in governors:
+        if governor not in dvfs.GOVERNORS:
+            print(f"unknown governor {governor!r}; choose from {dvfs.GOVERNORS}")
+            return 2
+    benchmarks = (args.benchmark,) if args.benchmark else PAPER_ORDER
+    for name in benchmarks:
+        bench = create(name, precision=precision, scale=args.scale)
+        fixed = run_version(bench, version=version)
+        if not fixed.ok:
+            print(f"{name}: fixed-frequency run failed: {fixed.failure}")
+            continue
+        deadline = (
+            args.deadline
+            if args.deadline is not None
+            else args.deadline_factor * fixed.elapsed_s
+        )
+        print(
+            f"{name} [{precision.label}] {version.value} — "
+            f"deadline {deadline * 1e3:.3f} ms"
+        )
+        print(
+            f"  {'governor':18s} {'OPP MHz':>8s} {'work ms':>9s} "
+            f"{'power W':>8s} {'energy J':>10s}"
+        )
+        print(
+            f"  {'fixed':18s} {bench.platform.mali.clock_hz / 1e6:8.1f} "
+            f"{fixed.elapsed_s * 1e3:9.3f} {fixed.mean_power_w:8.3f} "
+            f"{fixed.energy_j:10.5f}"
+        )
+        for governor in governors:
+            if governor == dvfs.GOVERNOR_DEFAULT:
+                continue
+            r = run_version(
+                bench,
+                version=version,
+                governor=governor,
+                energy_deadline_s=deadline,
+            )
+            if not r.ok:
+                print(f"  {governor:18s} FAILED: {r.failure}")
+                continue
+            info = r.diagnostics.get("dvfs", {})
+            opp_mhz = info.get("opp_hz", float("nan")) / 1e6
+            print(
+                f"  {governor:18s} {opp_mhz:8.1f} {r.elapsed_s * 1e3:9.3f} "
+                f"{r.mean_power_w:8.3f} {r.energy_j:10.5f}"
+            )
+        print()
     return 0
 
 
@@ -224,6 +327,37 @@ def cmd_designspace(args) -> int:
             print("    equal-time energy: none (every Opt is slower)")
         else:
             print(f"    equal-time energy: {ete[0]:.4f} J ({ete[1].config_name})")
+    if args.governors or args.deadline is not None:
+        from .designspace import evaluate_dvfs
+
+        dvfs_result = evaluate_dvfs(
+            configs,
+            precisions=precisions,
+            scale=args.scale,
+            seed=args.seed,
+            governors=tuple(args.governors) if args.governors else None,
+            benchmark=benchmark,
+            deadline_s=args.deadline,
+        )
+        for precision in dvfs_result.precisions:
+            front = dvfs_result.frontier_points(precision=precision)
+            print(f"\nDVFS frontier — {benchmark} [{precision}] "
+                  f"({len(front)} of {len(dvfs_result.select(precision=precision))}"
+                  f" points):")
+            print(f"  {'config':28s} {'governor':16s} {'OPP MHz':>8s} "
+                  f"{'seconds':>10s} {'energy J':>9s}")
+            for p in front:
+                print(f"  {p.config_name:28s} {p.governor:16s} "
+                      f"{p.opp_hz / 1e6:8.1f} {p.seconds:10.4f} {p.energy_j:9.4f}")
+            if args.deadline is not None:
+                pick = dvfs_result.deadline_pick(precision=precision)
+                if pick is None:
+                    print(f"  deadline {args.deadline:g}s: no (config, governor) "
+                          "meets the budget")
+                else:
+                    print(f"  deadline {args.deadline:g}s pick: {pick.config_name} "
+                          f"@{pick.governor} ({pick.opp_hz / 1e6:.1f} MHz, "
+                          f"{pick.energy_j:.4f} J)")
     if args.export_frontier:
         n_rows = export_frontier(
             result, args.export_frontier, benchmark=benchmark,
@@ -380,11 +514,48 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--deadline", type=float, default=None, metavar="S",
                    help="wall-clock budget for the whole campaign "
                         "(overrun terminates with DeadlineExceeded)")
+    p.add_argument("--governors", nargs="+", default=None, metavar="GOV",
+                   help="extend the grid with a DVFS governor axis "
+                        "(performance / powersave / ondemand / race_to_idle "
+                        "/ pace_to_deadline); the fixed plane always rides "
+                        "along as the figures baseline")
+    p.add_argument("--energy-deadline", type=float, default=None, metavar="S",
+                   help="per-cell deadline for the race_to_idle / "
+                        "pace_to_deadline energy policies (unrelated to "
+                        "--deadline, the campaign watchdog budget)")
     p.set_defaults(func=cmd_figures)
 
     p = sub.add_parser("run", help="run one benchmark's four versions")
     common(p, benchmark=True)
     p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser(
+        "dvfs",
+        help="DVFS governors and race/pace energy policies per benchmark",
+        description="Runs each benchmark under the DVFS governors and "
+                    "compares work time, mean power and energy against the "
+                    "fixed-frequency run; the race_to_idle / "
+                    "pace_to_deadline policies get a per-benchmark deadline "
+                    "(--deadline-factor x the fixed elapsed time, or an "
+                    "absolute --deadline).",
+    )
+    p.add_argument("benchmark", nargs="?", choices=PAPER_ORDER, default=None,
+                   help="one benchmark (default: all nine)")
+    p.add_argument("--scale", type=float, default=0.5)
+    p.add_argument("--double", action="store_true", help="double precision")
+    p.add_argument("--version", default=Version.OPENCL_OPT.value,
+                   choices=[v.value for v in Version],
+                   help="benchmark version to govern (default: OpenCL-Opt)")
+    p.add_argument("--governors", nargs="+", metavar="GOV",
+                   default=["performance", "powersave", "ondemand",
+                            "race_to_idle", "pace_to_deadline"],
+                   help="governors to run (default: all)")
+    p.add_argument("--deadline", type=float, default=None, metavar="S",
+                   help="absolute energy deadline for race/pace")
+    p.add_argument("--deadline-factor", type=float, default=1.5, metavar="X",
+                   help="deadline as a multiple of the fixed elapsed time "
+                        "(default: 1.5)")
+    p.set_defaults(func=cmd_dvfs)
 
     p = sub.add_parser("tune", help="autotuner sweep for one benchmark")
     common(p, benchmark=True)
@@ -449,6 +620,12 @@ def build_parser() -> argparse.ArgumentParser:
                         "on_frontier=false) in --export-frontier")
     p.add_argument("--output", default=None, metavar="PATH",
                    help="write every design point as JSON")
+    p.add_argument("--governors", nargs="+", default=None, metavar="GOV",
+                   help="add a DVFS governor sweep over the configs and "
+                        "print the (config, governor) frontier")
+    p.add_argument("--deadline", type=float, default=None, metavar="S",
+                   help="deadline for the race/pace policies and the "
+                        "deadline-constrained min-energy query")
     p.set_defaults(func=cmd_designspace)
 
     p = sub.add_parser("cache", help="inspect or clear the on-disk caches")

@@ -25,9 +25,10 @@ Yokogawa samples; energy = mean measured power × time.
 from __future__ import annotations
 
 import abc
+import contextlib
 import enum
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Callable, ClassVar, Iterable
 
 import numpy as np
@@ -43,6 +44,7 @@ from ..ir.validate import validate
 from ..ocl.context import Context
 from ..ocl.device import mali_t604
 from ..ocl.queue import CommandQueue
+from ..power import dvfs
 from ..power.energy import EnergyReport
 from ..power.model import PowerTrace
 from ..power.rails import Activity, ActivityKind
@@ -100,6 +102,10 @@ class RunResult:
     #: both are operational accidents, not content-addressable facts,
     #: so the run cache and the journal replay refuse them.
     failure_kind: str | None = None
+    #: DVFS governor the run executed under; ``None`` for the paper's
+    #: fixed-frequency path, so every fixed-frequency row serializes
+    #: byte-identically to the pre-DVFS format.
+    governor: str | None = None
     diagnostics: dict = field(default_factory=dict, compare=False, repr=False)
 
     @property
@@ -133,7 +139,13 @@ class RunResult:
 
     @classmethod
     def failed(
-        cls, benchmark: str, version: Version, precision: Precision, reason: str
+        cls,
+        benchmark: str,
+        version: Version,
+        precision: Precision,
+        reason: str,
+        *,
+        governor: str | None = None,
     ) -> "RunResult":
         return cls(
             benchmark=benchmark,
@@ -144,6 +156,7 @@ class RunResult:
             energy_j=float("nan"),
             verified=False,
             failure=reason,
+            governor=governor,
         )
 
     @classmethod
@@ -154,6 +167,7 @@ class RunResult:
         precision: Precision,
         reason: str,
         traceback_text: str | None = None,
+        governor: str | None = None,
     ) -> "RunResult":
         """A cell demoted to a result after an unexpected crash.
 
@@ -171,12 +185,18 @@ class RunResult:
             verified=False,
             failure=reason,
             failure_kind="crash",
+            governor=governor,
             diagnostics={"traceback": traceback_text} if traceback_text else {},
         )
 
     @classmethod
     def timeout(
-        cls, benchmark: str, version: Version, precision: Precision, budget_s: float
+        cls,
+        benchmark: str,
+        version: Version,
+        precision: Precision,
+        budget_s: float,
+        governor: str | None = None,
     ) -> "RunResult":
         """A cell demoted by the campaign watchdog for overrunning its
         wall-clock budget.
@@ -195,6 +215,7 @@ class RunResult:
             verified=False,
             failure=f"timeout: cell exceeded its {budget_s:g}s wall-clock budget",
             failure_kind="timeout",
+            governor=governor,
         )
 
 
@@ -486,23 +507,39 @@ def cpu_pricing_key(bench: Benchmark, ir, version: Version, n: int, traits, pric
     )
 
 
-def run_cpu_version(bench: Benchmark, version: Version) -> RunResult:
-    """Run the Serial or OpenMP version: model timing, execute NumPy."""
+def cpu_region_timing(bench: Benchmark, version: Version):
+    """Memoized CPU timing of one Serial/OpenMP cell.
+
+    CPU pricing is pure in (ir, size, traits, calibration); memoize it
+    content-keyed so repeated cells (and the campaign engine's Serial
+    baselines) price once per process.  The key includes
+    ``bench.platform.cpu``, so a DVFS operating point gets its own slot.
+    """
+    pricing = bench.platform.pricing_model()
+    ir, mix, traits, n = cpu_pricing_inputs(bench)
+    pricing_key = cpu_pricing_key(bench, ir, version, n, traits, pricing)
+    mode = MODE_SERIAL if version is Version.SERIAL else MODE_OPENMP
+    cell = CpuCell(mix=mix, mode=mode, n_elements=n, traits=traits)
+    return perf.cache("cpu_timing").get_or_compute(
+        pricing_key, lambda: pricing.cpu.price_one(cell)
+    )
+
+
+def run_cpu_version(
+    bench: Benchmark, version: Version, *, idle_tail_s: float = 0.0
+) -> RunResult:
+    """Run the Serial or OpenMP version: model timing, execute NumPy.
+
+    ``idle_tail_s`` appends an idle-floor segment after the timed region
+    (the deadline policies' slack window): the reported ``elapsed_s``
+    stays the *work* time while power/energy are metered over the whole
+    window.  At the default ``0.0`` the path is exactly the paper's.
+    """
     if version not in (Version.SERIAL, Version.OPENMP):
         raise ValueError(f"run_cpu_version cannot run {version}")
     platform = bench.platform
     pricing = platform.pricing_model()
-    ir, mix, traits, n = cpu_pricing_inputs(bench)
-
-    # CPU pricing is pure in (ir, size, traits, calibration); memoize it
-    # content-keyed so repeated cells (and the campaign engine's Serial
-    # baselines) price once per process.
-    pricing_key = cpu_pricing_key(bench, ir, version, n, traits, pricing)
-    mode = MODE_SERIAL if version is Version.SERIAL else MODE_OPENMP
-    cell = CpuCell(mix=mix, mode=mode, n_elements=n, traits=traits)
-    timing = perf.cache("cpu_timing").get_or_compute(
-        pricing_key, lambda: pricing.cpu.price_one(cell)
-    )
+    timing = cpu_region_timing(bench, version)
 
     activity = Activity(
         kind=ActivityKind.CPU,
@@ -511,7 +548,10 @@ def run_cpu_version(bench: Benchmark, version: Version) -> RunResult:
         cpu_ipc=timing.ipc,
         dram_bandwidth=timing.dram_bandwidth,
     )
-    trace = pricing.power.price_one(TraceCell(activities=(activity,)))
+    activities: tuple[Activity, ...] = (activity,)
+    if idle_tail_s > 0.0:
+        activities += (Activity(kind=ActivityKind.IDLE, duration_s=idle_tail_s),)
+    trace = pricing.power.price_one(TraceCell(activities=activities))
     report = measure_trace(trace, platform, seed=bench.seed)
 
     result = bench.functional_result()
@@ -519,11 +559,11 @@ def run_cpu_version(bench: Benchmark, version: Version) -> RunResult:
         benchmark=bench.name,
         version=version,
         precision=bench.precision,
-        elapsed_s=report.elapsed_s,
+        elapsed_s=timing.seconds if idle_tail_s > 0.0 else report.elapsed_s,
         mean_power_w=report.mean_power_w,
         energy_j=report.energy_j,
         verified=bench.verify(result),
-        diagnostics={"timing": timing},
+        diagnostics={"timing": timing, "trace_energy_j": trace.energy_j},
     )
 
 
@@ -532,12 +572,18 @@ def run_gpu_version(
     options: CompileOptions,
     local_size: int | None,
     version: Version = Version.OPENCL,
+    *,
+    idle_tail_s: float = 0.0,
 ) -> RunResult:
     """Run a GPU version under given compile options and local size.
 
     Build failures and launch failures (`CL_OUT_OF_RESOURCES`) return a
     failed :class:`RunResult` rather than raising — the experiment
     harness reports them the way Figure 2(b) does (missing bars).
+
+    ``idle_tail_s`` appends an idle-floor segment after the timed region
+    (deadline-policy slack): ``elapsed_s`` stays the work time while
+    power/energy cover the whole window.  ``0.0`` is the paper's path.
     """
     platform = bench.platform
     device = mali_t604(platform)
@@ -551,29 +597,51 @@ def run_gpu_version(
         return RunResult.failed(bench.name, version, bench.precision, str(exc))
 
     pricing = platform.pricing_model()
-    trace = pricing.power.price_one(TraceCell(activities=tuple(queue.timeline)))
+    activities = tuple(queue.timeline)
+    work_s = 0.0
+    for a in activities:
+        work_s += a.duration_s
+    if idle_tail_s > 0.0:
+        activities += (Activity(kind=ActivityKind.IDLE, duration_s=idle_tail_s),)
+    trace = pricing.power.price_one(TraceCell(activities=activities))
     report = measure_trace(trace, platform, seed=bench.seed)
     result = bench.gpu_result(queue, state)
     return RunResult(
         benchmark=bench.name,
         version=version,
         precision=bench.precision,
-        elapsed_s=report.elapsed_s,
+        elapsed_s=work_s if idle_tail_s > 0.0 else report.elapsed_s,
         mean_power_w=report.mean_power_w,
         energy_j=report.energy_j,
         verified=bench.verify(result),
         options=options,
         local_size=local_size,
-        diagnostics={"events": queue.events},
+        diagnostics={"events": queue.events, "trace_energy_j": trace.energy_j},
     )
 
 
-def run_version(bench: Benchmark, *, version: Version) -> RunResult:
+def run_version(
+    bench: Benchmark,
+    *,
+    version: Version,
+    governor: str = dvfs.GOVERNOR_DEFAULT,
+    energy_deadline_s: float | None = None,
+) -> RunResult:
     """Run any of the four versions with its canonical configuration.
 
     Keyword-only past the benchmark: ``run_version(bench,
     version=Version.OPENCL)``.
+
+    ``governor`` selects the DVFS policy.  The default ``"fixed"`` is
+    the paper's fixed-frequency path, bit for bit (``energy_deadline_s``
+    is ignored there — fixed cells are the baseline other governors are
+    compared against).  Frequency governors re-clock the busy rail;
+    deadline policies (``race_to_idle`` / ``pace_to_deadline``)
+    additionally account idle-floor energy over the remaining slack of
+    ``energy_deadline_s``.
     """
+    if governor != dvfs.GOVERNOR_DEFAULT:
+        return _run_governed(bench, version, governor, energy_deadline_s)
     if version in (Version.SERIAL, Version.OPENMP):
         return run_cpu_version(bench, version)
     if version is Version.OPENCL:
@@ -594,6 +662,151 @@ def run_version(bench: Benchmark, *, version: Version) -> RunResult:
     return run_gpu_version(bench, options, local_size, Version.OPENCL_OPT)
 
 
+@contextlib.contextmanager
+def _pinned_platform(bench: Benchmark, platform: ExynosPlatform):
+    """Temporarily swap a benchmark's platform (restored on exit).
+
+    Functional results are platform-independent (and memoized on the
+    instance), while every pricing path re-derives its models from
+    ``bench.platform`` — so pinning an OPP-derived platform reprices
+    timing and power without rebuilding the problem instance.
+    """
+    original = bench.platform
+    bench.platform = platform
+    try:
+        yield
+    finally:
+        bench.platform = original
+
+
+def _run_governed(
+    bench: Benchmark,
+    version: Version,
+    governor: str,
+    energy_deadline_s: float | None,
+) -> RunResult:
+    """Run one version under a DVFS governor or deadline policy.
+
+    Operating points come from the Exynos 5250 ladders rescaled so the
+    top OPP is exactly the benchmark platform's clock (consistent with
+    the ``SoCConfig`` clock axes).  Candidate selection prices the
+    region through the same models that produce the reported time, and
+    deadline policies *verify* the chosen OPP against the actually
+    reported work time, escalating to a faster OPP on a miss — so a
+    feasible ``pace_to_deadline`` cell never reports a deadline overrun.
+    """
+    if governor not in dvfs.GOVERNORS:
+        raise ValueError(
+            f"unknown governor {governor!r}; expected one of {dvfs.GOVERNORS}"
+        )
+    is_cpu = version in (Version.SERIAL, Version.OPENMP)
+    base_platform = bench.platform
+    if is_cpu:
+        table = dvfs.A15_OPPS.rescaled(base_platform.cpu.clock_hz)
+    else:
+        table = dvfs.MALI_T604_OPPS.rescaled(base_platform.mali.clock_hz)
+
+    # the tuned candidate is resolved once at the nominal clock; only
+    # the chosen configuration is re-priced per operating point
+    options: CompileOptions | None = None
+    local_size: int | None = None
+    if version is Version.OPENCL:
+        options = NAIVE
+    elif version is Version.OPENCL_OPT:
+        from ..optimizations.autotune import tune  # deferred: avoid cycle
+
+        best = tune(bench)
+        if best is None:
+            return replace(
+                RunResult.failed(
+                    bench.name,
+                    version,
+                    bench.precision,
+                    "no feasible optimized configuration (all candidates "
+                    "failed to build or launch)",
+                ),
+                governor=governor,
+            )
+        options, local_size = best
+
+    def opp_platform(opp: dvfs.OperatingPoint) -> ExynosPlatform:
+        if is_cpu:
+            return dvfs.platform_at(base_platform, cpu_table=table, cpu_opp=opp)
+        return dvfs.platform_at(base_platform, gpu_table=table, gpu_opp=opp)
+
+    def time_at(opp: dvfs.OperatingPoint) -> float:
+        """Model-only seconds of the timed region at an OPP."""
+        with _pinned_platform(bench, opp_platform(opp)):
+            if is_cpu:
+                return cpu_region_timing(bench, version).seconds
+            return bench.iteration_pricer(options)(local_size)
+
+    def run_at(opp: dvfs.OperatingPoint, idle_tail_s: float = 0.0) -> RunResult:
+        with _pinned_platform(bench, opp_platform(opp)):
+            if is_cpu:
+                return run_cpu_version(bench, version, idle_tail_s=idle_tail_s)
+            return run_gpu_version(
+                bench, options, local_size, version, idle_tail_s=idle_tail_s
+            )
+
+    deadline = None
+    if governor in dvfs.FREQUENCY_GOVERNORS:
+        chosen = dvfs.select_opp(table, governor, time_at=time_at)
+        result = run_at(chosen)
+        if not result.ok:
+            return replace(result, governor=governor)
+        work_s = result.elapsed_s
+    else:
+        if energy_deadline_s is None or energy_deadline_s <= 0:
+            raise ValueError(f"{governor} needs a positive energy_deadline_s")
+        deadline = energy_deadline_s
+        if governor == "race_to_idle":
+            candidates: tuple[dvfs.OperatingPoint, ...] = (table.max,)
+        else:  # pace_to_deadline: lowest feasible frequency wins
+            candidates = table.points
+        chosen = None
+        work_s = 0.0
+        for opp in candidates:
+            if opp is not table.max and time_at(opp) > deadline:
+                continue  # model prune; the max OPP is always probed
+            probe = run_at(opp)
+            if not probe.ok:
+                return replace(probe, governor=governor)
+            if probe.elapsed_s <= deadline:
+                chosen, work_s = opp, probe.elapsed_s
+                break
+        if chosen is None:
+            return replace(
+                RunResult.failed(
+                    bench.name,
+                    version,
+                    bench.precision,
+                    f"deadline infeasible: even the max OPP "
+                    f"({table.max.frequency_hz / 1e6:g} MHz) misses the "
+                    f"{deadline:g} s budget",
+                ),
+                governor=governor,
+            )
+        result = run_at(chosen, idle_tail_s=deadline - work_s)
+
+    diagnostics = dict(result.diagnostics)
+    diagnostics["dvfs"] = {
+        "governor": governor,
+        "opp_hz": chosen.frequency_hz,
+        "opp_v": chosen.voltage_v,
+        "work_s": work_s,
+        "deadline_s": deadline,
+        "slack_s": None if deadline is None else deadline - work_s,
+        "table_hz": tuple(p.frequency_hz for p in table.points),
+        # exact (meterless) window energy of the final trace: the
+        # 10 Hz meter can quantize away a sub-sample work blip inside
+        # a long deadline window, so model-level comparisons (the
+        # race-vs-pace benchmark) read this instead of ``energy_j``
+        "model_energy_j": result.diagnostics.get("trace_energy_j"),
+    }
+    return replace(result, governor=governor, diagnostics=diagnostics)
+
+
 def execute_run(
     benchmark: str,
     *,
@@ -602,6 +815,8 @@ def execute_run(
     scale: float = 1.0,
     seed: int = 1234,
     platform: ExynosPlatform | None = None,
+    governor: str = dvfs.GOVERNOR_DEFAULT,
+    energy_deadline_s: float | None = None,
 ) -> RunResult:
     """Worker-safe run entry: one grid cell from plain parameters.
 
@@ -616,7 +831,12 @@ def execute_run(
     from .registry import create  # deferred: registry imports this module
 
     bench = create(benchmark, precision=precision, scale=scale, seed=seed, platform=platform)
-    return run_version(bench, version=version)
+    return run_version(
+        bench,
+        version=version,
+        governor=governor,
+        energy_deadline_s=energy_deadline_s,
+    )
 
 
 def execute_runs(
@@ -627,6 +847,8 @@ def execute_runs(
     scale: float = 1.0,
     seed: int = 1234,
     platform: ExynosPlatform | None = None,
+    governor: str = dvfs.GOVERNOR_DEFAULT,
+    energy_deadline_s: float | None = None,
 ) -> tuple[RunResult, ...]:
     """Worker-safe batch entry: several versions on one shared instance.
 
@@ -639,4 +861,12 @@ def execute_runs(
     from .registry import create  # deferred: registry imports this module
 
     bench = create(benchmark, precision=precision, scale=scale, seed=seed, platform=platform)
-    return tuple(run_version(bench, version=version) for version in versions)
+    return tuple(
+        run_version(
+            bench,
+            version=version,
+            governor=governor,
+            energy_deadline_s=energy_deadline_s,
+        )
+        for version in versions
+    )

@@ -1392,6 +1392,335 @@ def export_frontier(
 
 
 # ---------------------------------------------------------------------------
+# DVFS governor axis over the design space
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class DvfsDesignPoint:
+    """One (config, governor, precision) point of the DVFS-extended space.
+
+    The target slice (a benchmark's — or the aggregate's — Opt version)
+    is re-priced at the GPU operating point the governor settles on:
+    ``seconds`` is the work time at that clock, ``watts`` the mean work
+    power, ``energy_j`` the work energy — except for the deadline
+    policies (``race_to_idle`` / ``pace_to_deadline``), whose energy is
+    the full deadline-window figure: work at the chosen OPP plus the
+    remaining slack at the board idle floor.  A point is infeasible when
+    the slice has no feasible Opt candidate on the config, or when no
+    OPP meets the deadline.
+    """
+
+    config_name: str
+    governor: str
+    precision: str
+    opp_hz: float
+    seconds: float
+    watts: float
+    energy_j: float
+    feasible: bool = True
+
+
+def _dvfs_key(p: DvfsDesignPoint):
+    """Deterministic order for DVFS points (governor replaces version)."""
+    return (p.seconds, p.energy_j, p.config_name, p.governor)
+
+
+def _dvfs_opp_slices(space: DesignSpace, platform, dram, table, opp, benchmark):
+    """Per-precision ``(seconds, watts, energy, feasible)`` of the target
+    slice at one GPU operating point.
+
+    Exactly the stacked engine's Opt selection (same argmin over
+    ``seconds × launches``, same accumulation order for the aggregate),
+    over a Mali config moved to the OPP's clock and rails scaled by the
+    OPP's ``f · V²`` factor.  At the table's nominal OPP both are the
+    base objects, so the slice is bitwise the fixed-frequency Opt point
+    of :meth:`DesignSpace.points`.
+    """
+    import numpy as np
+    from dataclasses import replace as _replace
+
+    from .power import dvfs
+
+    mali = platform.mali
+    if opp.frequency_hz != mali.clock_hz:
+        mali = _replace(mali, clock_hz=opp.frequency_hz)
+    rails = dvfs.rails_at(platform.rails, gpu_table=table, gpu_opp=opp)
+    g = space._gpu_stack.rows(mali, dram)
+    watts = stack_watts(
+        rails,
+        ActivityKind.GPU_KERNEL,
+        dram_bandwidth=g.dram_bandwidth,
+        gpu_alu_utilization=g.alu_utilization,
+        gpu_ls_utilization=g.ls_utilization,
+    )
+    gpu_iter = g.seconds * space._launches_f
+    masked_watts = np.where(g.feasible, watts, 0.0)
+    agg: dict[str, list] = {}
+    per_bench: dict[str, tuple] = {}
+    for bc in space.groups:
+        span = slice(bc.gpu_start, bc.gpu_stop)
+        feas = g.feasible[span]
+        if feas.size and bool(feas.any()):
+            j = int(np.argmin(gpu_iter[span]))
+            seconds = float(gpu_iter[span][j])
+            lane_watts = float(masked_watts[span][j])
+            energy = seconds * lane_watts
+            ok = True
+        else:
+            seconds, lane_watts, energy, ok = float("inf"), 0.0, float("inf"), False
+        if bc.name == benchmark:
+            per_bench[bc.precision] = (seconds, lane_watts, energy, ok)
+        acc = agg.setdefault(bc.precision, [0.0, 0.0, True])
+        acc[0] += seconds
+        acc[1] += energy
+        acc[2] = acc[2] and ok
+    if benchmark != AGGREGATE:
+        return per_bench
+    out = {}
+    for precision, (seconds, energy, ok) in agg.items():
+        watts_p = energy / seconds if ok and seconds > 0 else 0.0
+        out[precision] = (seconds, watts_p, energy, ok)
+    return out
+
+
+@dataclass(frozen=True)
+class DvfsSpaceResult:
+    """The governor-extended design space: one point per (config,
+    governor, precision) over the target slice."""
+
+    points: tuple[DvfsDesignPoint, ...]
+    governors: tuple[str, ...]
+    precisions: tuple[str, ...]
+    benchmark: str
+    deadline_s: float | None
+    scale: float
+    seed: int
+
+    def select(
+        self, governor: str | None = None, precision: str = "single"
+    ) -> tuple[DvfsDesignPoint, ...]:
+        """Points of one slice, in evaluation order."""
+        return tuple(
+            p
+            for p in self.points
+            if p.precision == precision
+            and (governor is None or p.governor == governor)
+        )
+
+    def frontier_points(self, precision: str = "single") -> tuple[DvfsDesignPoint, ...]:
+        """(seconds, energy) frontier over every (config, governor)."""
+        return skyline(self.select(precision=precision), key=_dvfs_key)
+
+    def deadline_pick(
+        self, deadline_s: float | None = None, precision: str = "single"
+    ) -> DvfsDesignPoint | None:
+        """Least-energy (config, governor) meeting a time budget.
+
+        The deadline-constrained Pareto query: among feasible points
+        with ``seconds <= deadline_s`` (default: the sweep's own
+        deadline), the minimum ``energy_j`` with the deterministic
+        tie-break.  When the sweep includes deadline policies the pick
+        is taken among those — their energies account for the whole
+        deadline window, so they compare like for like — otherwise the
+        frequency governors' work energies compete directly.  ``None``
+        when nothing qualifies.
+        """
+        from .power import dvfs
+
+        budget = deadline_s if deadline_s is not None else self.deadline_s
+        if budget is None:
+            raise ValueError("deadline_pick needs a deadline_s")
+        pool = [
+            p
+            for p in self.select(precision=precision)
+            if p.feasible and p.seconds <= budget
+        ]
+        windowed = [p for p in pool if p.governor in dvfs.DEADLINE_POLICIES]
+        if windowed:
+            pool = windowed
+        viable = sorted(
+            pool,
+            key=lambda p: (p.energy_j, p.seconds, p.config_name, p.governor),
+        )
+        return viable[0] if viable else None
+
+    def to_dict(self) -> dict:
+        """JSON-ready form (``inf`` encoded as null)."""
+
+        def num(x):
+            return x if x == x and x not in (float("inf"), float("-inf")) else None
+
+        return {
+            "benchmark": self.benchmark,
+            "governors": list(self.governors),
+            "precisions": list(self.precisions),
+            "deadline_s": self.deadline_s,
+            "scale": self.scale,
+            "seed": self.seed,
+            "points": [
+                {
+                    "config": p.config_name,
+                    "governor": p.governor,
+                    "precision": p.precision,
+                    "opp_hz": p.opp_hz,
+                    "seconds": num(p.seconds),
+                    "watts": num(p.watts),
+                    "energy_j": num(p.energy_j),
+                    "feasible": p.feasible,
+                }
+                for p in self.points
+            ],
+        }
+
+
+def evaluate_dvfs(
+    configs=None,
+    benchmarks=PAPER_ORDER,
+    precisions=(Precision.SINGLE,),
+    scale: float = 0.5,
+    seed: int = 1234,
+    governors=None,
+    benchmark: str = AGGREGATE,
+    deadline_s: float | None = None,
+    space: DesignSpace | None = None,
+) -> DvfsSpaceResult:
+    """Sweep the governor axis across a SoC config family.
+
+    For every config the Mali OPP table is rescaled so its top point is
+    the config's shader clock (the fixed-frequency design point is the
+    degenerate nominal OPP), the target slice is priced at each OPP
+    through the stacked engine, and each governor settles per its own
+    rule: ``fixed``/``performance`` at the nominal OPP, ``powersave`` at
+    the bottom, ``ondemand`` at the lowest OPP keeping its two-point
+    frequency-response utilization under the up-threshold, and the
+    deadline policies race (top OPP, idle out the slack) or pace (the
+    slowest OPP that still meets ``deadline_s``).  ``fixed`` points are
+    bitwise the Opt points of :func:`evaluate_space` on the same
+    configs — the governor axis never perturbs the fixed plane.
+    """
+    from .power import dvfs
+
+    configs = tuple(configs) if configs is not None else default_space()
+    if not configs:
+        raise ValueError("need at least one SoCConfig")
+    if governors is None:
+        governors = (dvfs.GOVERNOR_DEFAULT,) + dvfs.FREQUENCY_GOVERNORS
+        if deadline_s is not None:
+            governors = governors + dvfs.DEADLINE_POLICIES
+    governors = tuple(governors)
+    for governor in governors:
+        if governor not in dvfs.GOVERNORS:
+            raise ValueError(
+                f"unknown governor {governor!r}; choose from {dvfs.GOVERNORS}"
+            )
+        if governor in dvfs.DEADLINE_POLICIES and deadline_s is None:
+            raise ValueError(f"governor {governor!r} needs deadline_s")
+    if deadline_s is not None and deadline_s <= 0:
+        raise ValueError("deadline_s must be positive")
+    precisions = tuple(precisions)
+    benchmarks = tuple(benchmarks)
+    if benchmark != AGGREGATE and benchmark not in benchmarks:
+        raise ValueError(
+            f"benchmark {benchmark!r} not in the evaluated benchmarks"
+            f" (or {AGGREGATE!r})"
+        )
+    if space is None:
+        space = DesignSpace(
+            benchmarks=benchmarks, precisions=precisions, scale=scale, seed=seed
+        )
+    elif (
+        space.benchmarks != benchmarks
+        or space.precisions != precisions
+        or space.scale != scale
+        or space.seed != seed
+    ):
+        raise ValueError(
+            "prebuilt space does not match the requested grid "
+            "(benchmarks/precisions/scale/seed)"
+        )
+    if space._gpu_stack is None:
+        raise ValueError("the DVFS sweep needs at least one GPU cell")
+
+    points: list[DvfsDesignPoint] = []
+    for config in configs:
+        platform = config.platform(space.base)
+        dram = platform.dram_model()
+        table = dvfs.MALI_T604_OPPS.rescaled(platform.mali.clock_hz)
+        slices = {
+            opp: _dvfs_opp_slices(space, platform, dram, table, opp, benchmark)
+            for opp in table.points
+        }
+        idle_w = platform.rails.board_idle_w
+        for governor in governors:
+            for precision in (p.value for p in precisions):
+                def at(opp):
+                    return slices[opp].get(
+                        precision, (float("inf"), 0.0, float("inf"), False)
+                    )
+
+                if governor in (dvfs.GOVERNOR_DEFAULT, "performance"):
+                    opp = table.nominal
+                    seconds, watts, energy, ok = at(opp)
+                elif governor == "powersave":
+                    opp = table.min
+                    seconds, watts, energy, ok = at(opp)
+                elif governor == "ondemand":
+                    t_slow, _, _, ok_slow = at(table.min)
+                    t_fast, _, _, ok_fast = at(table.max)
+                    if ok_slow and ok_fast:
+                        opp = dvfs.select_opp(
+                            table,
+                            "ondemand",
+                            time_at=lambda o: at(o)[0],
+                        )
+                    else:
+                        opp = table.nominal
+                    seconds, watts, energy, ok = at(opp)
+                else:  # deadline policies
+                    if governor == "race_to_idle":
+                        candidates = (table.max,)
+                    else:  # pace_to_deadline: slowest OPP meeting the budget
+                        candidates = table.points
+                    opp = table.max
+                    seconds, watts, energy, ok = at(opp)
+                    met = False
+                    for cand in candidates:
+                        s, w, e, feas = at(cand)
+                        if feas and s <= deadline_s:
+                            opp, seconds, watts, energy, ok = cand, s, w, e, True
+                            met = True
+                            break
+                    if not met:
+                        ok = False
+                    if ok:
+                        energy = energy + (deadline_s - seconds) * idle_w
+                    else:
+                        seconds, watts, energy = float("inf"), 0.0, float("inf")
+                points.append(
+                    DvfsDesignPoint(
+                        config_name=config.name,
+                        governor=governor,
+                        precision=precision,
+                        opp_hz=opp.frequency_hz,
+                        seconds=seconds,
+                        watts=watts,
+                        energy_j=energy,
+                        feasible=ok,
+                    )
+                )
+    return DvfsSpaceResult(
+        points=tuple(points),
+        governors=governors,
+        precisions=tuple(p.value for p in precisions),
+        benchmark=benchmark,
+        deadline_s=deadline_s,
+        scale=scale,
+        seed=seed,
+    )
+
+
+# ---------------------------------------------------------------------------
 # model-only speedup helper (the whatif/sensitivity seam)
 # ---------------------------------------------------------------------------
 

@@ -59,17 +59,28 @@ class CacheStats:
         return asdict(self)
 
 
-def run_key(run_fingerprint: str, benchmark: str, version: Version, precision: Precision) -> str:
-    """Content address of one grid cell: SHA-256 over fingerprint + cell."""
-    blob = json.dumps(
-        {
-            "fingerprint": run_fingerprint,
-            "benchmark": benchmark,
-            "version": version.value,
-            "precision": precision.value,
-        },
-        sort_keys=True,
-    )
+def run_key(
+    run_fingerprint: str,
+    benchmark: str,
+    version: Version,
+    precision: Precision,
+    governor: str | None = None,
+) -> str:
+    """Content address of one grid cell: SHA-256 over fingerprint + cell.
+
+    ``governor`` enters the blob only for governed (non-fixed) cells, so
+    every fixed-frequency key — and with it every warm cache entry
+    written before the DVFS axis existed — is unchanged.
+    """
+    payload = {
+        "fingerprint": run_fingerprint,
+        "benchmark": benchmark,
+        "version": version.value,
+        "precision": precision.value,
+    }
+    if governor is not None:
+        payload["governor"] = governor
+    blob = json.dumps(payload, sort_keys=True)
     return hashlib.sha256(blob.encode()).hexdigest()
 
 

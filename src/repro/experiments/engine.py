@@ -92,6 +92,7 @@ from ..benchmarks.base import (
 from ..benchmarks.registry import PAPER_ORDER, create
 from ..calibration.exynos5250 import ExynosPlatform, default_platform
 from ..errors import ReproError
+from ..power import dvfs
 from . import faults
 from .cache import RunCache, run_key
 from .journal import CampaignJournal
@@ -237,16 +238,33 @@ class RunTask:
     scale: float
     seed: int
     platform: ExynosPlatform | None = None
+    governor: str = dvfs.GOVERNOR_DEFAULT
+    energy_deadline_s: float | None = None
 
     @property
-    def cell(self) -> tuple[str, Version, Precision]:
-        """The ResultSet key this task fills."""
-        return (self.benchmark, self.version, self.precision)
+    def result_governor(self) -> str | None:
+        """Governor as carried by results: ``None`` on the fixed path.
+
+        Fixed-frequency results keep ``governor=None`` so their
+        ResultSet keys, cache keys and serialized rows are byte-identical
+        to the pre-DVFS engine.
+        """
+        return None if self.governor == dvfs.GOVERNOR_DEFAULT else self.governor
+
+    @property
+    def cell(self):
+        """The ResultSet key this task fills (governor-aware)."""
+        if self.governor == dvfs.GOVERNOR_DEFAULT:
+            return (self.benchmark, self.version, self.precision)
+        return (self.benchmark, self.version, self.precision, self.governor)
 
     @property
     def label(self) -> str:
         """Human-readable id, matching the classic progress format."""
-        return f"{self.benchmark} [{self.precision.label}] {self.version.value}"
+        base = f"{self.benchmark} [{self.precision.label}] {self.version.value}"
+        if self.governor == dvfs.GOVERNOR_DEFAULT:
+            return base
+        return f"{base} @{self.governor}"
 
     def execute(self) -> RunResult:
         """Run this cell from scratch (fresh benchmark instance)."""
@@ -257,6 +275,8 @@ class RunTask:
             scale=self.scale,
             seed=self.seed,
             platform=self.platform,
+            governor=self.governor,
+            energy_deadline_s=self.energy_deadline_s,
         )
 
 
@@ -290,6 +310,7 @@ def _crash_result(task: RunTask, exc: BaseException) -> RunResult:
         task.precision,
         reason=f"crash: {type(exc).__name__}: {exc}",
         traceback_text="".join(traceback.format_exception(exc)),
+        governor=task.result_governor,
     )
 
 
@@ -301,6 +322,7 @@ def _worker_loss_result(task: RunTask, exc: BaseException, attempts: int) -> Run
         task.precision,
         reason="crash: worker process died executing this cell",
         traceback_text=f"{type(exc).__name__}: {exc} (after {attempts} attempts)",
+        governor=task.result_governor,
     )
 
 
@@ -335,7 +357,12 @@ def _safe_run(bench: Benchmark, task: RunTask) -> RunResult:
     """
     try:
         faults.maybe_crash(task.benchmark, task.version, task.precision)
-        return run_version(bench, version=task.version)
+        return run_version(
+            bench,
+            version=task.version,
+            governor=task.governor,
+            energy_deadline_s=task.energy_deadline_s,
+        )
     except Exception as exc:  # noqa: BLE001 — crash capture is the point
         return _crash_result(task, exc)
 
@@ -417,20 +444,40 @@ class CampaignSpec:
     scale: float = 1.0
     seed: int = 1234
     platform: ExynosPlatform | None = None
+    #: DVFS sweep axis; the default single-element tuple is the classic
+    #: fixed-frequency campaign (spec and fingerprints unchanged)
+    governors: tuple[str, ...] = (dvfs.GOVERNOR_DEFAULT,)
+    #: per-cell energy deadline for race_to_idle / pace_to_deadline
+    energy_deadline_s: float | None = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "benchmarks", tuple(self.benchmarks))
         object.__setattr__(self, "versions", tuple(self.versions))
         object.__setattr__(self, "precisions", tuple(self.precisions))
+        object.__setattr__(self, "governors", tuple(self.governors))
         if self.scale <= 0:
             raise ValueError("scale must be positive")
+        if not self.governors:
+            raise ValueError("governors must not be empty")
+        for governor in self.governors:
+            if governor not in dvfs.GOVERNORS:
+                raise ValueError(
+                    f"unknown governor {governor!r}; choose from {dvfs.GOVERNORS}"
+                )
+        if self.energy_deadline_s is not None and self.energy_deadline_s <= 0:
+            raise ValueError("energy_deadline_s must be positive")
+        needs_deadline = [g for g in self.governors if g in dvfs.DEADLINE_POLICIES]
+        if needs_deadline and self.energy_deadline_s is None:
+            raise ValueError(
+                f"governors {needs_deadline} need energy_deadline_s to be set"
+            )
 
     # ------------------------------------------------------------------
     # planning
     # ------------------------------------------------------------------
     def tasks(self) -> tuple[RunTask, ...]:
         """The grid as independent tasks, in canonical (classic) order:
-        benchmark-major, then precision, then version."""
+        benchmark-major, then precision, then version (then governor)."""
         return tuple(
             RunTask(
                 benchmark=name,
@@ -439,16 +486,24 @@ class CampaignSpec:
                 scale=self.scale,
                 seed=self.seed,
                 platform=self.platform,
+                governor=governor,
+                energy_deadline_s=self.energy_deadline_s,
             )
             for name in self.benchmarks
             for precision in self.precisions
             for version in self.versions
+            for governor in self.governors
         )
 
     @property
     def size(self) -> int:
         """Number of grid cells."""
-        return len(self.benchmarks) * len(self.versions) * len(self.precisions)
+        return (
+            len(self.benchmarks)
+            * len(self.versions)
+            * len(self.precisions)
+            * len(self.governors)
+        )
 
     # ------------------------------------------------------------------
     # fingerprints
@@ -467,15 +522,17 @@ class CampaignSpec:
         """
         from .. import __version__
 
-        blob = json.dumps(
-            {
-                "scale": self.scale,
-                "seed": self.seed,
-                "platform": self.platform_fingerprint(),
-                "repro": __version__,
-            },
-            sort_keys=True,
-        )
+        payload = {
+            "scale": self.scale,
+            "seed": self.seed,
+            "platform": self.platform_fingerprint(),
+            "repro": __version__,
+        }
+        # keyed only when set, so every fixed-frequency campaign keeps
+        # its pre-DVFS fingerprint (and its warm cache entries)
+        if self.energy_deadline_s is not None:
+            payload["energy_deadline_s"] = self.energy_deadline_s
+        blob = json.dumps(payload, sort_keys=True)
         return hashlib.sha256(blob.encode()).hexdigest()[:16]
 
     def fingerprint(self) -> str:
@@ -484,15 +541,17 @@ class CampaignSpec:
         This is the identity carried by ``ResultSet.to_json`` (schema 2)
         and :class:`CampaignReport`.
         """
-        blob = json.dumps(
-            {
-                "run": self.run_fingerprint(),
-                "benchmarks": list(self.benchmarks),
-                "versions": [v.value for v in self.versions],
-                "precisions": [p.value for p in self.precisions],
-            },
-            sort_keys=True,
-        )
+        payload = {
+            "run": self.run_fingerprint(),
+            "benchmarks": list(self.benchmarks),
+            "versions": [v.value for v in self.versions],
+            "precisions": [p.value for p in self.precisions],
+        }
+        # keyed only for governed campaigns — fixed campaigns keep their
+        # historic identity byte-for-byte
+        if self.governors != (dvfs.GOVERNOR_DEFAULT,):
+            payload["governors"] = list(self.governors)
+        blob = json.dumps(payload, sort_keys=True)
         return hashlib.sha256(blob.encode()).hexdigest()[:16]
 
 
@@ -934,11 +993,16 @@ class Campaign:
         return self._trace, False
 
     def _task_fields(self, task: RunTask) -> dict:
-        return {
+        fields = {
             "benchmark": task.benchmark,
             "version": task.version.value,
             "precision": task.precision.value,
         }
+        # only governed tasks carry the field, so fixed-frequency trace
+        # events stay byte-identical to the pre-DVFS engine
+        if task.result_governor is not None:
+            fields["governor"] = task.result_governor
+        return fields
 
     def _gather(
         self,
@@ -974,7 +1038,13 @@ class Campaign:
                 continue
             key = None
             if self.cache is not None:
-                key = run_key(run_fp, task.benchmark, task.version, task.precision)
+                key = run_key(
+                    run_fp,
+                    task.benchmark,
+                    task.version,
+                    task.precision,
+                    governor=task.result_governor,
+                )
                 cached = self.cache.load(key)
                 if cached is not None:
                     self._hits += 1
@@ -1106,7 +1176,11 @@ class Campaign:
         except _CellTimeout:
             reported = self.cell_timeout_s if self.cell_timeout_s is not None else budget
             return RunResult.timeout(
-                task.benchmark, task.version, task.precision, reported
+                task.benchmark,
+                task.version,
+                task.precision,
+                reported,
+                governor=task.result_governor,
             )
         finally:
             signal.setitimer(signal.ITIMER_REAL, 0)
@@ -1270,7 +1344,11 @@ class Campaign:
             return
         task, key = group[0]
         run = RunResult.timeout(
-            task.benchmark, task.version, task.precision, self.cell_timeout_s
+            task.benchmark,
+            task.version,
+            task.precision,
+            self.cell_timeout_s,
+            governor=task.result_governor,
         )
         self._finish(task, key, run, results, tracer)
 
@@ -1338,7 +1416,11 @@ class Campaign:
             except FuturesTimeout:
                 _kill_pool_processes(probe)
                 run = RunResult.timeout(
-                    task.benchmark, task.version, task.precision, self.cell_timeout_s
+                    task.benchmark,
+                    task.version,
+                    task.precision,
+                    self.cell_timeout_s,
+                    governor=task.result_governor,
                 )
                 self._finish(task, key, run, results, tracer)
                 return
@@ -1384,7 +1466,12 @@ class Campaign:
 
     def _dispatch(self, task: RunTask, tracer: Tracer) -> None:
         if self._journal is not None:
-            self._journal.cell_started(task.benchmark, task.version, task.precision)
+            self._journal.cell_started(
+                task.benchmark,
+                task.version,
+                task.precision,
+                governor=task.result_governor,
+            )
         if self.progress is not None:
             self.progress(task.label)
         tracer.emit("started", **self._task_fields(task))
@@ -1402,7 +1489,13 @@ class Campaign:
         # The journal checkpoint precedes the cache store: once the
         # engine moves on, this cell must survive any kill.
         if self._journal is not None:
-            self._journal.cell_finished(task.benchmark, task.version, task.precision, run)
+            self._journal.cell_finished(
+                task.benchmark,
+                task.version,
+                task.precision,
+                run,
+                governor=task.result_governor,
+            )
         # Crashes and timeouts are operational accidents of *this*
         # execution, not content-addressable facts about the spec
         # (unlike modeled quirk failures) — never persist them to the

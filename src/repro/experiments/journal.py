@@ -70,12 +70,22 @@ class JournalError(ReproError):
     schema, or a spec that does not match the resuming campaign)."""
 
 
-def _cell_fields(benchmark: str, version: Version, precision: Precision) -> dict:
-    return {
+def _cell_fields(
+    benchmark: str,
+    version: Version,
+    precision: Precision,
+    governor: str | None = None,
+) -> dict:
+    fields = {
         "benchmark": benchmark,
         "version": version.value,
         "precision": precision.value,
     }
+    # recorded only for governed cells: fixed-frequency journal records
+    # stay byte-identical to pre-DVFS journals (and replay against them)
+    if governor is not None:
+        fields["governor"] = governor
+    return fields
 
 
 class CampaignJournal:
@@ -99,12 +109,12 @@ class CampaignJournal:
         self.spec_path = self.root / SPEC_NAME
         self._fh: IO[str] | None = None
         #: cells replayed by the last :meth:`open` (resume bookkeeping)
-        self.replayed: dict[tuple[str, Version, Precision], RunResult] = {}
+        self.replayed: dict[tuple, RunResult] = {}
 
     # ------------------------------------------------------------------
     # attach / replay
     # ------------------------------------------------------------------
-    def open(self, spec: "CampaignSpec") -> dict[tuple[str, Version, Precision], RunResult]:
+    def open(self, spec: "CampaignSpec") -> dict[tuple, RunResult]:
         """Attach the journal for ``spec``; returns replayable cells.
 
         A fresh directory gets ``spec.pkl`` plus a ``campaign_planned``
@@ -178,11 +188,27 @@ class CampaignJournal:
     # ------------------------------------------------------------------
     # recording
     # ------------------------------------------------------------------
-    def cell_started(self, benchmark: str, version: Version, precision: Precision) -> None:
-        self._append({"event": "cell_started", **_cell_fields(benchmark, version, precision)})
+    def cell_started(
+        self,
+        benchmark: str,
+        version: Version,
+        precision: Precision,
+        governor: str | None = None,
+    ) -> None:
+        self._append(
+            {
+                "event": "cell_started",
+                **_cell_fields(benchmark, version, precision, governor),
+            }
+        )
 
     def cell_finished(
-        self, benchmark: str, version: Version, precision: Precision, run: RunResult
+        self,
+        benchmark: str,
+        version: Version,
+        precision: Precision,
+        run: RunResult,
+        governor: str | None = None,
     ) -> None:
         """Checkpoint one completed cell (the resume payload)."""
         from .runner import run_to_row
@@ -190,7 +216,7 @@ class CampaignJournal:
         self._append(
             {
                 "event": "cell_finished",
-                **_cell_fields(benchmark, version, precision),
+                **_cell_fields(benchmark, version, precision, governor),
                 "run": run_to_row(run),
             }
         )
@@ -260,7 +286,7 @@ def read_journal(path: str | Path) -> list[dict]:
     return records
 
 
-def replay_cells(records: list[dict]) -> dict[tuple[str, Version, Precision], RunResult]:
+def replay_cells(records: list[dict]) -> dict[tuple, RunResult]:
     """The completed cells of a journal, ready to skip re-execution.
 
     The last ``cell_finished`` row per cell wins (a resumed campaign may
@@ -268,11 +294,13 @@ def replay_cells(records: list[dict]) -> dict[tuple[str, Version, Precision], Ru
     ``failure_kind`` (``"crash"`` / ``"timeout"``) are skipped — they
     are accidents of a previous execution, and the resumed campaign must
     re-execute those cells; rows that fail to deserialize are skipped
-    the same way (re-executing is always sound).
+    the same way (re-executing is always sound).  Governed cells key by
+    the 4-tuple ``(benchmark, version, precision, governor)``, matching
+    :attr:`RunTask.cell <repro.experiments.engine.RunTask.cell>`.
     """
     from .runner import run_from_row
 
-    out: dict[tuple[str, Version, Precision], RunResult] = {}
+    out: dict[tuple, RunResult] = {}
     for record in records:
         if record.get("event") != "cell_finished" or "run" not in record:
             continue
@@ -281,6 +309,9 @@ def replay_cells(records: list[dict]) -> dict[tuple[str, Version, Precision], Ru
             cell = (record["benchmark"], Version(record["version"]), Precision(record["precision"]))
         except (KeyError, TypeError, ValueError):
             continue
+        governor = record.get("governor")
+        if governor is not None:
+            cell = cell + (governor,)
         if run.failure_kind in ("crash", "timeout"):
             out.pop(cell, None)
             continue

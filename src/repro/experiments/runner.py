@@ -26,7 +26,18 @@ from ..benchmarks.base import Precision, RunResult, Version
 from ..benchmarks.registry import PAPER_ORDER
 from ..calibration.exynos5250 import ExynosPlatform
 
-Key = tuple[str, Version, Precision]
+#: result key: ``(benchmark, version, precision)`` for fixed-frequency
+#: runs, extended with the governor name for governed runs — fixed rows
+#: keep their historic 3-tuple keys so every pre-DVFS lookup (and the
+#: sorted ``to_json`` order) is unchanged.
+Key = tuple[str, Version, Precision] | tuple[str, Version, Precision, str]
+
+
+def result_key(run: RunResult) -> Key:
+    """The :class:`ResultSet` key of one run (governor-aware)."""
+    if run.governor is None:
+        return (run.benchmark, run.version, run.precision)
+    return (run.benchmark, run.version, run.precision, run.governor)
 
 #: serialization schema emitted by :meth:`ResultSet.to_json`
 RESULTSET_SCHEMA = 2
@@ -55,7 +66,7 @@ def run_to_row(run: RunResult) -> dict:
     def _finite(value: float) -> float | None:
         return None if math.isnan(value) else value
 
-    return {
+    row = {
         "benchmark": run.benchmark,
         "version": run.version.value,
         "precision": run.precision.value,
@@ -68,6 +79,11 @@ def run_to_row(run: RunResult) -> dict:
         "failure": run.failure,
         "failure_kind": run.failure_kind,
     }
+    # emitted only for governed runs: every fixed-frequency row stays
+    # byte-identical to the pre-DVFS serialization
+    if run.governor is not None:
+        row["governor"] = run.governor
+    return row
 
 
 def run_from_row(row: dict) -> RunResult:
@@ -90,6 +106,8 @@ def run_from_row(row: dict) -> RunResult:
         failure=row["failure"],
         # rows written before fault-tolerant execution carry no kind
         failure_kind=row.get("failure_kind"),
+        # rows written before the DVFS axis carry no governor
+        governor=row.get("governor"),
         diagnostics={"options_label": row["options"]},
     )
 
@@ -108,12 +126,28 @@ class ResultSet:
     fingerprint: str | None = None
 
     def add(self, result: RunResult) -> None:
-        self.results[(result.benchmark, result.version, result.precision)] = result
+        self.results[result_key(result)] = result
 
-    def get(self, benchmark: str, version: Version, precision: Precision) -> RunResult:
+    def get(
+        self,
+        benchmark: str,
+        version: Version,
+        precision: Precision,
+        governor: str | None = None,
+    ) -> RunResult:
+        if governor is not None:
+            return self.results[(benchmark, version, precision, governor)]
         return self.results[(benchmark, version, precision)]
 
-    def has(self, benchmark: str, version: Version, precision: Precision) -> bool:
+    def has(
+        self,
+        benchmark: str,
+        version: Version,
+        precision: Precision,
+        governor: str | None = None,
+    ) -> bool:
+        if governor is not None:
+            return (benchmark, version, precision, governor) in self.results
         return (benchmark, version, precision) in self.results
 
     def benchmarks(self) -> list[str]:
@@ -186,7 +220,15 @@ class ResultSet:
         payload = [
             run_to_row(run)
             for _, run in sorted(
-                self.results.items(), key=lambda kv: (kv[0][0], kv[0][1].value, kv[0][2].value)
+                self.results.items(),
+                key=lambda kv: (
+                    kv[0][0],
+                    kv[0][1].value,
+                    kv[0][2].value,
+                    # fixed-frequency rows sort first under their
+                    # historic 3-field key; governed rows follow
+                    kv[0][3] if len(kv[0]) > 3 else "",
+                ),
             )
         ]
         return json.dumps(
@@ -225,6 +267,8 @@ def run_grid(
     cell_timeout_s: float | None = None,
     deadline_s: float | None = None,
     preprice: bool = True,
+    governors: Iterable[str] | None = None,
+    energy_deadline_s: float | None = None,
 ) -> ResultSet:
     """Run the full campaign and collect results.
 
@@ -248,6 +292,7 @@ def run_grid(
     """
     from .engine import Campaign, CampaignSpec  # deferred: engine imports us
 
+    extra = {} if governors is None else {"governors": tuple(governors)}
     spec = CampaignSpec(
         benchmarks=tuple(benchmarks),
         versions=tuple(versions),
@@ -255,6 +300,8 @@ def run_grid(
         scale=scale,
         seed=seed,
         platform=platform,
+        energy_deadline_s=energy_deadline_s,
+        **extra,
     )
     campaign = Campaign(
         spec,

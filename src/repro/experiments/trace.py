@@ -66,6 +66,9 @@ class TraceEvent:
     benchmark: str | None = None
     version: str | None = None
     precision: str | None = None
+    #: DVFS governor of a governed cell; ``None`` (dropped from the
+    #: JSONL form) for every fixed-frequency event
+    governor: str | None = None
     cache: str | None = None
     elapsed_s: float | None = None
     energy_j: float | None = None

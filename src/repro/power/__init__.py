@@ -1,18 +1,46 @@
-"""Power and energy measurement stack: rails, trace, meter, energy."""
+"""Power and energy measurement stack: rails, trace, meter, energy, DVFS."""
 
+from .dvfs import (
+    A15_OPPS,
+    DEADLINE_POLICIES,
+    FREQUENCY_GOVERNORS,
+    GOVERNOR_DEFAULT,
+    GOVERNORS,
+    MALI_T604_OPPS,
+    DeadlineInfeasible,
+    OperatingPoint,
+    OPPTable,
+    PolicyPlan,
+    plan_policy,
+    platform_at,
+    select_opp,
+)
 from .energy import EnergyReport
 from .meter import PowerMeasurement, YokogawaWT230
 from .model import BoardPowerModel, PowerTrace, TraceSegment
 from .rails import Activity, ActivityKind, PowerRailConfig
 
 __all__ = [
+    "A15_OPPS",
     "Activity",
     "ActivityKind",
     "BoardPowerModel",
+    "DEADLINE_POLICIES",
+    "DeadlineInfeasible",
     "EnergyReport",
+    "FREQUENCY_GOVERNORS",
+    "GOVERNOR_DEFAULT",
+    "GOVERNORS",
+    "MALI_T604_OPPS",
+    "OperatingPoint",
+    "OPPTable",
+    "PolicyPlan",
     "PowerMeasurement",
     "PowerRailConfig",
     "PowerTrace",
     "TraceSegment",
     "YokogawaWT230",
+    "plan_policy",
+    "platform_at",
+    "select_opp",
 ]

@@ -54,6 +54,8 @@ class EnergyReport:
         """(speedup, power ratio, energy ratio) vs a baseline run."""
         if self.elapsed_s <= 0 or baseline.elapsed_s <= 0:
             raise ValueError("cannot normalize zero-length runs")
+        if baseline.mean_power_w <= 0 or baseline.energy_j <= 0:
+            raise ValueError("cannot normalize against a zero-power baseline")
         speedup = baseline.elapsed_s / self.elapsed_s
         power_ratio = self.mean_power_w / baseline.mean_power_w
         energy_ratio = self.energy_j / baseline.energy_j

@@ -69,6 +69,12 @@ class YokogawaWT230:
         times = (np.arange(n) + 0.5) / self.sample_hz
         durations = np.fromiter((s.duration_s for s in trace.segments), dtype=np.float64)
         watts = np.fromiter((s.watts for s in trace.segments), dtype=np.float64)
+        repeats = getattr(trace, "repeats", 1)
+        if repeats > 1:
+            # tiling the per-iteration arrays is bitwise identical to
+            # iterating a materialized ``segments * repeats`` tuple
+            durations = np.tile(durations, repeats)
+            watts = np.tile(watts, repeats)
         bounds = np.cumsum(durations)
         idx = np.minimum(np.searchsorted(bounds, times, side="right"), len(watts) - 1)
         true_powers = watts[idx]

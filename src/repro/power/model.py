@@ -17,18 +17,39 @@ class TraceSegment:
 
 @dataclass(frozen=True)
 class PowerTrace:
-    """Piecewise-constant board power over a run."""
+    """Piecewise-constant board power over a run.
+
+    ``repeats`` counts back-to-back repetitions of ``segments`` without
+    materializing them: a 20k-repeat meter run stays a handful of
+    :class:`TraceSegment` objects plus a counter.  Every derived
+    quantity accumulates in the exact order the materialized tuple
+    would (float addition is not associative), so a lazy trace is
+    observationally identical to ``PowerTrace(segments * repeats)``.
+    """
 
     segments: tuple[TraceSegment, ...]
+    repeats: int = 1
+
+    def __post_init__(self) -> None:
+        if self.repeats < 1:
+            raise ValueError("repeats must be >= 1")
 
     @property
     def duration_s(self) -> float:
-        return sum(s.duration_s for s in self.segments)
+        total = 0.0
+        for _ in range(self.repeats):
+            for s in self.segments:
+                total += s.duration_s
+        return total
 
     @property
     def energy_j(self) -> float:
         """Exact energy of the trace (what a perfect meter would report)."""
-        return sum(s.duration_s * s.watts for s in self.segments)
+        total = 0.0
+        for _ in range(self.repeats):
+            for s in self.segments:
+                total += s.duration_s * s.watts
+        return total
 
     @property
     def mean_power_w(self) -> float:
@@ -38,17 +59,18 @@ class PowerTrace:
     def power_at(self, t: float) -> float:
         """Instantaneous power at time ``t`` (for the sampling meter)."""
         acc = 0.0
-        for seg in self.segments:
-            acc += seg.duration_s
-            if t < acc:
-                return seg.watts
+        for _ in range(self.repeats):
+            for seg in self.segments:
+                acc += seg.duration_s
+                if t < acc:
+                    return seg.watts
         return self.segments[-1].watts if self.segments else 0.0
 
     def repeated(self, times: int) -> "PowerTrace":
         """The trace of ``times`` back-to-back repetitions of the run."""
         if times < 1:
             raise ValueError("times must be >= 1")
-        return PowerTrace(self.segments * times)
+        return PowerTrace(self.segments, self.repeats * times)
 
 
 class BoardPowerModel:

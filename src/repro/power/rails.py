@@ -49,6 +49,14 @@ class Activity:
             raise ValueError("gpu_alu_utilization must be in [0, 1]")
         if not 0.0 <= self.gpu_ls_utilization <= 1.0:
             raise ValueError("gpu_ls_utilization must be in [0, 1]")
+        # a negative bandwidth would price board power *below* the idle
+        # floor; negative cores/IPC would likewise subtract rail power
+        if self.active_cpu_cores < 0:
+            raise ValueError("active_cpu_cores must be >= 0")
+        if self.cpu_ipc < 0:
+            raise ValueError("cpu_ipc must be >= 0")
+        if self.dram_bandwidth < 0:
+            raise ValueError("dram_bandwidth must be >= 0")
 
 
 @dataclass(frozen=True)
@@ -126,17 +134,27 @@ def stack_watts(
     """
     import numpy as np
 
-    base = rails.board_idle_w + ((rails.dram_w_per_gbps * np.asarray(dram_bandwidth)) / 1e9)
+    bw = np.asarray(dram_bandwidth)
+    if np.any(bw < 0):
+        raise ValueError("dram_bandwidth must be >= 0")
+    base = rails.board_idle_w + ((rails.dram_w_per_gbps * bw) / 1e9)
     if kind == ActivityKind.IDLE:
         return base
     if kind in (ActivityKind.CPU, ActivityKind.HOST_COPY):
+        ipc = np.asarray(cpu_ipc)
+        if np.any(ipc < 0):
+            raise ValueError("cpu_ipc must be >= 0")
         cores = np.maximum(np.asarray(active_cpu_cores), 1)
-        return base + cores * (rails.cpu_core_base_w + rails.cpu_core_ipc_w * np.asarray(cpu_ipc))
+        return base + cores * (rails.cpu_core_base_w + rails.cpu_core_ipc_w * ipc)
     if kind == ActivityKind.GPU_KERNEL:
+        alu = np.asarray(gpu_alu_utilization)
+        ls = np.asarray(gpu_ls_utilization)
+        if np.any(alu < 0) or np.any(ls < 0):
+            raise ValueError("GPU pipe utilizations must be >= 0")
         return (
             ((base + rails.host_polling_w) + rails.gpu_base_w)
-            + rails.gpu_alu_w * np.asarray(gpu_alu_utilization)
-        ) + rails.gpu_ls_w * np.asarray(gpu_ls_utilization)
+            + rails.gpu_alu_w * alu
+        ) + rails.gpu_ls_w * ls
     raise ValueError(f"unknown activity kind {kind!r}")
 
 
