@@ -1,0 +1,139 @@
+"""Distributed campaign throughput: loopback workers vs the local pool.
+
+Times the same two-family campaign grid three ways:
+
+* **local pool** — the classic ``Campaign.run(jobs=2)`` process pool,
+  the baseline every distributed number is judged against;
+* **two loopback workers** — the same campaign scheduled onto two
+  in-thread :class:`~repro.experiments.remote.WorkerServer` instances
+  over the framed TCP protocol (``127.0.0.1``, real sockets, real
+  frames — only the network latency is missing), with byte-identity to
+  the local rows asserted every round;
+* **dispatch overhead** — a single-chunk campaign against one loopback
+  worker minus the same campaign run inline, isolating what one chunk
+  pays for serialization, framing, CRC, and the socket roundtrip
+  (recorded as ``dispatch_overhead_s_per_chunk``).
+
+On a loopback the distributed path is expected to roughly match the
+local pool (both pay per-chunk serialization; neither wins on a single
+host) — the number that matters is the *overhead per chunk*, which
+bounds how coarse chunks must be before remote execution pays off on a
+real network.  See EXPERIMENTS.md for the committed figures.
+
+Regenerate with::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_distributed.py \
+        --benchmark-only --benchmark-json=BENCH_distributed.json
+"""
+
+import os
+import threading
+import time
+
+from repro.benchmarks.base import Precision, Version
+from repro.experiments import Campaign, CampaignSpec, WorkerServer
+
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+ROUNDS = 5
+
+#: the timed grid: two families × two precisions × three versions —
+#: four chunks under family planning, enough for both workers to serve
+GRID = dict(
+    benchmarks=("vecop", "red"),
+    versions=(Version.SERIAL, Version.OPENMP, Version.OPENCL),
+    precisions=(Precision.SINGLE, Precision.DOUBLE),
+    scale=SCALE,
+)
+
+#: one family, one precision, one version: exactly one chunk, so the
+#: remote-minus-inline difference is the per-chunk dispatch cost
+TINY_GRID = dict(
+    benchmarks=("vecop",),
+    versions=(Version.SERIAL,),
+    precisions=(Precision.SINGLE,),
+    scale=SCALE,
+)
+
+
+def _serve(n: int):
+    servers = [WorkerServer() for _ in range(n)]
+    for server in servers:
+        threading.Thread(target=server.serve_forever, daemon=True).start()
+    return servers
+
+
+def _run_local(jobs: int) -> str:
+    return Campaign(CampaignSpec(**GRID)).run(jobs=jobs).to_json()
+
+
+def _run_remote(addrs) -> str:
+    return Campaign(CampaignSpec(**GRID), workers=addrs).run(jobs=2).to_json()
+
+
+def test_campaign_local_pool(benchmark):
+    """The baseline: the whole grid through the local pool at jobs=2."""
+    _run_local(jobs=2)  # warm the compile/calibration caches
+    rows = benchmark.pedantic(lambda: _run_local(jobs=2), rounds=ROUNDS, iterations=1)
+    benchmark.extra_info["scale"] = SCALE
+    benchmark.extra_info["grid_cells"] = CampaignSpec(**GRID).size
+    assert rows
+
+
+def test_campaign_two_loopback_workers(benchmark):
+    """The same grid over two loopback workers, byte-identity asserted."""
+    local_json = _run_local(jobs=2)
+    servers = _serve(2)
+    addrs = [s.address for s in servers]
+    try:
+        _run_remote(addrs)  # warm both workers' caches
+        remote_json = benchmark.pedantic(
+            lambda: _run_remote(addrs), rounds=ROUNDS, iterations=1
+        )
+    finally:
+        for server in servers:
+            server.stop()
+    assert remote_json == local_json  # every round prices the same bytes
+    benchmark.extra_info["scale"] = SCALE
+    benchmark.extra_info["grid_cells"] = CampaignSpec(**GRID).size
+    benchmark.extra_info["chunks_served"] = sum(s.chunks_served for s in servers)
+    benchmark.extra_info["workers"] = len(servers)
+
+
+def test_dispatch_overhead_per_chunk(benchmark):
+    """What one chunk pays to travel: remote single-chunk campaign minus
+    the identical inline campaign.
+
+    The tiny grid plans as exactly one family chunk, so the difference
+    between the remote and inline medians is serialization + framing +
+    CRC + loopback roundtrip for one dispatch/result pair — the number
+    that sets the break-even chunk size for real networks.
+    """
+
+    def _inline() -> float:
+        t0 = time.perf_counter()
+        Campaign(CampaignSpec(**TINY_GRID)).run(jobs=1)
+        return time.perf_counter() - t0
+
+    server = _serve(1)[0]
+
+    def _remote() -> float:
+        t0 = time.perf_counter()
+        Campaign(CampaignSpec(**TINY_GRID), workers=[server.address]).run(jobs=1)
+        return time.perf_counter() - t0
+
+    try:
+        _inline(), _remote()  # warm caches on both sides
+        inline_s = min(_inline() for _ in range(ROUNDS))
+        remote_s = benchmark.pedantic(_remote, rounds=ROUNDS, iterations=1)
+        remote_min_s = benchmark.stats.stats.min
+    finally:
+        server.stop()
+    overhead = max(0.0, remote_min_s - inline_s)
+    benchmark.extra_info["scale"] = SCALE
+    benchmark.extra_info["inline_s"] = round(inline_s, 4)
+    benchmark.extra_info["remote_s"] = round(remote_min_s, 4)
+    benchmark.extra_info["dispatch_overhead_s_per_chunk"] = round(overhead, 4)
+    assert remote_s is not None
+    # loopback dispatch must stay well under a second per chunk — if it
+    # doesn't, chunking (not the network) is broken
+    assert overhead < 1.0

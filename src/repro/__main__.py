@@ -13,6 +13,7 @@ Commands:
 * ``designspace`` — batch-price a SoC design space, print Pareto frontiers
 * ``cache``     — inspect or clear the run cache and persistent perf tier
 * ``resume``    — finish a journaled campaign whose process was killed
+* ``worker``    — serve as a remote campaign worker (``--workers`` target)
 """
 
 from __future__ import annotations
@@ -63,6 +64,7 @@ def cmd_figures(args) -> int:
         retries=args.retries,
         cell_timeout_s=args.cell_timeout,
         deadline_s=args.deadline,
+        workers=_workers(args),
     )
     results = campaign.run(jobs=args.jobs, journal_dir=args.journal_dir)
     for series in all_figures(results, precisions):
@@ -373,6 +375,14 @@ def cmd_designspace(args) -> int:
     return 0
 
 
+def _workers(args) -> tuple[str, ...] | None:
+    """Parse ``--workers host:port,host:port`` into an address tuple."""
+    raw = getattr(args, "workers", None)
+    if not raw:
+        return None
+    return tuple(addr.strip() for addr in raw.split(",") if addr.strip())
+
+
 def _perf_dir(args) -> str | None:
     """Resolve the persistent perf-tier root from CLI arguments.
 
@@ -462,12 +472,28 @@ def cmd_resume(args) -> int:
         retries=args.retries,
         cell_timeout_s=args.cell_timeout,
         deadline_s=args.deadline,
+        workers=_workers(args),
     )
     results = campaign.run(jobs=args.jobs)
     if args.save:
         Path(args.save).write_text(results.to_json())
         print(f"saved {len(results.results)} runs to {args.save}")
     print(campaign.report.describe())
+    return 0
+
+
+def cmd_worker(args) -> int:
+    from .experiments import serve_worker
+
+    try:
+        serve_worker(
+            args.host,
+            args.port,
+            perf_dir=args.perf_dir,
+            announce=lambda line: print(line, flush=True),
+        )
+    except KeyboardInterrupt:
+        print("worker stopped", flush=True)
     return 0
 
 
@@ -523,6 +549,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="per-cell deadline for the race_to_idle / "
                         "pace_to_deadline energy policies (unrelated to "
                         "--deadline, the campaign watchdog budget)")
+    p.add_argument("--workers", default=None, metavar="HOST:PORT,...",
+                   help="distribute execution across remote `repro worker` "
+                        "processes (comma-separated addresses); losing "
+                        "every worker degrades back to local execution")
     p.set_defaults(func=cmd_figures)
 
     p = sub.add_parser("run", help="run one benchmark's four versions")
@@ -671,7 +701,29 @@ def build_parser() -> argparse.ArgumentParser:
                    help="wall-clock budget per grid cell")
     p.add_argument("--deadline", type=float, default=None, metavar="S",
                    help="wall-clock budget for the whole resumed campaign")
+    p.add_argument("--workers", default=None, metavar="HOST:PORT,...",
+                   help="distribute the remainder across remote "
+                        "`repro worker` processes")
     p.set_defaults(func=cmd_resume)
+
+    p = sub.add_parser(
+        "worker",
+        help="serve as a remote campaign worker",
+        description="Runs a persistent remote worker that coordinators "
+                    "target with --workers HOST:PORT.  The worker "
+                    "advertises its protocol version, perf-tier schema "
+                    "namespace and repro version at handshake; stale "
+                    "workers are rejected by the coordinator.  Announces "
+                    "'worker listening on HOST:PORT' once bound "
+                    "(--port 0 picks a free port).",
+    )
+    p.add_argument("--host", default="127.0.0.1", metavar="HOST",
+                   help="interface to bind (default: loopback)")
+    p.add_argument("--port", type=int, default=0, metavar="PORT",
+                   help="port to bind (default: 0 = ephemeral)")
+    p.add_argument("--perf-dir", default=None, metavar="DIR",
+                   help="this worker's own persistent perf-cache tier")
+    p.set_defaults(func=cmd_worker)
     return parser
 
 

@@ -10,6 +10,21 @@ from .engine import (
     RunTask,
 )
 from .journal import CampaignJournal, JournalError, read_journal
+from .protocol import (
+    PROTOCOL_VERSION,
+    ConnectionClosed,
+    FrameError,
+    Handshake,
+    ProtocolError,
+)
+from .remote import (
+    HandshakeRejected,
+    PoolExhausted,
+    RemoteWorkerPool,
+    WorkerLost,
+    WorkerServer,
+    serve_worker,
+)
 from .figures import (
     BAR_VERSIONS,
     FigureSeries,
@@ -36,11 +51,21 @@ __all__ = [
     "CampaignSpec",
     "CellDelta",
     "Clock",
+    "ConnectionClosed",
     "DeadlineExceeded",
+    "FrameError",
+    "Handshake",
+    "HandshakeRejected",
     "JournalError",
     "JsonlTraceSink",
     "ListTraceSink",
+    "PROTOCOL_VERSION",
+    "PoolExhausted",
+    "ProtocolError",
     "RegressionReport",
+    "RemoteWorkerPool",
+    "WorkerLost",
+    "WorkerServer",
     "FigureSeries",
     "Metric",
     "ResultSet",
@@ -67,5 +92,6 @@ __all__ = [
     "run_grid",
     "run_repeated",
     "run_size_sweep",
+    "serve_worker",
     "summarize",
 ]

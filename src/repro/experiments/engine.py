@@ -64,10 +64,12 @@ from __future__ import annotations
 
 import hashlib
 import json
+import random
 import signal
 import threading
 import time
 import traceback
+import warnings
 from collections import deque
 from concurrent.futures import (
     FIRST_COMPLETED,
@@ -78,7 +80,7 @@ from concurrent.futures import (
 from concurrent.futures import TimeoutError as FuturesTimeout
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable
+from typing import Callable, Sequence
 
 from .. import perf
 from ..benchmarks.base import (
@@ -673,6 +675,22 @@ class Campaign:
     result; ``retry_backoff_s`` > 0 sleeps ``backoff * 2**(attempt-1)``
     seconds before each such retry (exponential backoff — useful when
     worker deaths stem from transient memory pressure).
+    ``retry_backoff_cap_s`` clamps the exponential growth and
+    ``retry_backoff_jitter`` (a fraction in ``[0, 1)``) scales each
+    delay by a deterministic random factor in ``[1-jitter, 1]`` — with
+    remote workers, many chunks back off at once after a connection
+    loss, and jitter keeps their reconnects from stampeding the
+    recovering machine in lockstep.  The jitter stream is seeded from
+    the spec, so a campaign's backoff schedule is reproducible.
+
+    ``workers`` switches execution to remote distribution: a tuple of
+    ``"host:port"`` addresses of ``repro worker`` processes.  Uncached
+    chunks are scheduled onto a :class:`repro.experiments.remote.
+    RemoteWorkerPool` (cache-affinity family placement preserved); lost
+    connections feed the same recovery ladder as pool worker deaths,
+    and when *every* remote worker is gone the campaign degrades
+    gracefully to local execution (``tier_degraded`` event + warning)
+    instead of failing.  Results are byte-identical to local runs.
 
     ``cell_timeout_s`` budgets each cell's wall clock: a pool chunk
     gets ``cell_timeout_s × tasks`` before the watchdog kills its
@@ -714,15 +732,22 @@ class Campaign:
         progress: Callable[[str], None] | None = None,
         retries: int = 2,
         retry_backoff_s: float = 0.0,
+        retry_backoff_cap_s: float | None = None,
+        retry_backoff_jitter: float = 0.0,
         cell_timeout_s: float | None = None,
         deadline_s: float | None = None,
         clock: Clock | None = None,
         preprice: bool = True,
+        workers: Sequence[str] | None = None,
     ) -> None:
         if retries < 0:
             raise ValueError("retries must be >= 0")
         if retry_backoff_s < 0:
             raise ValueError("retry_backoff_s must be >= 0")
+        if retry_backoff_cap_s is not None and retry_backoff_cap_s <= 0:
+            raise ValueError("retry_backoff_cap_s must be positive")
+        if not 0.0 <= retry_backoff_jitter < 1.0:
+            raise ValueError("retry_backoff_jitter must be in [0, 1)")
         if cell_timeout_s is not None and cell_timeout_s <= 0:
             raise ValueError("cell_timeout_s must be positive")
         if deadline_s is not None and deadline_s <= 0:
@@ -734,10 +759,13 @@ class Campaign:
         self.progress = progress
         self.retries = retries
         self.retry_backoff_s = retry_backoff_s
+        self.retry_backoff_cap_s = retry_backoff_cap_s
+        self.retry_backoff_jitter = retry_backoff_jitter
         self.cell_timeout_s = cell_timeout_s
         self.deadline_s = deadline_s
         self.clock = clock or Clock()
         self.preprice = preprice
+        self.workers: tuple[str, ...] = tuple(workers) if workers else ()
         #: journal directory attached by :meth:`resume` (``run`` may
         #: also receive one directly via ``journal_dir=``)
         self.journal_dir: Path | None = None
@@ -753,6 +781,9 @@ class Campaign:
         self._pool_restarts = 0
         self._prepriced = 0
         self._degraded_traced: set[str] = set()
+        self._dispatched: set[tuple] = set()
+        self._remote_degraded_reason: str | None = None
+        self._backoff_rng = random.Random(spec.seed)
         #: populated by :meth:`run`
         self.report: CampaignReport | None = None
         #: partial :class:`ResultSet` salvaged when :meth:`run` ended in
@@ -838,6 +869,8 @@ class Campaign:
             detail["cell_timeout_s"] = self.cell_timeout_s
         if self.deadline_s is not None:
             detail["deadline_s"] = self.deadline_s
+        if self.workers:
+            detail["workers"] = list(self.workers)
         tracer.emit("campaign_started", detail=detail)
         prior_config = perf.current_config()
         if self.perf_dir is not None:
@@ -854,6 +887,9 @@ class Campaign:
         self._pool_restarts = 0
         self._prepriced = 0
         self._degraded_traced: set[str] = set()
+        self._dispatched = set()
+        self._remote_degraded_reason = None
+        self._backoff_rng = random.Random(self.spec.seed)
         results: dict[tuple, RunResult] = {}
         try:
             self._gather(tasks, jobs, tracer, results)
@@ -971,6 +1007,8 @@ class Campaign:
         store = perf.persistent_store()
         if store is not None and getattr(store, "degraded_reason", None):
             out.append(f"perf_store: {store.degraded_reason}")
+        if self._remote_degraded_reason:
+            out.append(f"remote_workers: {self._remote_degraded_reason}")
         return tuple(out)
 
     def _trace_degraded(self, tracer: Tracer) -> None:
@@ -1069,17 +1107,35 @@ class Campaign:
         # same kernel space, so keeping a family on one worker keeps its
         # in-process memo hit rate high even before the persistent tier
         # warms.  Dicts preserve plan order.
+        families = self._plan_families(pending)
+
+        if self.workers and pending:
+            self._run_remote(families, tracer, results)
+            # Whatever the remote tier could not finish (it degraded
+            # because every worker was lost or rejected) falls through
+            # to ordinary local execution, in canonical plan order.
+            pending = [(t, k) for t, k in pending if t.cell not in results]
+            if not pending:
+                return
+            families = self._plan_families(pending)
+
+        if jobs == 1 or len(families) <= 1:
+            self._run_inline(pending, tracer, results)
+        else:
+            self._run_pool(families, jobs, tracer, results)
+
+    @staticmethod
+    def _plan_families(
+        pending: list[tuple[RunTask, str | None]],
+    ) -> dict[str, list[list[tuple[RunTask, str | None]]]]:
+        """Bundle pending tasks into version groups, then families."""
         groups: dict[tuple[str, Precision], list[tuple[RunTask, str | None]]] = {}
         for task, key in pending:
             groups.setdefault((task.benchmark, task.precision), []).append((task, key))
         families: dict[str, list[list[tuple[RunTask, str | None]]]] = {}
         for (benchmark, _), group in groups.items():
             families.setdefault(benchmark, []).append(group)
-
-        if jobs == 1 or len(families) <= 1:
-            self._run_inline(pending, tracer, results)
-        else:
-            self._run_pool(families, jobs, tracer, results)
+        return families
 
     def _run_inline(
         self,
@@ -1286,6 +1342,196 @@ class Campaign:
             self._active_pool = None
             pool.shutdown(wait=True, cancel_futures=True)
 
+    def _run_remote(
+        self,
+        families: dict[str, list[list[tuple[RunTask, str | None]]]],
+        tracer: Tracer,
+        results: dict[tuple, RunResult],
+    ) -> None:
+        """Distribute family chunks onto the remote worker tier.
+
+        Mirrors :meth:`_run_pool`: chunks start as whole families and a
+        failed chunk is fed to the remote retry ladder
+        (:meth:`_requeue_remote`) at progressively finer granularity.  A
+        chunk whose budget expired on the wire goes through the same
+        timeout ladder as a watchdog kill.  The method returns normally
+        with work left undone only when the whole remote tier is gone —
+        the caller falls back to local execution for the remainder
+        (graceful degradation, traced as ``tier_degraded``).
+        """
+        from .remote import PoolExhausted, RemoteWorkerPool, WorkerLost
+
+        pool = RemoteWorkerPool(
+            self.workers,
+            task_fields=self._task_fields,
+            clock=self.clock,
+            cell_timeout_s=self.cell_timeout_s,
+            reconnect_attempts=self.retries,
+            backoff=self._backoff_delay,
+        )
+        queue: deque = deque()
+        for family in families.values():
+            for group in family:
+                for task, _ in group:
+                    self._dispatch(task, tracer)
+            queue.append(tuple(tuple(group) for group in family))
+        failures: dict[tuple, int] = {}
+        futures: dict = {}
+        try:
+            joined = pool.connect()
+            pool.drain_events(tracer)
+            if joined == 0 and pool.exhausted():
+                self._remote_degraded(tracer, "no remote workers joined")
+                return
+            while queue or futures:
+                self._check_deadline()
+                if pool.exhausted() and not futures:
+                    break  # leftovers degrade to local execution
+                while queue and not pool.exhausted():
+                    chunk = queue.popleft()
+                    payload = tuple(tuple(t for t, _ in group) for group in chunk)
+                    futures[pool.submit(payload, self.preprice)] = chunk
+                # Finite wait: worker events must drain into the trace
+                # and the campaign deadline stays live even when every
+                # in-flight chunk is slow.
+                done, _ = wait(futures, timeout=0.2, return_when=FIRST_COMPLETED)
+                pool.drain_events(tracer)
+                for future in done:
+                    chunk = futures.pop(future)
+                    try:
+                        group_runs, family_delta, prepriced = future.result()
+                    except PoolExhausted:
+                        # Not the chunk's fault — it never ran.  Requeue
+                        # un-counted; the loop head notices exhaustion.
+                        queue.append(chunk)
+                    except WorkerLost as exc:
+                        if exc.timed_out:
+                            self._handle_timeout(chunk, queue, tracer, results)
+                        else:
+                            self._requeue_remote(
+                                chunk, exc, failures, queue, pool, tracer, results
+                            )
+                    else:
+                        self._worker_deltas.append(family_delta)
+                        self._prepriced += prepriced
+                        for group, runs in zip(chunk, group_runs):
+                            for (task, key), (run, delta) in zip(group, runs):
+                                self._finish(
+                                    task, key, run, results, tracer, perf_delta=delta
+                                )
+            if queue:
+                self._remote_degraded(tracer, "every remote worker was lost")
+        finally:
+            pool.close()
+            pool.drain_events(tracer)
+
+    def _requeue_remote(
+        self,
+        chunk,
+        exc: BaseException,
+        failures: dict[tuple, int],
+        queue: deque,
+        pool,
+        tracer: Tracer,
+        results: dict[tuple, RunResult],
+    ) -> None:
+        """Remote retry ladder: the exact shape of :meth:`_requeue`.
+
+        A lost connection fails one chunk, not the whole tier, so most
+        failures here are collateral of a dying worker rather than a
+        poisonous cell — which is why conviction still requires an
+        isolated probe (:meth:`_probe_remote`), now on whichever worker
+        is currently alive, before a cell is demoted.
+        """
+        self._retries += 1
+        for group in chunk:
+            for task, _ in group:
+                failures[task.cell] = failures.get(task.cell, 0) + 1
+        if len(chunk) > 1:  # family → its version groups
+            for group in chunk:
+                queue.append((group,))
+            return
+        group = chunk[0]
+        if len(group) > 1:  # version group → single tasks
+            for entry in group:
+                queue.append(((entry,),))
+            return
+        task, key = group[0]
+        attempts = failures[task.cell]
+        if attempts <= self.retries:
+            delay = self._backoff_delay(attempts)
+            if delay > 0:
+                self.clock.sleep(delay)
+            queue.append(chunk)
+            return
+        self._probe_remote(task, key, failures, pool, tracer, results)
+
+    def _probe_remote(
+        self,
+        task: RunTask,
+        key: str | None,
+        failures: dict[tuple, int],
+        pool,
+        tracer: Tracer,
+        results: dict[tuple, RunResult],
+    ) -> None:
+        """Verdict for a suspect cell: one isolated run on a live worker.
+
+        The pool schedules onto currently-connected workers only (dead
+        links hold no queue slots), so surviving the probe proves the
+        cell was collateral damage; dying again on a different, known
+        -good connection convicts it.  If no remote worker is left to
+        probe on, the verdict falls back to the local probe pool —
+        degradation must not skip the conviction protocol.
+        """
+        from .remote import PoolExhausted, WorkerLost
+
+        future = pool.submit(((task,),), self.preprice)
+        try:
+            group_runs, family_delta, prepriced = future.result()
+        except PoolExhausted:
+            self._probe(task, key, failures, tracer, results)
+            return
+        except WorkerLost as exc:
+            if exc.timed_out:
+                run = RunResult.timeout(
+                    task.benchmark,
+                    task.version,
+                    task.precision,
+                    self.cell_timeout_s,
+                    governor=task.result_governor,
+                )
+            else:
+                failures[task.cell] += 1
+                run = _worker_loss_result(task, exc, failures[task.cell])
+            self._finish(task, key, run, results, tracer)
+            return
+        self._worker_deltas.append(family_delta)
+        self._prepriced += prepriced
+        ((run, delta),) = group_runs[0]
+        self._finish(task, key, run, results, tracer, perf_delta=delta)
+
+    def _remote_degraded(self, tracer: Tracer, reason: str) -> None:
+        """Record the loss of the whole remote tier (warn-once).
+
+        Mirrors the on-disk tier degradations: a ``tier_degraded``
+        trace event, a ``DEGRADED`` line in the report, one Python
+        warning — and the campaign carries on locally.
+        """
+        self._remote_degraded_reason = reason
+        if "remote_workers" in self._degraded_traced:
+            return
+        self._degraded_traced.add("remote_workers")
+        tracer.emit(
+            "tier_degraded",
+            detail={"tier": "remote_workers", "reason": reason},
+        )
+        warnings.warn(
+            f"remote workers degraded ({reason}); continuing with local execution",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+
     def _resolve(
         self,
         future,
@@ -1386,11 +1632,31 @@ class Campaign:
         task, key = group[0]
         attempts = failures[task.cell]
         if attempts <= self.retries:
-            if self.retry_backoff_s > 0:
-                self.clock.sleep(self.retry_backoff_s * (2 ** (attempts - 1)))
+            delay = self._backoff_delay(attempts)
+            if delay > 0:
+                self.clock.sleep(delay)
             queue.append(chunk)
             return
         self._probe(task, key, failures, tracer, results)
+
+    def _backoff_delay(self, attempt: int) -> float:
+        """Seconds to back off before retry number ``attempt`` (1-based).
+
+        Exponential in the attempt, clamped to ``retry_backoff_cap_s``,
+        then scaled by a factor drawn uniformly from
+        ``[1 - retry_backoff_jitter, 1]`` — jitter spreads simultaneous
+        retries (many chunks redistributed after one lost worker) so
+        they do not stampede a recovering worker in lockstep.  The RNG
+        is seeded from the spec per run, keeping schedules reproducible.
+        """
+        if self.retry_backoff_s <= 0:
+            return 0.0
+        delay = self.retry_backoff_s * (2 ** (attempt - 1))
+        if self.retry_backoff_cap_s is not None:
+            delay = min(delay, self.retry_backoff_cap_s)
+        if self.retry_backoff_jitter > 0:
+            delay *= 1.0 - self.retry_backoff_jitter * self._backoff_rng.random()
+        return delay
 
     def _probe(
         self,
@@ -1465,6 +1731,11 @@ class Campaign:
         return fresh
 
     def _dispatch(self, task: RunTask, tracer: Tracer) -> None:
+        # Once per run: a task that falls back to local execution after
+        # remote-tier degradation was already journaled and announced.
+        if task.cell in self._dispatched:
+            return
+        self._dispatched.add(task.cell)
         if self._journal is not None:
             self._journal.cell_started(
                 task.benchmark,

@@ -23,7 +23,21 @@ driven on purpose.  This module injects failures into exact grid cells:
   ``"run_cache"`` or ``"perf_store"``): :func:`maybe_disk_full` raises
   ``OSError(ENOSPC)`` inside the tier's write path, driving the
   resource-exhaustion degradation (the tier disables itself for the
-  rest of the campaign instead of failing the run).
+  rest of the campaign instead of failing the run);
+* ``mode="net_drop"`` / ``"net_stall"`` / ``"net_garble"`` — frame-level
+  network faults for distributed execution
+  (:mod:`repro.experiments.protocol`): ``benchmark`` names the *sending
+  endpoint* (``"worker"`` / ``"coordinator"``) and ``version``
+  optionally narrows to one message kind (``"result"``, ``"chunk"``,
+  ``"ping"`` ... ``None`` matches any frame).  :func:`maybe_net` is
+  consulted by the frame send path: ``net_drop`` resets the connection
+  under the frame (lost-worker stand-in), ``net_stall`` sleeps
+  ``seconds`` before sending (stuck-link stand-in for the heartbeat /
+  chunk-deadline watchdogs), ``net_garble`` corrupts the payload after
+  its CRC is computed so the receiver detects and rejects the frame.
+  Attempt counters live on disk like the crash modes, so "drop the
+  first result frame" stays deterministic across reconnects and worker
+  processes.
 
 Faults are installed into ``os.environ`` so pool workers see them under
 both the fork and spawn start methods, and attempt counters live in a
@@ -74,20 +88,28 @@ class FaultSpec:
     (``"OpenCL"``, ``"single"``); ``None`` matches any.  ``times`` is
     the number of *first attempts* of the cell that trigger the fault;
     ``-1`` means every attempt (a persistent crasher).  ``seconds``
-    only matters to ``mode="hang"`` (how long the cell stalls).  For
-    ``mode="enospc"`` the ``benchmark`` field names the targeted cache
-    tier (``"run_cache"`` / ``"perf_store"``) instead of a grid cell.
+    only matters to ``mode="hang"`` / ``"net_stall"`` (how long the
+    cell or frame stalls).  For ``mode="enospc"`` the ``benchmark``
+    field names the targeted cache tier (``"run_cache"`` /
+    ``"perf_store"``) instead of a grid cell; for the ``net_*`` modes
+    it names the sending endpoint (``"worker"`` / ``"coordinator"``)
+    and ``version`` optionally narrows to one message kind.
     """
 
     benchmark: str
     version: str | None = None
     precision: str | None = None
-    mode: str = "raise"  # "raise" | "exit" | "abort" | "hang" | "enospc"
+    mode: str = "raise"  # "raise" | "exit" | "abort" | "hang" | "enospc" | "net_*"
     times: int = 1
     seconds: float = 3600.0
 
+    _MODES = (
+        "raise", "exit", "abort", "hang", "enospc",
+        "net_drop", "net_stall", "net_garble",
+    )
+
     def __post_init__(self) -> None:
-        if self.mode not in ("raise", "exit", "abort", "hang", "enospc"):
+        if self.mode not in self._MODES:
             raise ValueError(f"unknown fault mode {self.mode!r}")
 
 
@@ -150,8 +172,8 @@ def maybe_crash(benchmark: str, version=None, precision=None) -> None:
     version = getattr(version, "value", version)
     precision = getattr(precision, "value", precision)
     for spec in config.faults:
-        if spec.mode == "enospc":  # tier faults never match grid cells
-            continue
+        if spec.mode == "enospc" or spec.mode.startswith("net_"):
+            continue  # tier / network faults never match grid cells
         if spec.benchmark != benchmark:
             continue
         if spec.version is not None and spec.version != version:
@@ -185,6 +207,32 @@ def maybe_disk_full(tier: str) -> None:
         raise OSError(
             errno.ENOSPC, f"No space left on device (injected: {tier})"
         )
+
+
+def maybe_net(endpoint: str, kind: str | None) -> "FaultSpec | None":
+    """Network fault hook: the first triggered ``net_*`` fault, if any.
+
+    Called by :func:`repro.experiments.protocol.send_message` with the
+    sending side's endpoint name (``"worker"`` / ``"coordinator"``) and
+    the outgoing message kind.  Returns the triggered spec — the
+    protocol layer enacts it (drop / stall / garble) — or ``None``.
+    Attempt counters are bumped on disk under
+    ``(endpoint, kind or "any", mode)`` so "fault the first N frames"
+    stays coherent across reconnects, like the crash modes.
+    """
+    config = _config()
+    if config is None:
+        return None
+    for spec in config.faults:
+        if not spec.mode.startswith("net_") or spec.benchmark != endpoint:
+            continue
+        if spec.version is not None and spec.version != kind:
+            continue
+        attempt = _bump(config.state_dir, endpoint, spec.version or "any", spec.mode)
+        if 0 <= spec.times < attempt:
+            continue
+        return spec
+    return None
 
 
 def attempts(state_dir: str | Path, benchmark: str, version=None, precision=None) -> int:

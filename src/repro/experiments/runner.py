@@ -269,6 +269,7 @@ def run_grid(
     preprice: bool = True,
     governors: Iterable[str] | None = None,
     energy_deadline_s: float | None = None,
+    workers: Iterable[str] | None = None,
 ) -> ResultSet:
     """Run the full campaign and collect results.
 
@@ -289,6 +290,10 @@ def run_grid(
     ``preprice`` batch-prices each version group's CPU timings before
     dispatch (bitwise-identical results either way; see
     :class:`~repro.experiments.engine.Campaign`).
+    ``workers`` distributes execution across remote ``repro worker``
+    processes (``("host:port", ...)``); results stay byte-identical to
+    local runs and losing every worker degrades back to local
+    execution.
     """
     from .engine import Campaign, CampaignSpec  # deferred: engine imports us
 
@@ -314,5 +319,6 @@ def run_grid(
         cell_timeout_s=cell_timeout_s,
         deadline_s=deadline_s,
         preprice=preprice,
+        workers=tuple(workers) if workers is not None else None,
     )
     return campaign.run(jobs=jobs, journal_dir=journal_dir)

@@ -32,6 +32,14 @@ RUN_EVENTS = ("queued", "started", "finished")
 #: worker-pool rebuild; ``tier_degraded`` records an on-disk cache tier
 #: disabling itself after resource exhaustion (ENOSPC / EACCES)
 RECOVERY_EVENTS = ("run_crashed", "run_timed_out", "pool_restarted", "tier_degraded")
+#: distributed-execution events (``Campaign(workers=...)``):
+#: ``worker_joined`` / ``worker_rejected`` record handshake verdicts
+#: (``detail`` carries the worker address and its advertised namespace
+#: or the rejection reason), ``run_dispatched`` marks a cell shipped to
+#: a named remote worker, and ``worker_lost`` a connection death — the
+#: chunk it carried re-enters the recovery ladder.  Losing the whole
+#: remote tier reuses ``tier_degraded`` with ``tier="remote_workers"``.
+REMOTE_EVENTS = ("worker_joined", "worker_rejected", "run_dispatched", "worker_lost")
 #: campaign-level envelope events — every trace ends with exactly one
 #: of ``campaign_finished`` (normal) or ``campaign_failed`` (terminal
 #: error, after salvage), so a ``tail -f`` never ends mid-story

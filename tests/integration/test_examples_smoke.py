@@ -92,6 +92,23 @@ def test_resume_campaign_smoke(capsys, monkeypatch):
     assert "byte-identical" in out
 
 
+@pytest.mark.timeout_guard(300)
+def test_distributed_campaign_smoke(capsys, monkeypatch):
+    # the example launches `repro worker` subprocesses, which need the
+    # package importable via PYTHONPATH
+    src = str(Path(__file__).resolve().parents[2] / "src")
+    monkeypatch.setenv("PYTHONPATH", src)
+    monkeypatch.setattr(
+        sys, "argv", ["distributed_campaign.py", "--scale", "0.02"]
+    )
+    with pytest.raises(SystemExit) as exit_info:
+        runpy.run_path(str(EXAMPLES / "distributed_campaign.py"), run_name="__main__")
+    assert exit_info.value.code == 0
+    out = capsys.readouterr().out
+    assert "OK: worker killed mid-chunk" in out
+    assert "byte-identical to local execution" in out
+
+
 def test_all_examples_are_tested_or_listed():
     """Every example file is either smoke-tested here or known-slow."""
     known_slow = {
@@ -99,6 +116,7 @@ def test_all_examples_are_tested_or_listed():
         "parallel_campaign.py",    # tested above at reduced scale
         "crash_recovery_smoke.py",  # tested above at reduced scale
         "resume_campaign.py",       # tested above at reduced scale
+        "distributed_campaign.py",  # tested above at reduced scale
         "optimization_walkthrough.py",
         "autotune_example.py",
         "energy_study.py",
